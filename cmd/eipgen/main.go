@@ -1,0 +1,101 @@
+// Command eipgen generates candidate target addresses (or /64 prefixes)
+// from a trained Entropy/IP model, optionally conditioned on particular
+// segment values — the paper's §5.5/§5.6 generation step.
+//
+// Usage:
+//
+//	eipgen -model model.json -n 100000 -o candidates.txt
+//	eipgen -model model.json -n 100000 -prefixes -condition B=B2
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"entropyip/internal/core"
+	"entropyip/internal/dataset"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "trained model JSON (from the entropyip command)")
+		n         = flag.Int("n", 100000, "number of candidates to generate")
+		seed      = flag.Int64("seed", 1, "random seed")
+		prefixes  = flag.Bool("prefixes", false, "generate /64 prefixes instead of full addresses")
+		condition = flag.String("condition", "", "evidence constraining generation, e.g. \"B=B2,C=C1\"")
+		exclude   = flag.String("exclude", "", "file of addresses never to emit (e.g. the training set)")
+		outPath   = flag.String("o", "-", "output file ('-' for stdout)")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "eipgen: -model is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	model, err := core.Load(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := core.GenerateOptions{Count: *n, Seed: *seed}
+	if *condition != "" {
+		opts.Evidence = core.Evidence{}
+		for _, part := range strings.Split(*condition, ",") {
+			kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+			if len(kv) != 2 {
+				fatal(fmt.Errorf("invalid -condition entry %q", part))
+			}
+			opts.Evidence[kv[0]] = kv[1]
+		}
+	}
+	if *exclude != "" {
+		d, err := dataset.LoadFile(*exclude)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Exclude = d.Set()
+	}
+
+	out := os.Stdout
+	if *outPath != "-" {
+		out, err = os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer out.Close()
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+
+	if *prefixes {
+		ps, err := model.GeneratePrefixes(opts)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range ps {
+			fmt.Fprintln(w, p)
+		}
+		fmt.Fprintf(os.Stderr, "eipgen: generated %d candidate /64 prefixes\n", len(ps))
+		return
+	}
+	addrs, err := model.Generate(opts)
+	if err != nil {
+		fatal(err)
+	}
+	for _, a := range addrs {
+		fmt.Fprintln(w, a)
+	}
+	fmt.Fprintf(os.Stderr, "eipgen: generated %d candidate addresses\n", len(addrs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eipgen:", err)
+	os.Exit(1)
+}

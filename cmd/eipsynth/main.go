@@ -1,0 +1,61 @@
+// Command eipsynth synthesizes IPv6 address datasets from the built-in
+// archetype catalog (the stand-ins for the paper's S*, R*, C* and aggregate
+// datasets) and writes them as text files, one address per line.
+//
+// Usage:
+//
+//	eipsynth -list
+//	eipsynth -dataset S1 -n 30000 -seed 1 -o s1.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"entropyip/internal/dataset"
+	"entropyip/internal/synth"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list the available dataset archetypes and exit")
+		name    = flag.String("dataset", "", "archetype to synthesize (e.g. S1, R3, C5, AC)")
+		n       = flag.Int("n", 0, "number of unique addresses (0 = archetype default)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		outPath = flag.String("o", "-", "output file ('-' for stdout)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-5s %-10s %-12s %-10s %s\n", "NAME", "KIND", "PAPER SIZE", "DEFAULT", "DESCRIPTION")
+		for _, s := range synth.Catalog() {
+			fmt.Printf("%-5s %-10s %-12d %-10d %s\n", s.Name, s.Kind, s.PaperSize, s.DefaultSize, s.Description)
+		}
+		return
+	}
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "eipsynth: -dataset is required (use -list to see choices)")
+		os.Exit(2)
+	}
+	addrs, err := synth.Generate(*name, *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	d := dataset.New(*name, addrs)
+	if *outPath == "-" {
+		if err := d.Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := d.SaveFile(*outPath); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "eipsynth: wrote %d addresses of %s to %s\n", d.Len(), *name, *outPath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "eipsynth:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,162 @@
+// Command entropyip analyzes a set of IPv6 addresses with the Entropy/IP
+// pipeline: per-nybble entropy, segmentation, segment mining and Bayesian
+// network learning. It prints a terminal report (entropy plot, mined
+// segment values, dependencies) and can write the trained model as JSON,
+// the interactive conditional-probability browser as HTML, and the network
+// structure as Graphviz DOT.
+//
+// Usage:
+//
+//	entropyip -in addresses.txt -train 1000 -model model.json -html report.html
+//	entropyip -dataset C1 -train 1000 -condition J=J1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"entropyip/internal/core"
+	"entropyip/internal/dataset"
+	"entropyip/internal/ip6"
+	"entropyip/internal/report"
+	"entropyip/internal/stats"
+	"entropyip/internal/synth"
+	"entropyip/internal/viz"
+)
+
+func main() {
+	var (
+		inPath    = flag.String("in", "", "input file with one IPv6 address per line")
+		dsName    = flag.String("dataset", "", "analyze a built-in synthetic dataset instead of a file")
+		trainSize = flag.Int("train", 1000, "number of training addresses sampled from the input (0 = all)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		prefix64  = flag.Bool("prefix64", false, "model only the top 64 bits (network identifiers)")
+		condition = flag.String("condition", "", "conditional browsing evidence, e.g. \"J=J1,B=B2\"")
+		modelOut  = flag.String("model", "", "write the trained model as JSON to this file")
+		htmlOut   = flag.String("html", "", "write the conditional probability browser as HTML to this file")
+		dotOut    = flag.String("dot", "", "write the Bayesian network structure as Graphviz DOT to this file")
+		quiet     = flag.Bool("q", false, "suppress the terminal report")
+	)
+	flag.Parse()
+
+	addrs, name, err := loadInput(*inPath, *dsName, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	train := addrs
+	if *trainSize > 0 && *trainSize < len(addrs) {
+		train, _ = stats.SplitTrainTest(stats.RNG(*seed), addrs, *trainSize)
+	}
+	model, err := core.Build(train, core.Options{Prefix64Only: *prefix64})
+	if err != nil {
+		fatal(err)
+	}
+	evidence, err := parseEvidence(*condition)
+	if err != nil {
+		fatal(err)
+	}
+
+	if !*quiet {
+		printReport(name, model, evidence)
+	}
+	if *modelOut != "" {
+		if err := writeFile(*modelOut, func(f *os.File) error { return model.Save(f) }); err != nil {
+			fatal(err)
+		}
+	}
+	if *htmlOut != "" {
+		page := &viz.BrowserPage{Title: name, Model: model, Evidence: evidence}
+		if err := writeFile(*htmlOut, func(f *os.File) error { return page.Render(f) }); err != nil {
+			fatal(err)
+		}
+	}
+	if *dotOut != "" {
+		dot := viz.DOTNetwork(model, "")
+		if err := os.WriteFile(*dotOut, []byte(dot), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func loadInput(inPath, dsName string, seed int64) ([]ip6.Addr, string, error) {
+	switch {
+	case inPath != "" && dsName != "":
+		return nil, "", fmt.Errorf("use either -in or -dataset, not both")
+	case inPath != "":
+		d, err := dataset.LoadFile(inPath)
+		if err != nil {
+			return nil, "", err
+		}
+		return d.Addrs, inPath, nil
+	case dsName != "":
+		addrs, err := synth.Generate(dsName, 0, seed)
+		return addrs, dsName, err
+	default:
+		return nil, "", fmt.Errorf("one of -in or -dataset is required")
+	}
+}
+
+func parseEvidence(s string) (core.Evidence, error) {
+	if s == "" {
+		return nil, nil
+	}
+	ev := core.Evidence{}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, fmt.Errorf("invalid -condition entry %q (want LABEL=CODE)", part)
+		}
+		ev[kv[0]] = kv[1]
+	}
+	return ev, nil
+}
+
+func printReport(name string, model *core.Model, evidence core.Evidence) {
+	fmt.Printf("Entropy/IP analysis of %s (%d training addresses)\n", name, model.TrainCount)
+	fmt.Printf("total entropy H_S = %.1f\n\n", model.TotalEntropy())
+	segments := make([]string, 32)
+	for _, sm := range model.Segments {
+		if sm.Seg.Start < len(segments) {
+			segments[sm.Seg.Start] = sm.Seg.Label
+		}
+	}
+	fmt.Println(viz.ASCIIEntropy(model.Profile.H[:], model.ACR.ACR[:], segments))
+	fmt.Println("Segmentation:", model.Segmentation.String())
+	fmt.Println()
+	a := &report.Analysis{Dataset: name, Model: model}
+	fmt.Println(report.Table3(a).String())
+	fmt.Println("Bayesian network dependencies (by mutual information):")
+	for _, d := range model.Dependencies() {
+		fmt.Printf("  %s -> %s  (MI %.2f bits)\n", d.Parent, d.Child, d.MI)
+	}
+	fmt.Println()
+	dists, err := model.Browse(evidence)
+	if err != nil {
+		fatal(err)
+	}
+	if len(evidence) > 0 {
+		fmt.Printf("Conditional probability browser (evidence: %v):\n", evidence)
+	} else {
+		fmt.Println("Conditional probability browser (no evidence):")
+	}
+	fmt.Println(viz.ASCIIBrowser(dists))
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "entropyip:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+// Package entropyip is the public facade of the Entropy/IP reproduction:
+// a system that discovers the structure of IPv6 address sets by combining
+// per-nybble entropy analysis, entropy-based segmentation, per-segment
+// value mining and a Bayesian network over segment codes, and that uses the
+// resulting model to explore addressing plans and to generate candidate
+// targets for active scanning (Foremski, Plonka, Berger — "Entropy/IP:
+// Uncovering Structure in IPv6 Addresses", IMC 2016).
+//
+// The facade re-exports the stable subset of the internal packages through
+// type aliases, so that example programs and downstream users interact with
+// a single import path:
+//
+//	addrs, _ := entropyip.ParseAddrs(lines)
+//	model, _ := entropyip.Analyze(addrs, entropyip.Options{})
+//	dists, _ := model.Browse(nil)
+//	cands, _ := model.Generate(entropyip.GenerateOptions{Count: 100000})
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// mapping between packages and the paper's sections.
+package entropyip
+
+import (
+	"fmt"
+	"io"
+
+	"entropyip/internal/core"
+	"entropyip/internal/dataset"
+	"entropyip/internal/ip6"
+	"entropyip/internal/synth"
+)
+
+// Addr is a 128-bit IPv6 address.
+type Addr = ip6.Addr
+
+// Prefix is a CIDR prefix.
+type Prefix = ip6.Prefix
+
+// Set is a collection of unique addresses.
+type Set = ip6.Set
+
+// Model is a trained Entropy/IP model.
+type Model = core.Model
+
+// Options configures model building; the zero value reproduces the paper's
+// configuration.
+type Options = core.Options
+
+// GenerateOptions controls candidate generation.
+type GenerateOptions = core.GenerateOptions
+
+// Evidence conditions the model on segment values by code, e.g.
+// Evidence{"J": "J1"}.
+type Evidence = core.Evidence
+
+// SegmentDistribution is one row of the conditional probability browser.
+type SegmentDistribution = core.SegmentDistribution
+
+// Dataset is a named collection of unique addresses.
+type Dataset = dataset.Dataset
+
+// ParseAddr parses an IPv6 address in any RFC 4291 textual form or the
+// fixed-width 32-hex-character form.
+func ParseAddr(s string) (Addr, error) { return ip6.ParseAddr(s) }
+
+// MustParseAddr is like ParseAddr but panics on error.
+func MustParseAddr(s string) Addr { return ip6.MustParseAddr(s) }
+
+// ParsePrefix parses a prefix in "addr/len" notation.
+func ParsePrefix(s string) (Prefix, error) { return ip6.ParsePrefix(s) }
+
+// ParseAddrs parses a list of address strings, failing on the first
+// malformed entry.
+func ParseAddrs(lines []string) ([]Addr, error) {
+	out := make([]Addr, 0, len(lines))
+	for i, l := range lines {
+		a, err := ip6.ParseAddr(l)
+		if err != nil {
+			return nil, fmt.Errorf("entropyip: address %d: %w", i, err)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Analyze trains an Entropy/IP model on the given addresses.
+func Analyze(addrs []Addr, opts Options) (*Model, error) { return core.Build(addrs, opts) }
+
+// LoadModel reads a model previously written with Model.Save.
+func LoadModel(r io.Reader) (*Model, error) { return core.Load(r) }
+
+// ReadDataset parses addresses from r, one per line ('#' comments allowed).
+func ReadDataset(name string, r io.Reader) (*Dataset, error) { return dataset.Read(name, r) }
+
+// LoadDataset reads a dataset file from disk.
+func LoadDataset(path string) (*Dataset, error) { return dataset.LoadFile(path) }
+
+// SyntheticDatasets lists the names of the built-in synthetic dataset
+// archetypes that stand in for the paper's real-world datasets
+// (S1-S5, R1-R5, C1-C5, AS, AR, AC, AT).
+func SyntheticDatasets() []string { return synth.Names() }
+
+// Synthesize generates n unique addresses from the named built-in
+// archetype; n <= 0 selects the archetype's default size.
+func Synthesize(name string, n int, seed int64) ([]Addr, error) {
+	return synth.Generate(name, n, seed)
+}
+
+// NewSet returns an empty address set with the given capacity hint.
+func NewSet(capacity int) *Set { return ip6.NewSet(capacity) }
+
+// Prefix64 returns the /64 prefix ("subnet") containing the address, the
+// unit used when counting newly discovered networks.
+func Prefix64(a Addr) Prefix { return ip6.Prefix64(a) }
+
+// Prefix32 returns the /32 prefix containing the address, the smallest
+// block registries allocate to operators.
+func Prefix32(a Addr) Prefix { return ip6.Prefix32(a) }

@@ -1,0 +1,107 @@
+package entropyip
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseHelpers(t *testing.T) {
+	a, err := ParseAddr("2001:db8::1")
+	if err != nil || a.String() != "2001:db8::1" {
+		t.Fatalf("ParseAddr: %v %v", a, err)
+	}
+	if MustParseAddr("2001:db8::2").Hex() != "20010db8000000000000000000000002" {
+		t.Error("MustParseAddr/Hex wrong")
+	}
+	p, err := ParsePrefix("2001:db8::/48")
+	if err != nil || p.Bits() != 48 {
+		t.Fatalf("ParsePrefix: %v %v", p, err)
+	}
+	addrs, err := ParseAddrs([]string{"2001:db8::1", "2001:db8::2"})
+	if err != nil || len(addrs) != 2 {
+		t.Fatalf("ParseAddrs: %v %v", addrs, err)
+	}
+	if _, err := ParseAddrs([]string{"2001:db8::1", "bad"}); err == nil {
+		t.Error("ParseAddrs should fail on malformed input")
+	}
+}
+
+func TestSyntheticCatalogAccess(t *testing.T) {
+	names := SyntheticDatasets()
+	if len(names) != 19 || names[0] != "S1" {
+		t.Fatalf("SyntheticDatasets = %v", names)
+	}
+	addrs, err := Synthesize("R5", 1200, 1)
+	if err != nil || len(addrs) != 1200 {
+		t.Fatalf("Synthesize: %d, %v", len(addrs), err)
+	}
+	if _, err := Synthesize("nope", 10, 1); err == nil {
+		t.Error("unknown archetype should error")
+	}
+}
+
+func TestEndToEndPublicAPI(t *testing.T) {
+	// The quickstart flow: synthesize a network, analyze a sample, browse,
+	// generate candidates, save and reload the model.
+	addrs, err := Synthesize("R1", 5000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := Analyze(addrs[:1000], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dists, err := model.Browse(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dists) == 0 || dists[0].Label != "A" {
+		t.Fatalf("browse output: %+v", dists)
+	}
+	exclude := NewSet(1000)
+	for _, a := range addrs[:1000] {
+		exclude.Add(a)
+	}
+	cands, err := model.Generate(GenerateOptions{Count: 2000, Seed: 1, Exclude: exclude})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	held := NewSet(len(addrs))
+	for _, a := range addrs[1000:] {
+		held.Add(a)
+	}
+	hits := 0
+	for _, c := range cands {
+		if held.Contains(c) {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Error("the model should rediscover some held-out router addresses")
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.TrainCount != model.TrainCount {
+		t.Error("model round trip lost data")
+	}
+}
+
+func TestDatasetHelpers(t *testing.T) {
+	d, err := ReadDataset("inline", strings.NewReader("2001:db8::1\n2001:db8::2\n"))
+	if err != nil || d.Len() != 2 {
+		t.Fatalf("ReadDataset: %v %v", d, err)
+	}
+	if _, err := LoadDataset("/nonexistent/file"); err == nil {
+		t.Error("LoadDataset should fail for missing files")
+	}
+}

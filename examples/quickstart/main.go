@@ -1,0 +1,81 @@
+// Quickstart: analyze a set of IPv6 addresses with Entropy/IP.
+//
+// The program synthesizes a server network (the S5 archetype: many /64s
+// whose last nybbles identify the service type), trains a model on a 1K
+// sample, prints what the system discovered — the per-nybble entropy, the
+// segmentation, the mined segment values and the Bayesian-network
+// dependencies — and generates a handful of candidate addresses.
+//
+// Run it with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"entropyip"
+)
+
+func main() {
+	// 1. Obtain a set of active IPv6 addresses. Real deployments would load
+	//    them from server logs or DNS; here we synthesize the S5 archetype.
+	addrs, err := entropyip.Synthesize("S5", 20000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train := addrs[:1000]
+
+	// 2. Train the Entropy/IP model (entropy → segments → mining → BN).
+	model, err := entropyip.Analyze(train, entropyip.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d addresses; total entropy H_S = %.1f\n\n", model.TrainCount, model.TotalEntropy())
+
+	// 3. Inspect the discovered structure.
+	fmt.Println("segments:", model.Segmentation)
+	for _, sm := range model.Segments {
+		fmt.Printf("  %s (bits %d-%d): %d mined values, e.g.", sm.Seg.Label, sm.Seg.StartBit(), sm.Seg.EndBit(), sm.Arity())
+		for i, v := range sm.Values {
+			if i == 3 {
+				fmt.Print(" ...")
+				break
+			}
+			fmt.Printf(" %s=%s (%.0f%%)", v.Code, sm.FormatValue(v), v.Freq*100)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\ndependencies between segments (Bayesian network):")
+	for _, d := range model.Dependencies() {
+		fmt.Printf("  %s -> %s (mutual information %.2f bits)\n", d.Parent, d.Child, d.MI)
+	}
+
+	// 4. Generate candidate addresses for scanning and check how many are
+	//    real (present in the held-out portion of the network).
+	heldOut := entropyip.NewSet(len(addrs))
+	for _, a := range addrs[1000:] {
+		heldOut.Add(a)
+	}
+	exclude := entropyip.NewSet(len(train))
+	for _, a := range train {
+		exclude.Add(a)
+	}
+	cands, err := model.Generate(entropyip.GenerateOptions{Count: 5000, Seed: 42, Exclude: exclude})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hits := 0
+	for _, c := range cands {
+		if heldOut.Contains(c) {
+			hits++
+		}
+	}
+	fmt.Printf("\ngenerated %d candidates never seen in training; %d (%.1f%%) are active hosts\n",
+		len(cands), hits, 100*float64(hits)/float64(len(cands)))
+	fmt.Println("first candidates:")
+	for _, c := range cands[:5] {
+		fmt.Println("  ", c)
+	}
+}

@@ -1,0 +1,207 @@
+// Package baseline implements the candidate-generation baselines that the
+// paper compares against (§2, §5.5): heuristic IID guessing in the style of
+// the scan6 tool (Gont & Chown, RFC 7707) and recurring-pattern IID mining
+// in the style of Ullrich et al., plus a uniform-random strawman. Both
+// published approaches only guess interface identifiers — they require the
+// target /64 prefixes to be known in advance, which is exactly the
+// limitation Entropy/IP removes; the baselines therefore generate
+// candidates only inside /64s observed in training.
+package baseline
+
+import (
+	"sort"
+
+	"entropyip/internal/ip6"
+	"entropyip/internal/stats"
+)
+
+// Generator produces candidate target addresses from a training sample.
+type Generator interface {
+	// Name identifies the baseline in reports.
+	Name() string
+	// Generate returns up to count unique candidates derived from the
+	// training addresses.
+	Generate(train []ip6.Addr, count int, seed int64) []ip6.Addr
+}
+
+// trainingPrefixes returns the distinct /64s of the training set in sorted
+// order (determinism matters for reproducible experiments).
+func trainingPrefixes(train []ip6.Addr) []ip6.Prefix {
+	set := ip6.NewPrefixSet(len(train))
+	for _, a := range train {
+		set.Add(ip6.Prefix64(a))
+	}
+	return set.Sorted()
+}
+
+// Random generates candidates with uniformly random interface identifiers
+// inside the training /64s — the strawman showing that blind guessing in a
+// 2^64 space cannot work.
+type Random struct{}
+
+// Name implements Generator.
+func (Random) Name() string { return "random-iid" }
+
+// Generate implements Generator.
+func (Random) Generate(train []ip6.Addr, count int, seed int64) []ip6.Addr {
+	prefixes := trainingPrefixes(train)
+	if len(prefixes) == 0 || count <= 0 {
+		return nil
+	}
+	rng := stats.RNG(seed)
+	seen := ip6.NewSet(count)
+	out := make([]ip6.Addr, 0, count)
+	for attempts := 0; len(out) < count && attempts < count*4; attempts++ {
+		p := prefixes[rng.Intn(len(prefixes))]
+		a := p.Addr().SetField(16, 16, rng.Uint64())
+		if seen.Add(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Scan6 mimics the heuristics of the scan6 tool: for every known /64 it
+// proposes low-byte addresses, addresses embedding IPv4 addresses gleaned
+// from the training data, and Modified EUI-64 addresses built from OUIs
+// observed in training.
+type Scan6 struct {
+	// MaxLowByte bounds the ::0 .. ::MaxLowByte sweep per prefix
+	// (default 255).
+	MaxLowByte int
+}
+
+// Name implements Generator.
+func (Scan6) Name() string { return "scan6-heuristics" }
+
+// Generate implements Generator.
+func (s Scan6) Generate(train []ip6.Addr, count int, seed int64) []ip6.Addr {
+	maxLow := s.MaxLowByte
+	if maxLow <= 0 {
+		maxLow = 255
+	}
+	prefixes := trainingPrefixes(train)
+	if len(prefixes) == 0 || count <= 0 {
+		return nil
+	}
+	// Collect observed OUIs and embedded IPv4 first octets from training.
+	ouiSet := map[uint64]bool{}
+	v4Octets := map[uint64]bool{}
+	for _, a := range train {
+		if ip6.IsEUI64(a) {
+			ouiSet[a.Field(16, 6)] = true
+		}
+		if v4, ok := ip6.EmbeddedIPv4(a); ok && v4>>24 != 0 {
+			v4Octets[uint64(v4>>24)] = true
+		}
+	}
+	ouis := sortedKeys(ouiSet)
+	octets := sortedKeys(v4Octets)
+
+	rng := stats.RNG(seed)
+	seen := ip6.NewSet(count)
+	out := make([]ip6.Addr, 0, count)
+	add := func(a ip6.Addr) bool {
+		if len(out) >= count {
+			return false
+		}
+		if seen.Add(a) {
+			out = append(out, a)
+		}
+		return len(out) < count
+	}
+	// Pass 1: low-byte sweep, round-robin over prefixes so that a small
+	// count still covers many prefixes.
+	for low := 0; low <= maxLow; low++ {
+		for _, p := range prefixes {
+			if !add(p.Addr().SetField(28, 4, uint64(low))) {
+				break
+			}
+		}
+		if len(out) >= count {
+			break
+		}
+	}
+	// Pass 2: embedded IPv4 guesses.
+	for _, p := range prefixes {
+		if len(out) >= count {
+			break
+		}
+		for _, first := range octets {
+			v4 := first<<24 | uint64(rng.Uint32()&0xffffff)
+			if !add(p.Addr().SetField(24, 8, v4)) {
+				break
+			}
+		}
+	}
+	// Pass 3: EUI-64 guesses from observed OUIs.
+	for _, p := range prefixes {
+		if len(out) >= count {
+			break
+		}
+		for _, oui := range ouis {
+			iid := oui<<40 | 0xfffe<<24 | rng.Uint64()&0xffffff
+			if !add(p.Addr().SetField(16, 16, iid)) {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Pattern mimics the recurring-pattern approach of Ullrich et al.: it
+// records, for every IID nybble position, the values observed in training,
+// and generates candidates by recombining observed values position by
+// position inside known /64s. Structure within the IID is reproduced;
+// structure of the network identifier is not attempted.
+type Pattern struct{}
+
+// Name implements Generator.
+func (Pattern) Name() string { return "iid-pattern" }
+
+// Generate implements Generator.
+func (Pattern) Generate(train []ip6.Addr, count int, seed int64) []ip6.Addr {
+	prefixes := trainingPrefixes(train)
+	if len(prefixes) == 0 || count <= 0 {
+		return nil
+	}
+	// Per-position value frequencies over the IID nybbles (16..31).
+	var freqs [16][16]int
+	for _, a := range train {
+		for i := 0; i < 16; i++ {
+			freqs[i][a.Nybble(16+i)]++
+		}
+	}
+	rng := stats.RNG(seed)
+	seen := ip6.NewSet(count)
+	out := make([]ip6.Addr, 0, count)
+	for attempts := 0; len(out) < count && attempts < count*8; attempts++ {
+		p := prefixes[rng.Intn(len(prefixes))]
+		a := p.Addr()
+		for i := 0; i < 16; i++ {
+			weights := make([]float64, 16)
+			for v, c := range freqs[i] {
+				weights[v] = float64(c)
+			}
+			a = a.SetNybble(16+i, byte(stats.WeightedChoice(rng, weights)))
+		}
+		if seen.Add(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// All returns every baseline generator in a stable order.
+func All() []Generator {
+	return []Generator{Random{}, Scan6{}, Pattern{}}
+}
+
+func sortedKeys(m map[uint64]bool) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

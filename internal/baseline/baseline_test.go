@@ -1,0 +1,159 @@
+package baseline
+
+import (
+	"testing"
+
+	"entropyip/internal/ip6"
+)
+
+// trainSample builds a training set across a few /64s with low-byte hosts,
+// one EUI-64 host and one embedded-IPv4 host.
+func trainSample() []ip6.Addr {
+	var out []ip6.Addr
+	for s := 0; s < 5; s++ {
+		base := ip6.MustParseAddr("2001:db8::").SetField(12, 4, uint64(s))
+		for h := 1; h <= 20; h++ {
+			out = append(out, base.SetField(28, 4, uint64(h)))
+		}
+		out = append(out, base.SetField(16, 16, 0x021122fffe334455+uint64(s))) // EUI-64
+		out = append(out, base.SetField(24, 8, 0x7f000001+uint64(s)))          // embedded 127.0.0.x
+	}
+	return out
+}
+
+func TestAllBaselinesBasicContract(t *testing.T) {
+	train := trainSample()
+	trainPrefixes := ip6.NewPrefixSet(0)
+	for _, a := range train {
+		trainPrefixes.Add(ip6.Prefix64(a))
+	}
+	for _, g := range All() {
+		if g.Name() == "" {
+			t.Error("baseline without a name")
+		}
+		got := g.Generate(train, 500, 1)
+		if len(got) == 0 {
+			t.Errorf("%s generated nothing", g.Name())
+			continue
+		}
+		if len(got) > 500 {
+			t.Errorf("%s generated too many candidates", g.Name())
+		}
+		seen := ip6.NewSet(len(got))
+		for _, a := range got {
+			if !seen.Add(a) {
+				t.Errorf("%s generated duplicates", g.Name())
+				break
+			}
+			// The published baselines only guess IIDs: candidates must stay
+			// inside training /64s.
+			if !trainPrefixes.Contains(ip6.Prefix64(a)) {
+				t.Errorf("%s generated a candidate outside training /64s: %v", g.Name(), a)
+				break
+			}
+		}
+		// Determinism.
+		again := g.Generate(train, 500, 1)
+		if len(again) != len(got) {
+			t.Errorf("%s is not deterministic", g.Name())
+			continue
+		}
+		for i := range got {
+			if got[i] != again[i] {
+				t.Errorf("%s is not deterministic", g.Name())
+				break
+			}
+		}
+	}
+}
+
+func TestBaselinesEmptyInput(t *testing.T) {
+	for _, g := range All() {
+		if got := g.Generate(nil, 100, 1); len(got) != 0 {
+			t.Errorf("%s should generate nothing without training data", g.Name())
+		}
+		if got := g.Generate(trainSample(), 0, 1); len(got) != 0 {
+			t.Errorf("%s should generate nothing for count=0", g.Name())
+		}
+	}
+}
+
+func TestScan6FindsLowByteHosts(t *testing.T) {
+	train := trainSample()
+	// Hold out: the same network has low-byte hosts 21..40 that were not in
+	// training; scan6-style sweeping should find many of them.
+	heldOut := ip6.NewSet(0)
+	for s := 0; s < 5; s++ {
+		base := ip6.MustParseAddr("2001:db8::").SetField(12, 4, uint64(s))
+		for h := 21; h <= 40; h++ {
+			heldOut.Add(base.SetField(28, 4, uint64(h)))
+		}
+	}
+	got := Scan6{}.Generate(train, 2000, 2)
+	hits := 0
+	for _, a := range got {
+		if heldOut.Contains(a) {
+			hits++
+		}
+	}
+	if hits < 50 {
+		t.Errorf("scan6 baseline found only %d of 100 held-out low-byte hosts", hits)
+	}
+}
+
+func TestScan6RespectsMaxLowByte(t *testing.T) {
+	train := trainSample()
+	got := Scan6{MaxLowByte: 3}.Generate(train, 10000, 3)
+	lowByteCount := 0
+	for _, a := range got {
+		if a.Field(16, 12) == 0 && a.Field(28, 4) <= 3 {
+			lowByteCount++
+		}
+	}
+	// 5 prefixes × 4 values.
+	if lowByteCount != 20 {
+		t.Errorf("low-byte candidates = %d, want 20", lowByteCount)
+	}
+}
+
+func TestPatternReproducesIIDStructure(t *testing.T) {
+	// Training IIDs always have nybble 31 equal to 1 or 2 and zeros in the
+	// middle: the pattern baseline must reproduce that.
+	var train []ip6.Addr
+	for s := 0; s < 4; s++ {
+		base := ip6.MustParseAddr("2001:db8::").SetField(12, 4, uint64(s))
+		for h := 0; h < 50; h++ {
+			train = append(train, base.SetField(31, 1, uint64(h%2)+1))
+		}
+	}
+	got := Pattern{}.Generate(train, 200, 4)
+	if len(got) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, a := range got {
+		last := a.Field(31, 1)
+		if last != 1 && last != 2 {
+			t.Fatalf("pattern baseline produced IID ending in %x", last)
+		}
+		if a.Field(16, 15) != 0 {
+			t.Fatalf("pattern baseline should keep the zero middle: %v", a)
+		}
+	}
+}
+
+func TestRandomBaselineCannotGuessStructuredHosts(t *testing.T) {
+	train := trainSample()
+	heldOut := ip6.NewSet(0)
+	for s := 0; s < 5; s++ {
+		base := ip6.MustParseAddr("2001:db8::").SetField(12, 4, uint64(s))
+		for h := 21; h <= 40; h++ {
+			heldOut.Add(base.SetField(28, 4, uint64(h)))
+		}
+	}
+	got := Random{}.Generate(train, 5000, 5)
+	for _, a := range got {
+		if heldOut.Contains(a) {
+			t.Fatal("a uniform random 64-bit IID guess should essentially never hit")
+		}
+	}
+}

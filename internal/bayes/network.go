@@ -1,0 +1,481 @@
+package bayes
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Variable describes one categorical variable of the network (one address
+// segment in Entropy/IP's use).
+type Variable struct {
+	// Name is a human-readable identifier (the segment label).
+	Name string `json:"name"`
+	// Arity is the number of categories the variable can take.
+	Arity int `json:"arity"`
+}
+
+// CPT is the conditional probability table of one node: the distribution of
+// the node given each configuration of its parents. Rows are indexed by the
+// parent configuration (parents in the node's Parents order, first parent
+// varying slowest); each row has Arity probabilities summing to one.
+type CPT struct {
+	// ParentCard holds the cardinalities of the node's parents, in order.
+	ParentCard []int `json:"parent_card"`
+	// Arity is the node's own cardinality.
+	Arity int `json:"arity"`
+	// Rows[r][k] = P(node = k | parent configuration r).
+	Rows [][]float64 `json:"rows"`
+}
+
+// RowIndex converts parent values (in parent order) to a row index.
+func (c *CPT) RowIndex(parentValues []int) int {
+	idx := 0
+	for i, v := range parentValues {
+		if v < 0 || v >= c.ParentCard[i] {
+			panic(fmt.Sprintf("bayes: parent value %d out of range (card %d)", v, c.ParentCard[i]))
+		}
+		idx = idx*c.ParentCard[i] + v
+	}
+	return idx
+}
+
+// NumRows returns the number of parent configurations.
+func (c *CPT) NumRows() int {
+	n := 1
+	for _, card := range c.ParentCard {
+		n *= card
+	}
+	return n
+}
+
+// Network is a Bayesian network over an ordered list of categorical
+// variables where the parents of node i are a subset of nodes 0..i-1 (the
+// ordering constraint Entropy/IP imposes: a segment can only depend on
+// segments to its left).
+type Network struct {
+	Vars    []Variable `json:"vars"`
+	Parents [][]int    `json:"parents"`
+	CPTs    []*CPT     `json:"cpts"`
+}
+
+// Structure selects how the network structure is chosen during learning.
+type Structure int
+
+// Structure choices.
+const (
+	// StructureLearned performs score-based search over parent sets within
+	// the ordering constraint (the system's default).
+	StructureLearned Structure = iota
+	// StructureIndependent forces every node to have no parents (segments
+	// modeled independently) — an ablation baseline.
+	StructureIndependent
+	// StructureChain forces each node's only parent to be its immediate
+	// predecessor (a first-order Markov chain over segments) — the MM
+	// alternative discussed in §4.5 of the paper.
+	StructureChain
+)
+
+// LearnConfig controls structure learning and parameter fitting.
+type LearnConfig struct {
+	// MaxParents bounds the number of parents per node (default 2).
+	MaxParents int
+	// EquivalentSampleSize is the BDeu prior strength (default 1.0).
+	EquivalentSampleSize float64
+	// Pseudocount is the Dirichlet smoothing added to every CPT cell when
+	// fitting parameters (default 0.5). It keeps generation from assigning
+	// exactly zero probability to configurations not seen in training.
+	Pseudocount float64
+	// MaxParentConfigs bounds the number of parent configurations (product
+	// of parent arities) a candidate parent set may induce (default 4096);
+	// larger sets would overfit and blow up CPT size.
+	MaxParentConfigs int
+	// Structure selects learned vs forced structures (default learned).
+	Structure Structure
+	// Score selects the structure score (default BDeu).
+	Score Score
+}
+
+// Score selects the scoring function used for structure learning.
+type Score int
+
+// Available structure scores.
+const (
+	// ScoreBDeu is the Bayesian Dirichlet equivalent uniform score.
+	ScoreBDeu Score = iota
+	// ScoreBIC is the Bayesian information criterion.
+	ScoreBIC
+)
+
+func (c LearnConfig) maxParents() int {
+	if c.MaxParents <= 0 {
+		return 2
+	}
+	return c.MaxParents
+}
+
+func (c LearnConfig) ess() float64 {
+	if c.EquivalentSampleSize <= 0 {
+		return 1.0
+	}
+	return c.EquivalentSampleSize
+}
+
+func (c LearnConfig) pseudocount() float64 {
+	if c.Pseudocount <= 0 {
+		return 0.5
+	}
+	return c.Pseudocount
+}
+
+func (c LearnConfig) maxParentConfigs() int {
+	if c.MaxParentConfigs <= 0 {
+		return 4096
+	}
+	return c.MaxParentConfigs
+}
+
+// Learn learns a Bayesian network from complete categorical data. data is a
+// matrix with one row per observation and one column per variable; values
+// must lie in [0, arity). vars supplies names and arities in column order.
+func Learn(data [][]int, vars []Variable, cfg LearnConfig) (*Network, error) {
+	n := len(vars)
+	for _, v := range vars {
+		if v.Arity <= 0 {
+			return nil, fmt.Errorf("bayes: variable %q has non-positive arity", v.Name)
+		}
+	}
+	for r, row := range data {
+		if len(row) != n {
+			return nil, fmt.Errorf("bayes: row %d has %d columns, want %d", r, len(row), n)
+		}
+		for i, v := range row {
+			if v < 0 || v >= vars[i].Arity {
+				return nil, fmt.Errorf("bayes: row %d column %d value %d out of range [0,%d)", r, i, v, vars[i].Arity)
+			}
+		}
+	}
+
+	net := &Network{
+		Vars:    append([]Variable(nil), vars...),
+		Parents: make([][]int, n),
+		CPTs:    make([]*CPT, n),
+	}
+	for i := 0; i < n; i++ {
+		var parents []int
+		switch cfg.Structure {
+		case StructureIndependent:
+			parents = nil
+		case StructureChain:
+			if i > 0 {
+				parents = []int{i - 1}
+			}
+		default:
+			parents = bestParents(data, vars, i, cfg)
+		}
+		net.Parents[i] = parents
+		net.CPTs[i] = fitCPT(data, vars, i, parents, cfg.pseudocount())
+	}
+	return net, nil
+}
+
+// bestParents searches all parent subsets of {0..i-1} with at most
+// MaxParents elements and returns the highest-scoring one. With the
+// ordering fixed, per-node searches are independent, so this is an exact
+// search over the constrained structure space (the same space BNFinder
+// searches for this problem).
+func bestParents(data [][]int, vars []Variable, node int, cfg LearnConfig) []int {
+	best := []int(nil)
+	bestScore := scoreFamily(data, vars, node, nil, cfg)
+	candidates := make([]int, node)
+	for i := range candidates {
+		candidates[i] = i
+	}
+	maxP := cfg.maxParents()
+	// Enumerate subsets of size 1..maxP.
+	var rec func(start int, chosen []int)
+	rec = func(start int, chosen []int) {
+		if len(chosen) > 0 {
+			if parentConfigs(vars, chosen) <= cfg.maxParentConfigs() {
+				s := scoreFamily(data, vars, node, chosen, cfg)
+				if s > bestScore+1e-9 || (s > bestScore-1e-9 && less(chosen, best)) {
+					bestScore = s
+					best = append([]int(nil), chosen...)
+				}
+			}
+		}
+		if len(chosen) >= maxP {
+			return
+		}
+		for c := start; c < node; c++ {
+			rec(c+1, append(chosen, c))
+		}
+	}
+	rec(0, nil)
+	sort.Ints(best)
+	return best
+}
+
+// less provides a deterministic tie-break: prefer fewer parents, then
+// lexicographically smaller parent sets. A nil best is never preferred.
+func less(a, b []int) bool {
+	if b == nil {
+		return false
+	}
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func parentConfigs(vars []Variable, parents []int) int {
+	q := 1
+	for _, p := range parents {
+		q *= vars[p].Arity
+	}
+	return q
+}
+
+// scoreFamily scores node with the given parent set against the data.
+func scoreFamily(data [][]int, vars []Variable, node int, parents []int, cfg LearnConfig) float64 {
+	r := vars[node].Arity
+	q := parentConfigs(vars, parents)
+	// Count N_jk = observations with parent config j and node value k.
+	counts := make([][]float64, q)
+	for j := range counts {
+		counts[j] = make([]float64, r)
+	}
+	for _, row := range data {
+		j := 0
+		for _, p := range parents {
+			j = j*vars[p].Arity + row[p]
+		}
+		counts[j][row[node]]++
+	}
+	switch cfg.Score {
+	case ScoreBIC:
+		return bicScore(counts, len(data), q, r)
+	default:
+		return bdeuScore(counts, cfg.ess(), q, r)
+	}
+}
+
+// bdeuScore computes the BDeu family score with equivalent sample size ess.
+func bdeuScore(counts [][]float64, ess float64, q, r int) float64 {
+	alphaJ := ess / float64(q)
+	alphaJK := ess / float64(q*r)
+	score := 0.0
+	for j := 0; j < q; j++ {
+		nj := 0.0
+		for k := 0; k < r; k++ {
+			nj += counts[j][k]
+		}
+		score += lgamma(alphaJ) - lgamma(alphaJ+nj)
+		for k := 0; k < r; k++ {
+			score += lgamma(alphaJK+counts[j][k]) - lgamma(alphaJK)
+		}
+	}
+	return score
+}
+
+// bicScore computes the BIC family score: log-likelihood minus the
+// complexity penalty (q·(r−1) free parameters).
+func bicScore(counts [][]float64, n, q, r int) float64 {
+	ll := 0.0
+	for j := 0; j < q; j++ {
+		nj := 0.0
+		for k := 0; k < r; k++ {
+			nj += counts[j][k]
+		}
+		if nj == 0 {
+			continue
+		}
+		for k := 0; k < r; k++ {
+			if counts[j][k] > 0 {
+				ll += counts[j][k] * math.Log(counts[j][k]/nj)
+			}
+		}
+	}
+	if n <= 0 {
+		n = 1
+	}
+	penalty := 0.5 * math.Log(float64(n)) * float64(q*(r-1))
+	return ll - penalty
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// fitCPT estimates the node's conditional probability table from the data
+// using Dirichlet (add-pseudocount) smoothing.
+func fitCPT(data [][]int, vars []Variable, node int, parents []int, pseudocount float64) *CPT {
+	r := vars[node].Arity
+	parentCard := make([]int, len(parents))
+	for i, p := range parents {
+		parentCard[i] = vars[p].Arity
+	}
+	cpt := &CPT{ParentCard: parentCard, Arity: r}
+	q := cpt.NumRows()
+	cpt.Rows = make([][]float64, q)
+	for j := range cpt.Rows {
+		row := make([]float64, r)
+		for k := range row {
+			row[k] = pseudocount
+		}
+		cpt.Rows[j] = row
+	}
+	for _, obs := range data {
+		j := 0
+		for _, p := range parents {
+			j = j*vars[p].Arity + obs[p]
+		}
+		cpt.Rows[j][obs[node]]++
+	}
+	for j := range cpt.Rows {
+		sum := 0.0
+		for _, v := range cpt.Rows[j] {
+			sum += v
+		}
+		for k := range cpt.Rows[j] {
+			cpt.Rows[j][k] /= sum
+		}
+	}
+	return cpt
+}
+
+// NumVars returns the number of variables in the network.
+func (n *Network) NumVars() int { return len(n.Vars) }
+
+// Validate checks structural invariants: parents precede their children,
+// CPT shapes match the declared arities, and every CPT row is a probability
+// distribution.
+func (n *Network) Validate() error {
+	if len(n.Parents) != len(n.Vars) || len(n.CPTs) != len(n.Vars) {
+		return fmt.Errorf("bayes: inconsistent network shape")
+	}
+	for i, parents := range n.Parents {
+		for _, p := range parents {
+			if p < 0 || p >= i {
+				return fmt.Errorf("bayes: node %d has invalid parent %d (ordering constraint)", i, p)
+			}
+		}
+		cpt := n.CPTs[i]
+		if cpt == nil {
+			return fmt.Errorf("bayes: node %d has no CPT", i)
+		}
+		if cpt.Arity != n.Vars[i].Arity {
+			return fmt.Errorf("bayes: node %d CPT arity %d != %d", i, cpt.Arity, n.Vars[i].Arity)
+		}
+		if len(cpt.ParentCard) != len(parents) {
+			return fmt.Errorf("bayes: node %d CPT has %d parents, want %d", i, len(cpt.ParentCard), len(parents))
+		}
+		for k, p := range parents {
+			if cpt.ParentCard[k] != n.Vars[p].Arity {
+				return fmt.Errorf("bayes: node %d parent %d cardinality mismatch", i, p)
+			}
+		}
+		if len(cpt.Rows) != cpt.NumRows() {
+			return fmt.Errorf("bayes: node %d CPT has %d rows, want %d", i, len(cpt.Rows), cpt.NumRows())
+		}
+		for j, row := range cpt.Rows {
+			if len(row) != cpt.Arity {
+				return fmt.Errorf("bayes: node %d CPT row %d has %d entries", i, j, len(row))
+			}
+			sum := 0.0
+			for _, v := range row {
+				if v < 0 || math.IsNaN(v) {
+					return fmt.Errorf("bayes: node %d CPT row %d has invalid probability", i, j)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				return fmt.Errorf("bayes: node %d CPT row %d sums to %v", i, j, sum)
+			}
+		}
+	}
+	return nil
+}
+
+// Prob returns P(node = value | parent values) from the node's CPT. The
+// parentValues map must contain all of the node's parents (extra entries
+// are ignored).
+func (n *Network) Prob(node, value int, parentValues map[int]int) float64 {
+	cpt := n.CPTs[node]
+	pv := make([]int, len(n.Parents[node]))
+	for i, p := range n.Parents[node] {
+		v, ok := parentValues[p]
+		if !ok {
+			panic(fmt.Sprintf("bayes: Prob missing parent %d of node %d", p, node))
+		}
+		pv[i] = v
+	}
+	return cpt.Rows[cpt.RowIndex(pv)][value]
+}
+
+// LogLikelihood returns the total log-likelihood of the data under the
+// network.
+func (n *Network) LogLikelihood(data [][]int) float64 {
+	ll := 0.0
+	assignment := make(map[int]int, len(n.Vars))
+	for _, row := range data {
+		for i, v := range row {
+			assignment[i] = v
+		}
+		for i := range n.Vars {
+			p := n.Prob(i, row[i], assignment)
+			if p <= 0 {
+				p = 1e-300
+			}
+			ll += math.Log(p)
+		}
+	}
+	return ll
+}
+
+// Sample draws one complete assignment by forward (ancestral) sampling.
+func (n *Network) Sample(rng *rand.Rand) []int {
+	out := make([]int, len(n.Vars))
+	values := make(map[int]int, len(n.Vars))
+	for i := range n.Vars {
+		cpt := n.CPTs[i]
+		pv := make([]int, len(n.Parents[i]))
+		for k, p := range n.Parents[i] {
+			pv[k] = values[p]
+		}
+		row := cpt.Rows[cpt.RowIndex(pv)]
+		out[i] = sampleRow(rng, row)
+		values[i] = out[i]
+	}
+	return out
+}
+
+func sampleRow(rng *rand.Rand, probs []float64) int {
+	x := rng.Float64()
+	cum := 0.0
+	for k, p := range probs {
+		cum += p
+		if x < cum {
+			return k
+		}
+	}
+	return len(probs) - 1
+}
+
+// Edges returns all directed edges (parent, child) of the network.
+func (n *Network) Edges() [][2]int {
+	var out [][2]int
+	for child, parents := range n.Parents {
+		for _, p := range parents {
+			out = append(out, [2]int{p, child})
+		}
+	}
+	return out
+}

@@ -1,0 +1,315 @@
+package bayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// chainData generates data from A -> B (deterministic-ish copy) with C
+// independent and uniform.
+func chainData(n int, seed int64) ([][]int, []Variable) {
+	rng := rand.New(rand.NewSource(seed))
+	vars := []Variable{{Name: "A", Arity: 2}, {Name: "B", Arity: 2}, {Name: "C", Arity: 3}}
+	data := make([][]int, n)
+	for i := range data {
+		a := rng.Intn(2)
+		b := a
+		if rng.Float64() < 0.05 {
+			b = 1 - a
+		}
+		c := rng.Intn(3)
+		data[i] = []int{a, b, c}
+	}
+	return data, vars
+}
+
+func TestLearnRecoversDependency(t *testing.T) {
+	data, vars := chainData(5000, 1)
+	net, err := Learn(data, vars, LearnConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// B must depend on A; C must be independent.
+	if len(net.Parents[1]) != 1 || net.Parents[1][0] != 0 {
+		t.Errorf("Parents[B] = %v, want [0]", net.Parents[1])
+	}
+	if len(net.Parents[2]) != 0 {
+		t.Errorf("Parents[C] = %v, want none", net.Parents[2])
+	}
+	// CPT of B given A: strongly diagonal.
+	if net.Prob(1, 0, map[int]int{0: 0}) < 0.9 || net.Prob(1, 1, map[int]int{0: 1}) < 0.9 {
+		t.Errorf("CPT of B|A looks wrong: %+v", net.CPTs[1].Rows)
+	}
+}
+
+func TestLearnBICAlsoRecovers(t *testing.T) {
+	data, vars := chainData(5000, 2)
+	net, err := Learn(data, vars, LearnConfig{Score: ScoreBIC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Parents[1]) != 1 || net.Parents[1][0] != 0 {
+		t.Errorf("BIC: Parents[B] = %v, want [0]", net.Parents[1])
+	}
+	if len(net.Parents[2]) != 0 {
+		t.Errorf("BIC: Parents[C] = %v, want none", net.Parents[2])
+	}
+}
+
+func TestLearnOrderingConstraint(t *testing.T) {
+	// Even though the dependency is A -> B, node A (index 0) can never have
+	// a parent; only B may point back at A through inference.
+	data, vars := chainData(2000, 3)
+	net, err := Learn(data, vars, LearnConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Parents[0]) != 0 {
+		t.Error("first node must have no parents")
+	}
+	for i, parents := range net.Parents {
+		for _, p := range parents {
+			if p >= i {
+				t.Errorf("node %d has parent %d violating the ordering", i, p)
+			}
+		}
+	}
+}
+
+func TestLearnForcedStructures(t *testing.T) {
+	data, vars := chainData(1000, 4)
+	indep, err := Learn(data, vars, LearnConfig{Structure: StructureIndependent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range indep.Parents {
+		if len(p) != 0 {
+			t.Errorf("independent structure: node %d has parents %v", i, p)
+		}
+	}
+	chain, err := Learn(data, vars, LearnConfig{Structure: StructureChain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain.Parents[0]) != 0 || len(chain.Parents[1]) != 1 || chain.Parents[1][0] != 0 ||
+		len(chain.Parents[2]) != 1 || chain.Parents[2][0] != 1 {
+		t.Errorf("chain structure wrong: %v", chain.Parents)
+	}
+	// The learned structure should fit the data at least as well as the
+	// independent one.
+	learned, err := Learn(data, vars, LearnConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if learned.LogLikelihood(data) < indep.LogLikelihood(data)-1e-6 {
+		t.Error("learned structure should not fit worse than independent")
+	}
+}
+
+func TestLearnThreeWayDependency(t *testing.T) {
+	// C depends on both A and B (XOR with noise); with MaxParents=2 the
+	// learner should pick both, and with MaxParents=1 only one.
+	rng := rand.New(rand.NewSource(5))
+	vars := []Variable{{Name: "A", Arity: 2}, {Name: "B", Arity: 2}, {Name: "C", Arity: 2}}
+	data := make([][]int, 8000)
+	for i := range data {
+		a, b := rng.Intn(2), rng.Intn(2)
+		c := a ^ b
+		if rng.Float64() < 0.02 {
+			c = 1 - c
+		}
+		data[i] = []int{a, b, c}
+	}
+	net, err := Learn(data, vars, LearnConfig{MaxParents: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Parents[2]) != 2 {
+		t.Errorf("Parents[C] = %v, want both A and B (XOR is invisible to single parents)", net.Parents[2])
+	}
+	net1, err := Learn(data, vars, LearnConfig{MaxParents: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net1.Parents[2]) > 1 {
+		t.Errorf("MaxParents=1 violated: %v", net1.Parents[2])
+	}
+}
+
+func TestLearnInputValidation(t *testing.T) {
+	vars := []Variable{{Name: "A", Arity: 2}}
+	if _, err := Learn([][]int{{0, 1}}, vars, LearnConfig{}); err == nil {
+		t.Error("expected error for row width mismatch")
+	}
+	if _, err := Learn([][]int{{5}}, vars, LearnConfig{}); err == nil {
+		t.Error("expected error for out-of-range value")
+	}
+	if _, err := Learn(nil, []Variable{{Name: "A", Arity: 0}}, LearnConfig{}); err == nil {
+		t.Error("expected error for zero arity")
+	}
+	// Empty data is allowed: uniform CPTs from smoothing.
+	net, err := Learn(nil, vars, LearnConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(net.CPTs[0].Rows[0][0], 0.5) {
+		t.Errorf("empty-data CPT = %v", net.CPTs[0].Rows)
+	}
+}
+
+func TestCPTRowsAreDistributions(t *testing.T) {
+	data, vars := chainData(500, 6)
+	net, err := Learn(data, vars, LearnConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cpt := range net.CPTs {
+		for j, row := range cpt.Rows {
+			sum := 0.0
+			for _, p := range row {
+				if p <= 0 {
+					t.Errorf("node %d row %d has non-positive probability (smoothing should prevent this)", i, j)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Errorf("node %d row %d sums to %v", i, j, sum)
+			}
+		}
+	}
+}
+
+func TestSampleMatchesDistribution(t *testing.T) {
+	data, vars := chainData(5000, 7)
+	net, err := Learn(data, vars, LearnConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	const n = 20000
+	countA0 := 0
+	agree := 0
+	for i := 0; i < n; i++ {
+		s := net.Sample(rng)
+		if len(s) != 3 {
+			t.Fatal("sample length wrong")
+		}
+		if s[0] == 0 {
+			countA0++
+		}
+		if s[0] == s[1] {
+			agree++
+		}
+	}
+	if math.Abs(float64(countA0)/n-0.5) > 0.03 {
+		t.Errorf("P(A=0) sampled as %v, want ~0.5", float64(countA0)/n)
+	}
+	if float64(agree)/n < 0.9 {
+		t.Errorf("A and B agree only %v of the time, want ~0.95", float64(agree)/n)
+	}
+}
+
+func TestLogLikelihoodPrefersTrueModel(t *testing.T) {
+	data, vars := chainData(2000, 9)
+	learned, _ := Learn(data, vars, LearnConfig{})
+	indep, _ := Learn(data, vars, LearnConfig{Structure: StructureIndependent})
+	if learned.LogLikelihood(data) <= indep.LogLikelihood(data) {
+		t.Error("dependency-aware model should have higher likelihood")
+	}
+}
+
+func TestEdgesAndNumVars(t *testing.T) {
+	data, vars := chainData(1000, 10)
+	net, _ := Learn(data, vars, LearnConfig{})
+	if net.NumVars() != 3 {
+		t.Errorf("NumVars = %d", net.NumVars())
+	}
+	edges := net.Edges()
+	found := false
+	for _, e := range edges {
+		if e[0] == 0 && e[1] == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("edge A->B missing: %v", edges)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	data, vars := chainData(500, 11)
+	net, _ := Learn(data, vars, LearnConfig{})
+	net.CPTs[0].Rows[0][0] = 5
+	if err := net.Validate(); err == nil {
+		t.Error("expected validation error for non-normalized row")
+	}
+	net2, _ := Learn(data, vars, LearnConfig{})
+	net2.Parents[1] = []int{2}
+	if err := net2.Validate(); err == nil {
+		t.Error("expected validation error for ordering violation")
+	}
+}
+
+func TestProbPanicsOnMissingParent(t *testing.T) {
+	data, vars := chainData(500, 12)
+	net, _ := Learn(data, vars, LearnConfig{})
+	if len(net.Parents[1]) == 0 {
+		t.Skip("no dependency learned")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for missing parent value")
+		}
+	}()
+	net.Prob(1, 0, map[int]int{})
+}
+
+func TestMaxParentConfigsLimit(t *testing.T) {
+	// With a tiny MaxParentConfigs, high-arity parents are rejected.
+	rng := rand.New(rand.NewSource(13))
+	vars := []Variable{{Name: "A", Arity: 50}, {Name: "B", Arity: 2}}
+	data := make([][]int, 2000)
+	for i := range data {
+		a := rng.Intn(50)
+		data[i] = []int{a, a % 2}
+	}
+	net, err := Learn(data, vars, LearnConfig{MaxParentConfigs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Parents[1]) != 0 {
+		t.Errorf("parent set exceeding MaxParentConfigs should be rejected: %v", net.Parents[1])
+	}
+}
+
+func BenchmarkLearn10Vars(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	nvars := 10
+	vars := make([]Variable, nvars)
+	for i := range vars {
+		vars[i] = Variable{Name: string(rune('A' + i)), Arity: 5}
+	}
+	data := make([][]int, 1000)
+	for i := range data {
+		row := make([]int, nvars)
+		row[0] = rng.Intn(5)
+		for j := 1; j < nvars; j++ {
+			if rng.Float64() < 0.7 {
+				row[j] = row[j-1]
+			} else {
+				row[j] = rng.Intn(5)
+			}
+		}
+		data[i] = row
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Learn(data, vars, LearnConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

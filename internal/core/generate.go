@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"entropyip/internal/ip6"
+)
+
+// GenerateOptions controls candidate generation.
+type GenerateOptions struct {
+	// Count is the number of candidates to generate (the paper uses 1M).
+	Count int
+	// Seed seeds the generator's randomness; generation is deterministic
+	// for a fixed model, seed and options.
+	Seed int64
+	// Evidence optionally constrains generation to particular segment
+	// values (e.g. only addresses within one mined /32 code).
+	Evidence Evidence
+	// Exclude is an optional set of addresses never to emit (typically the
+	// training set, so that all candidates are "new").
+	Exclude *ip6.Set
+	// MaxAttemptsFactor bounds the work spent looking for unique, non-
+	// excluded candidates: generation stops after Count×MaxAttemptsFactor
+	// draws even if fewer than Count unique candidates were found.
+	// Zero means the default of 20.
+	MaxAttemptsFactor int
+}
+
+func (o GenerateOptions) maxAttempts() int {
+	f := o.MaxAttemptsFactor
+	if f <= 0 {
+		f = 20
+	}
+	return o.Count * f
+}
+
+// Generate produces unique candidate IPv6 addresses drawn from the model's
+// joint distribution (§5.5 of the paper). Candidates present in
+// opts.Exclude are skipped. The number returned may be smaller than
+// requested when the model's support is too small (e.g. a network whose
+// addresses are nearly enumerable).
+func (m *Model) Generate(opts GenerateOptions) ([]ip6.Addr, error) {
+	if opts.Count <= 0 {
+		return nil, fmt.Errorf("core: Generate needs a positive Count")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	enc := m.Encoder()
+
+	evidence, err := m.evidenceIndices(opts.Evidence)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]ip6.Addr, 0, opts.Count)
+	seen := ip6.NewSet(opts.Count)
+	attempts := 0
+	maxAttempts := opts.maxAttempts()
+	for len(out) < opts.Count && attempts < maxAttempts {
+		attempts++
+		var vec []int
+		if len(evidence) == 0 {
+			vec = m.Net.Sample(rng)
+		} else {
+			vec, err = m.Net.SampleConditional(rng, evidence)
+			if err != nil {
+				return nil, err
+			}
+		}
+		addr, err := enc.Decode(vec, rng)
+		if err != nil {
+			return nil, err
+		}
+		if m.Opts.Prefix64Only {
+			addr = ip6.Mask(addr, 64)
+		}
+		if opts.Exclude != nil && opts.Exclude.Contains(addr) {
+			continue
+		}
+		if seen.Add(addr) {
+			out = append(out, addr)
+		}
+	}
+	return out, nil
+}
+
+// GeneratePrefixes produces unique candidate /64 prefixes (§5.6 of the
+// paper). It works for both full models and Prefix64Only models: full
+// models have their generated addresses truncated to /64 before dedup.
+func (m *Model) GeneratePrefixes(opts GenerateOptions) ([]ip6.Prefix, error) {
+	if opts.Count <= 0 {
+		return nil, fmt.Errorf("core: GeneratePrefixes needs a positive Count")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	enc := m.Encoder()
+	evidence, err := m.evidenceIndices(opts.Evidence)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ip6.Prefix, 0, opts.Count)
+	seen := ip6.NewPrefixSet(opts.Count)
+	var excludePrefixes *ip6.PrefixSet
+	if opts.Exclude != nil {
+		excludePrefixes = opts.Exclude.Prefixes(64)
+	}
+	attempts := 0
+	maxAttempts := opts.maxAttempts()
+	for len(out) < opts.Count && attempts < maxAttempts {
+		attempts++
+		var vec []int
+		if len(evidence) == 0 {
+			vec = m.Net.Sample(rng)
+		} else {
+			vec, err = m.Net.SampleConditional(rng, evidence)
+			if err != nil {
+				return nil, err
+			}
+		}
+		addr, err := enc.Decode(vec, rng)
+		if err != nil {
+			return nil, err
+		}
+		p := ip6.Prefix64(addr)
+		if excludePrefixes != nil && excludePrefixes.Contains(p) {
+			continue
+		}
+		if seen.Add(p) {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// LogLikelihood returns the model's total log-likelihood of the given
+// addresses under the BN over segment codes (addresses outside the mined
+// value sets are clamped to the nearest code, as in Encoder.Encode).
+func (m *Model) LogLikelihood(addrs []ip6.Addr) float64 {
+	enc := m.Encoder()
+	data := enc.EncodeAll(addrs)
+	return m.Net.LogLikelihood(data)
+}

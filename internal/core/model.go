@@ -1,0 +1,327 @@
+// Package core implements the Entropy/IP system itself: the end-to-end
+// pipeline that ingests a set of active IPv6 addresses, computes per-nybble
+// entropy, segments the addresses, mines per-segment value sets, and learns
+// a Bayesian network over the segment codes (§4 of the paper). The
+// resulting Model supports the paper's two applications: interactive
+// exploration through conditional probabilities (the "conditional
+// probability browser", Figs. 1, 7, 9, 10 and Table 2) and generation of
+// candidate target addresses or /64 prefixes for scanning (§5.5, §5.6).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"entropyip/internal/bayes"
+	"entropyip/internal/entropy"
+	"entropyip/internal/ip6"
+	"entropyip/internal/mining"
+	"entropyip/internal/mra"
+	"entropyip/internal/segment"
+)
+
+// Options configures model building. The zero value reproduces the paper's
+// configuration.
+type Options struct {
+	// Segmentation configures the entropy-threshold segmentation (§4.2).
+	Segmentation segment.Config
+	// Mining configures per-segment value mining (§4.3).
+	Mining mining.Config
+	// Learn configures Bayesian-network structure learning and parameter
+	// fitting (§4.4).
+	Learn bayes.LearnConfig
+	// Prefix64Only restricts the model to the top 64 bits of the address
+	// (network identifiers), the configuration used for client /64-prefix
+	// prediction in §5.6 of the paper.
+	Prefix64Only bool
+}
+
+// Model is a trained Entropy/IP model.
+type Model struct {
+	// Profile is the per-nybble entropy profile of the training set.
+	Profile *entropy.Profile
+	// ACR is the 4-bit aggregate count ratio series of the training set.
+	ACR *mra.Series
+	// Segmentation is the entropy-derived segmentation.
+	Segmentation *segment.Segmentation
+	// Segments holds the mined value set of every segment, in order.
+	Segments []*mining.SegmentModel
+	// Net is the Bayesian network over segment codes.
+	Net *bayes.Network
+	// Opts records the options the model was built with.
+	Opts Options
+	// TrainCount is the number of training addresses.
+	TrainCount int
+
+	encoder *mining.Encoder
+}
+
+// ErrNoData is returned when a model is built from an empty training set.
+var ErrNoData = errors.New("core: no training addresses")
+
+// Build trains an Entropy/IP model on the given addresses.
+func Build(addrs []ip6.Addr, opts Options) (*Model, error) {
+	if len(addrs) == 0 {
+		return nil, ErrNoData
+	}
+	train := addrs
+	segCfg := opts.Segmentation
+	if opts.Prefix64Only {
+		// Operate on network identifiers: mask the low 64 bits and model
+		// only the first 16 nybbles.
+		masked := make([]ip6.Addr, 0, len(addrs))
+		seen := ip6.NewSet(len(addrs))
+		for _, a := range addrs {
+			p := ip6.Mask(a, 64)
+			if seen.Add(p) {
+				masked = append(masked, p)
+			}
+		}
+		train = masked
+		if segCfg.MaxNybble == 0 || segCfg.MaxNybble > 16 {
+			segCfg.MaxNybble = 16
+		}
+	}
+
+	profile := entropy.NewProfile(train)
+	acr := mra.New(train)
+	sg := segment.Segments(profile, segCfg)
+	if err := sg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: segmentation: %w", err)
+	}
+	models := mining.MineAll(train, sg, opts.Mining)
+	enc := mining.NewEncoder(models)
+
+	vars := make([]bayes.Variable, len(models))
+	for i, m := range models {
+		if m.Arity() == 0 {
+			return nil, fmt.Errorf("core: segment %s mined no values", m.Seg.Label)
+		}
+		vars[i] = bayes.Variable{Name: m.Seg.Label, Arity: m.Arity()}
+	}
+	data := enc.EncodeAll(train)
+	net, err := bayes.Learn(data, vars, opts.Learn)
+	if err != nil {
+		return nil, fmt.Errorf("core: learning Bayesian network: %w", err)
+	}
+
+	return &Model{
+		Profile:      profile,
+		ACR:          acr,
+		Segmentation: sg,
+		Segments:     models,
+		Net:          net,
+		Opts:         opts,
+		TrainCount:   len(train),
+	}, nil
+}
+
+// Encoder returns the categorical encoder over the model's mined segments.
+func (m *Model) Encoder() *mining.Encoder {
+	if m.encoder == nil {
+		m.encoder = mining.NewEncoder(m.Segments)
+	}
+	return m.encoder
+}
+
+// SegmentByLabel returns the mined model of the segment with the given
+// label and its index.
+func (m *Model) SegmentByLabel(label string) (int, *mining.SegmentModel, bool) {
+	for i, sm := range m.Segments {
+		if sm.Seg.Label == label {
+			return i, sm, true
+		}
+	}
+	return -1, nil, false
+}
+
+// TotalEntropy returns H_S of the training set (Eq. 3 of the paper).
+func (m *Model) TotalEntropy() float64 { return m.Profile.Total() }
+
+// Evidence expresses conditioning in terms of segment labels and value
+// codes, e.g. {"J": "J1", "B": "B2"} — the mouse clicks of the paper's
+// conditional probability browser.
+type Evidence map[string]string
+
+// evidenceIndices resolves label/code evidence into variable/category
+// indices for the Bayesian network.
+func (m *Model) evidenceIndices(ev Evidence) (map[int]int, error) {
+	out := make(map[int]int, len(ev))
+	for label, code := range ev {
+		idx, sm, ok := m.SegmentByLabel(label)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown segment %q", label)
+		}
+		found := -1
+		for k, v := range sm.Values {
+			if v.Code == code {
+				found = k
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("core: segment %q has no value code %q", label, code)
+		}
+		out[idx] = found
+	}
+	return out, nil
+}
+
+// EvidenceFromAddr builds evidence fixing the given segments to the codes
+// the address encodes to. Unknown labels cause an error.
+func (m *Model) EvidenceFromAddr(a ip6.Addr, labels ...string) (Evidence, error) {
+	ev := make(Evidence, len(labels))
+	for _, label := range labels {
+		_, sm, ok := m.SegmentByLabel(label)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown segment %q", label)
+		}
+		idx, ok := sm.Encode(sm.Seg.Value(a))
+		if !ok {
+			idx, ok = sm.EncodeNearest(sm.Seg.Value(a))
+			if !ok {
+				return nil, fmt.Errorf("core: segment %q cannot encode %v", label, a)
+			}
+		}
+		ev[label] = sm.Values[idx].Code
+	}
+	return ev, nil
+}
+
+// SegmentDistribution is the posterior distribution of one segment, the row
+// of the conditional probability browser.
+type SegmentDistribution struct {
+	Label string
+	// Entries are the segment's mined values with their posterior
+	// probabilities, in mined (code) order.
+	Entries []DistEntry
+}
+
+// DistEntry is one value of a segment with its posterior probability.
+type DistEntry struct {
+	Code    string
+	Display string
+	Prob    float64
+	IsRange bool
+}
+
+// Browse computes the posterior distribution of every segment given the
+// evidence: the data behind Figs. 1(b), 1(c), 7(b), 9(b) and 10(b).
+func (m *Model) Browse(ev Evidence) ([]SegmentDistribution, error) {
+	indices, err := m.evidenceIndices(ev)
+	if err != nil {
+		return nil, err
+	}
+	posts, err := m.Net.Posteriors(indices)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SegmentDistribution, len(m.Segments))
+	for i, sm := range m.Segments {
+		entries := make([]DistEntry, sm.Arity())
+		for k, v := range sm.Values {
+			entries[k] = DistEntry{
+				Code:    v.Code,
+				Display: sm.FormatValue(v),
+				Prob:    posts[i][k],
+				IsRange: !v.IsExact(),
+			}
+		}
+		out[i] = SegmentDistribution{Label: sm.Seg.Label, Entries: entries}
+	}
+	return out, nil
+}
+
+// ConditionalProb returns P(target segment takes the value with the given
+// code | evidence), the quantity tabulated in the paper's Table 2.
+func (m *Model) ConditionalProb(targetLabel, targetCode string, ev Evidence) (float64, error) {
+	tIdx, sm, ok := m.SegmentByLabel(targetLabel)
+	if !ok {
+		return 0, fmt.Errorf("core: unknown segment %q", targetLabel)
+	}
+	cIdx := -1
+	for k, v := range sm.Values {
+		if v.Code == targetCode {
+			cIdx = k
+			break
+		}
+	}
+	if cIdx < 0 {
+		return 0, fmt.Errorf("core: segment %q has no value code %q", targetLabel, targetCode)
+	}
+	indices, err := m.evidenceIndices(ev)
+	if err != nil {
+		return 0, err
+	}
+	dist, err := m.Net.Query(tIdx, indices)
+	if err != nil {
+		return 0, err
+	}
+	return dist[cIdx], nil
+}
+
+// Dependency is a directed edge of the Bayesian network between two
+// segments, annotated with the mutual information between them.
+type Dependency struct {
+	Parent, Child string
+	// MI is the mutual information in bits between the two segments under
+	// the model's joint distribution.
+	MI float64
+}
+
+// Dependencies lists the BN's directed edges (Fig. 2 of the paper), sorted
+// by descending mutual information.
+func (m *Model) Dependencies() []Dependency {
+	var out []Dependency
+	for _, e := range m.Net.Edges() {
+		mi, err := m.Net.MutualInformation(e[0], e[1], nil)
+		if err != nil {
+			mi = 0
+		}
+		out = append(out, Dependency{
+			Parent: m.Segments[e[0]].Seg.Label,
+			Child:  m.Segments[e[1]].Seg.Label,
+			MI:     mi,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MI != out[j].MI {
+			return out[i].MI > out[j].MI
+		}
+		if out[i].Parent != out[j].Parent {
+			return out[i].Parent < out[j].Parent
+		}
+		return out[i].Child < out[j].Child
+	})
+	return out
+}
+
+// DirectInfluences returns the labels of segments that are direct BN
+// parents or children of the given segment (the red edges of Fig. 2).
+func (m *Model) DirectInfluences(label string) ([]string, error) {
+	idx, _, ok := m.SegmentByLabel(label)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown segment %q", label)
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range m.Net.Edges() {
+		var other int
+		switch {
+		case e[0] == idx:
+			other = e[1]
+		case e[1] == idx:
+			other = e[0]
+		default:
+			continue
+		}
+		l := m.Segments[other].Seg.Label
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,146 @@
+// Package dataset handles on-disk IPv6 address datasets and the sampling
+// conventions of the paper: files with one address per line (any textual
+// form, '#' comments allowed), deduplication, train/test splitting, and the
+// stratified per-/32 sampling used to build the aggregate training sets
+// (§3, §5.1).
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"entropyip/internal/ip6"
+	"entropyip/internal/stats"
+)
+
+// Dataset is a named collection of unique IPv6 addresses.
+type Dataset struct {
+	// Name identifies the dataset (e.g. "S1").
+	Name string
+	// Addrs holds the unique addresses in load or generation order.
+	Addrs []ip6.Addr
+}
+
+// New builds a dataset from addresses, removing duplicates while keeping
+// first-occurrence order.
+func New(name string, addrs []ip6.Addr) *Dataset {
+	return &Dataset{Name: name, Addrs: ip6.Dedup(addrs)}
+}
+
+// Len returns the number of unique addresses.
+func (d *Dataset) Len() int { return len(d.Addrs) }
+
+// Set returns the addresses as a membership set.
+func (d *Dataset) Set() *ip6.Set {
+	s := ip6.NewSet(len(d.Addrs))
+	s.AddAll(d.Addrs)
+	return s
+}
+
+// Prefixes returns the distinct prefixes of the given length covering the
+// dataset.
+func (d *Dataset) Prefixes(bits int) *ip6.PrefixSet {
+	return d.Set().Prefixes(bits)
+}
+
+// Split partitions the dataset into a training sample of n addresses and
+// the remaining test set, using the given seed (the paper's methodology:
+// train on a random 1K sample, test on the rest).
+func (d *Dataset) Split(n int, seed int64) (train, test []ip6.Addr) {
+	return stats.SplitTrainTest(stats.RNG(seed), d.Addrs, n)
+}
+
+// StratifiedSample selects up to perPrefix addresses from every /32 prefix,
+// the paper's guard against over-representing large networks in aggregate
+// datasets.
+func (d *Dataset) StratifiedSample(perPrefix int, seed int64) []ip6.Addr {
+	return stats.StratifiedSample(stats.RNG(seed), d.Addrs, func(a ip6.Addr) string {
+		return ip6.Prefix32(a).String()
+	}, perPrefix)
+}
+
+// Read parses addresses from r, one per line. Empty lines and lines
+// starting with '#' are skipped. Lines may be in any form accepted by
+// ip6.ParseAddr, including the fixed-width 32-hex-character form.
+// Duplicates are removed.
+func Read(name string, r io.Reader) (*Dataset, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var addrs []ip6.Addr
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Allow trailing comments and prefix notation (the /len is ignored).
+		if i := strings.IndexAny(line, " \t"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.IndexByte(line, '/'); i >= 0 {
+			line = line[:i]
+		}
+		a, err := ip6.ParseAddr(line)
+		if err != nil {
+			return nil, fmt.Errorf("dataset %s: line %d: %w", name, lineNo, err)
+		}
+		addrs = append(addrs, a)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("dataset %s: %w", name, err)
+	}
+	return New(name, addrs), nil
+}
+
+// Write writes the dataset to w in canonical form, one address per line,
+// preceded by a comment header.
+func (d *Dataset) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# dataset %s: %d unique IPv6 addresses\n", d.Name, len(d.Addrs)); err != nil {
+		return err
+	}
+	for _, a := range d.Addrs {
+		if _, err := bw.WriteString(a.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadFile reads a dataset from the named file; the dataset name is the
+// file path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(path, f)
+}
+
+// SaveFile writes the dataset to the named file, creating or truncating it.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Anonymized returns a copy of the dataset with every address rewritten
+// into the documentation prefix, preserving per-/32 distinctions, as the
+// paper does when presenting results.
+func (d *Dataset) Anonymized() *Dataset {
+	return New(d.Name+"-anon", ip6.AnonymizeSet(d.Addrs))
+}

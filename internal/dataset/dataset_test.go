@@ -1,0 +1,187 @@
+package dataset
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"entropyip/internal/ip6"
+)
+
+func TestNewDeduplicates(t *testing.T) {
+	a := ip6.MustParseAddr("2001:db8::1")
+	b := ip6.MustParseAddr("2001:db8::2")
+	d := New("x", []ip6.Addr{a, b, a, a})
+	if d.Len() != 2 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	if !d.Set().Contains(a) || !d.Set().Contains(b) {
+		t.Error("Set membership wrong")
+	}
+	if d.Prefixes(64).Len() != 1 {
+		t.Errorf("Prefixes(64) = %d", d.Prefixes(64).Len())
+	}
+}
+
+func TestReadVariousForms(t *testing.T) {
+	input := `
+# comment
+2001:db8::1
+2001:0db8:0000:0000:0000:0000:0000:0002
+20010db8000000000000000000000003
+2001:db8::4/64
+2001:db8::5    # trailing comment
+2001:db8::1
+`
+	d, err := Read("test", strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", d.Len())
+	}
+	for i := 1; i <= 5; i++ {
+		if !d.Set().Contains(ip6.MustParseAddr("2001:db8::" + string(rune('0'+i)))) {
+			t.Errorf("missing ::%d", i)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read("bad", strings.NewReader("2001:db8::1\nnot-an-address\n")); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	orig := New("rt", []ip6.Addr{
+		ip6.MustParseAddr("2001:db8::1"),
+		ip6.MustParseAddr("2001:db8:ffff::42"),
+		ip6.MustParseAddr("::ffff:192.0.2.33"),
+	})
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read("rt", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("round trip lost addresses: %d vs %d", back.Len(), orig.Len())
+	}
+	for i := range orig.Addrs {
+		if back.Addrs[i] != orig.Addrs[i] {
+			t.Errorf("address %d changed: %v vs %v", i, back.Addrs[i], orig.Addrs[i])
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "addrs.txt")
+	d := New("file", []ip6.Addr{ip6.MustParseAddr("2001:db8::1"), ip6.MustParseAddr("2001:db8::2")})
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Errorf("Len = %d", back.Len())
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file should error")
+	}
+	if err := d.SaveFile(filepath.Join(dir, "nodir", "x.txt")); err == nil {
+		t.Error("unwritable path should error")
+	}
+	// Content is human-readable with a header.
+	raw, _ := os.ReadFile(path)
+	if !strings.HasPrefix(string(raw), "# dataset file: 2 unique") {
+		t.Errorf("unexpected header: %q", string(raw[:40]))
+	}
+}
+
+func TestSplit(t *testing.T) {
+	addrs := make([]ip6.Addr, 100)
+	base := ip6.MustParseAddr("2001:db8::")
+	for i := range addrs {
+		addrs[i] = base.SetField(24, 8, uint64(i+1))
+	}
+	d := New("split", addrs)
+	train, test := d.Split(30, 1)
+	if len(train) != 30 || len(test) != 70 {
+		t.Fatalf("split sizes: %d/%d", len(train), len(test))
+	}
+	// Deterministic.
+	train2, _ := d.Split(30, 1)
+	for i := range train {
+		if train[i] != train2[i] {
+			t.Fatal("Split not deterministic")
+		}
+	}
+	// Disjoint.
+	ts := ip6.NewSet(len(train))
+	ts.AddAll(train)
+	for _, a := range test {
+		if ts.Contains(a) {
+			t.Fatal("train and test overlap")
+		}
+	}
+}
+
+func TestStratifiedSample(t *testing.T) {
+	var addrs []ip6.Addr
+	for p := 0; p < 3; p++ {
+		base := ip6.MustParseAddr("2001:db8::").SetField(0, 4, uint64(0x2+p))
+		count := []int{100, 5, 50}[p]
+		for i := 0; i < count; i++ {
+			addrs = append(addrs, base.SetField(24, 8, uint64(i+1)))
+		}
+	}
+	d := New("strat", addrs)
+	sample := d.StratifiedSample(20, 2)
+	per := map[ip6.Prefix]int{}
+	for _, a := range sample {
+		per[ip6.Prefix32(a)]++
+	}
+	if len(per) != 3 {
+		t.Fatalf("strata = %d", len(per))
+	}
+	for p, c := range per {
+		if c > 20 {
+			t.Errorf("stratum %v has %d > 20 samples", p, c)
+		}
+	}
+	if len(sample) != 20+5+20 {
+		t.Errorf("sample size = %d, want 45", len(sample))
+	}
+}
+
+func TestAnonymized(t *testing.T) {
+	d := New("real", []ip6.Addr{
+		ip6.MustParseAddr("2a02:26f0:1:2::1"),
+		ip6.MustParseAddr("2a02:26f0:1:2::2"),
+		ip6.MustParseAddr("2600:1480:5::10"),
+	})
+	anon := d.Anonymized()
+	if anon.Len() != d.Len() {
+		t.Fatal("anonymization changed the count")
+	}
+	doc := ip6.MustParsePrefix("2001:db0::/20")
+	for _, a := range anon.Addrs {
+		_ = doc
+		if a.Field(1, 3) != 0x001 && a.Field(4, 4) != 0x0db8 {
+			// Anonymize keeps 001:db8 in nybbles 1-7 and varies nybble 0.
+			t.Errorf("address %v does not look anonymized", a)
+		}
+	}
+	// Distinct /32s remain distinct.
+	if anon.Prefixes(32).Len() != 2 {
+		t.Errorf("anonymized /32 count = %d, want 2", anon.Prefixes(32).Len())
+	}
+}

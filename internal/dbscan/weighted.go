@@ -1,0 +1,146 @@
+package dbscan
+
+import "sort"
+
+// WeightedPoint is a scalar value observed with an integer multiplicity.
+// Clustering weighted points is equivalent to clustering the expanded
+// multiset (each value repeated weight times) but runs in time proportional
+// to the number of distinct values, which matters for segment mining where
+// a popular value can occur hundreds of thousands of times.
+type WeightedPoint struct {
+	Value  float64
+	Weight int
+}
+
+// Cluster1DWeighted runs DBSCAN over a weighted 1-D multiset. A point is a
+// core point when the total weight within eps of it (including itself) is
+// at least minPts. The returned labels are indexed like the input slice.
+func Cluster1DWeighted(points []WeightedPoint, eps float64, minPts int) Result {
+	n := len(points)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	if n == 0 {
+		return Result{Labels: labels}
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return points[idx[a]].Value < points[idx[b]].Value })
+	sorted := make([]WeightedPoint, n)
+	for i, id := range idx {
+		sorted[i] = points[id]
+	}
+
+	// Sliding-window total weight within eps.
+	weightWithin := make([]int, n)
+	lo, hi := 0, 0
+	windowWeight := 0
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			windowWeight = sorted[0].Weight
+			hi = 0
+		}
+		for hi+1 < n && sorted[hi+1].Value-sorted[i].Value <= eps {
+			hi++
+			windowWeight += sorted[hi].Weight
+		}
+		for sorted[i].Value-sorted[lo].Value > eps {
+			windowWeight -= sorted[lo].Weight
+			lo++
+		}
+		weightWithin[i] = windowWeight
+	}
+
+	cluster := -1
+	lastCore := -1
+	lastCoreCluster := -1
+	for i := 0; i < n; i++ {
+		if weightWithin[i] < minPts || sorted[i].Weight <= 0 {
+			continue
+		}
+		if lastCore >= 0 && sorted[i].Value-sorted[lastCore].Value <= eps {
+			labels[idx[i]] = lastCoreCluster
+		} else {
+			cluster++
+			lastCoreCluster = cluster
+			labels[idx[i]] = cluster
+		}
+		lastCore = i
+	}
+	// Border points join the nearest core point's cluster if within eps.
+	coreIdx := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if weightWithin[i] >= minPts && sorted[i].Weight > 0 {
+			coreIdx = append(coreIdx, i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if labels[idx[i]] != Noise || sorted[i].Weight <= 0 {
+			continue
+		}
+		pos := sort.Search(len(coreIdx), func(k int) bool { return sorted[coreIdx[k]].Value >= sorted[i].Value })
+		bestDist := eps + 1
+		best := -1
+		if pos < len(coreIdx) {
+			if d := sorted[coreIdx[pos]].Value - sorted[i].Value; d < bestDist {
+				best, bestDist = coreIdx[pos], d
+			}
+		}
+		if pos > 0 {
+			if d := sorted[i].Value - sorted[coreIdx[pos-1]].Value; d < bestDist {
+				best, bestDist = coreIdx[pos-1], d
+			}
+		}
+		if best >= 0 && bestDist <= eps {
+			labels[idx[i]] = labels[idx[best]]
+		}
+	}
+	return Result{Labels: labels, NumClusters: cluster + 1}
+}
+
+// WeightedInterval summarizes one cluster of a weighted 1-D clustering.
+type WeightedInterval struct {
+	Lo, Hi float64
+	// Weight is the total weight of the cluster's points.
+	Weight int
+	// Points is the number of distinct values in the cluster.
+	Points int
+}
+
+// WeightedIntervals summarizes a weighted clustering result per cluster.
+func WeightedIntervals(points []WeightedPoint, r Result) []WeightedInterval {
+	if r.NumClusters == 0 {
+		return nil
+	}
+	out := make([]WeightedInterval, r.NumClusters)
+	for i := range out {
+		out[i].Lo = 0
+		out[i].Hi = 0
+		out[i].Points = 0
+	}
+	init := make([]bool, r.NumClusters)
+	for i, lbl := range r.Labels {
+		if lbl == Noise {
+			continue
+		}
+		iv := &out[lbl]
+		v := points[i].Value
+		if !init[lbl] {
+			iv.Lo, iv.Hi = v, v
+			init[lbl] = true
+		} else {
+			if v < iv.Lo {
+				iv.Lo = v
+			}
+			if v > iv.Hi {
+				iv.Hi = v
+			}
+		}
+		iv.Weight += points[i].Weight
+		iv.Points++
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+// Package entropy implements the information-theoretic measurements at the
+// heart of Entropy/IP (§4.1 of the paper): the normalized Shannon entropy
+// of each nybble position across a set of IPv6 addresses, the total entropy
+// of a set, and the windowed entropy analysis shown in Fig. 5.
+package entropy
+
+import (
+	"math"
+
+	"entropyip/internal/ip6"
+)
+
+// Shannon returns the Shannon entropy, in bits, of a discrete distribution
+// given by the counts of each outcome. Zero counts are ignored. The result
+// is 0 for an empty or single-outcome distribution.
+func Shannon(counts []int) float64 {
+	total := 0
+	for _, c := range counts {
+		if c > 0 {
+			total += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// ShannonMap returns the Shannon entropy, in bits, of a distribution
+// represented as a map from outcome to count.
+func ShannonMap[K comparable](counts map[K]int) float64 {
+	total := 0
+	for _, c := range counts {
+		if c > 0 {
+			total += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// Normalized returns the entropy normalized by the maximum entropy log2(k)
+// of a k-outcome distribution, as the paper does (Eq. 2). For k <= 1 the
+// result is 0.
+func Normalized(h float64, k int) float64 {
+	if k <= 1 || h <= 0 {
+		return 0
+	}
+	return h / math.Log2(float64(k))
+}
+
+// Profile holds the per-nybble entropy of a set of addresses.
+type Profile struct {
+	// H is the normalized entropy of each of the 32 nybble positions,
+	// each in [0, 1]: H[i] is the entropy of nybble i (0-based) divided by
+	// log2(16).
+	H [ip6.NybbleCount]float64
+	// Raw is the unnormalized entropy, in bits, of each nybble position.
+	Raw [ip6.NybbleCount]float64
+	// Counts[i][v] is the number of addresses whose nybble i has value v.
+	Counts [ip6.NybbleCount][16]int
+	// N is the number of addresses in the profile.
+	N int
+}
+
+// NewProfile computes the per-nybble entropy profile of the addresses.
+func NewProfile(addrs []ip6.Addr) *Profile {
+	p := &Profile{N: len(addrs)}
+	for _, a := range addrs {
+		n := a.Nybbles()
+		for i := 0; i < ip6.NybbleCount; i++ {
+			p.Counts[i][n[i]]++
+		}
+	}
+	for i := 0; i < ip6.NybbleCount; i++ {
+		h := Shannon(p.Counts[i][:])
+		p.Raw[i] = h
+		p.H[i] = Normalized(h, 16)
+	}
+	return p
+}
+
+// Total returns the total entropy H_S of the profile (Eq. 3): the sum of
+// the normalized per-nybble entropies. It quantifies how hard it is to
+// guess addresses of the set by chance.
+func (p *Profile) Total() float64 {
+	sum := 0.0
+	for _, h := range p.H {
+		sum += h
+	}
+	return sum
+}
+
+// Constant reports whether nybble i takes a single value across the set
+// (entropy zero with at least one observation), and returns that value.
+func (p *Profile) Constant(i int) (value byte, ok bool) {
+	if p.N == 0 {
+		return 0, false
+	}
+	seen := -1
+	for v, c := range p.Counts[i] {
+		if c > 0 {
+			if seen >= 0 {
+				return 0, false
+			}
+			seen = v
+		}
+	}
+	if seen < 0 {
+		return 0, false
+	}
+	return byte(seen), true
+}
+
+// MostCommon returns the most common value of nybble i and its empirical
+// probability. Ties are broken toward the smaller value.
+func (p *Profile) MostCommon(i int) (value byte, prob float64) {
+	best, bestCount := 0, -1
+	for v, c := range p.Counts[i] {
+		if c > bestCount {
+			best, bestCount = v, c
+		}
+	}
+	if p.N == 0 {
+		return 0, 0
+	}
+	return byte(best), float64(bestCount) / float64(p.N)
+}
+
+// Windowed computes the windowed entropy analysis of Fig. 5: for every
+// window position (starting nybble) and window length, the unnormalized
+// entropy of the string of nybbles in that window across the address set.
+//
+// The result is indexed as W[pos][length-1] with pos in 0..31 and length in
+// 1..32-pos, i.e. W[pos] has 32-pos entries. Values are in bits
+// (unnormalized, as in the paper's figure).
+type Windowed [][]float64
+
+// NewWindowed computes the windowed entropy matrix for the addresses.
+// Cost is O(len(addrs) · 32 · 32 / 2) hash operations; for the sizes used
+// in this repository (≤ 100K addresses) this completes in seconds.
+func NewWindowed(addrs []ip6.Addr) Windowed {
+	w := make(Windowed, ip6.NybbleCount)
+	// Pre-expand nybbles once.
+	nybs := make([]ip6.Nybbles, len(addrs))
+	for i, a := range addrs {
+		nybs[i] = a.Nybbles()
+	}
+	for pos := 0; pos < ip6.NybbleCount; pos++ {
+		maxLen := ip6.NybbleCount - pos
+		w[pos] = make([]float64, maxLen)
+		for length := 1; length <= maxLen; length++ {
+			counts := make(map[string]int, 64)
+			for i := range nybs {
+				key := string(nybs[i][pos : pos+length])
+				counts[key]++
+			}
+			w[pos][length-1] = ShannonMap(counts)
+		}
+	}
+	return w
+}
+
+// At returns the windowed entropy for the window starting at nybble pos
+// with the given length in nybbles. It returns 0 for out-of-range queries.
+func (w Windowed) At(pos, length int) float64 {
+	if pos < 0 || pos >= len(w) || length < 1 || length > len(w[pos]) {
+		return 0
+	}
+	return w[pos][length-1]
+}
+
+// Max returns the maximum entropy value in the matrix (useful for scaling
+// heat-map rendering).
+func (w Windowed) Max() float64 {
+	max := 0.0
+	for _, row := range w {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// BitProfile computes a per-bit (1-bit granularity) normalized entropy
+// profile. The paper discusses 1-bit and 16-bit alternatives to the 4-bit
+// default (§4.5); this is provided for that ablation.
+func BitProfile(addrs []ip6.Addr) []float64 {
+	counts := make([][2]int, 128)
+	for _, a := range addrs {
+		b := a.Bytes()
+		for bit := 0; bit < 128; bit++ {
+			v := b[bit/8] >> (7 - uint(bit%8)) & 1
+			counts[bit][v]++
+		}
+	}
+	out := make([]float64, 128)
+	for i, c := range counts {
+		out[i] = Normalized(Shannon(c[:]), 2)
+	}
+	return out
+}
+
+// WordProfile computes a per-16-bit-word normalized entropy profile
+// (8 words per address), the other granularity discussed in §4.5.
+func WordProfile(addrs []ip6.Addr) []float64 {
+	counts := make([]map[uint16]int, 8)
+	for i := range counts {
+		counts[i] = make(map[uint16]int)
+	}
+	for _, a := range addrs {
+		b := a.Bytes()
+		for w := 0; w < 8; w++ {
+			v := uint16(b[2*w])<<8 | uint16(b[2*w+1])
+			counts[w][v]++
+		}
+	}
+	out := make([]float64, 8)
+	for i, c := range counts {
+		out[i] = Normalized(ShannonMap(c), 1<<16)
+	}
+	return out
+}

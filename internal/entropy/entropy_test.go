@@ -1,0 +1,318 @@
+package entropy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"entropyip/internal/ip6"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) < eps }
+
+func TestShannon(t *testing.T) {
+	if Shannon(nil) != 0 || Shannon([]int{0, 0}) != 0 {
+		t.Error("empty distributions have zero entropy")
+	}
+	if Shannon([]int{7}) != 0 {
+		t.Error("single outcome has zero entropy")
+	}
+	if !almostEqual(Shannon([]int{1, 1}), 1, 1e-12) {
+		t.Error("fair coin should have 1 bit")
+	}
+	if !almostEqual(Shannon([]int{1, 1, 1, 1}), 2, 1e-12) {
+		t.Error("uniform over 4 should have 2 bits")
+	}
+	// Paper's example (Eq. 2): values {c:2, f:3} -> normalized by log2(16)
+	// gives about 0.24.
+	h := Shannon([]int{2, 3})
+	if !almostEqual(Normalized(h, 16), 0.2427, 5e-4) {
+		t.Errorf("paper example: normalized entropy = %v, want ~0.243", Normalized(h, 16))
+	}
+	// Negative counts ignored.
+	if !almostEqual(Shannon([]int{-5, 1, 1}), 1, 1e-12) {
+		t.Error("negative counts must be ignored")
+	}
+}
+
+func TestShannonMap(t *testing.T) {
+	if ShannonMap(map[string]int{}) != 0 {
+		t.Error("empty map has zero entropy")
+	}
+	m := map[string]int{"a": 1, "b": 1, "c": 1, "d": 1}
+	if !almostEqual(ShannonMap(m), 2, 1e-12) {
+		t.Error("uniform over 4 keys should have 2 bits")
+	}
+	if !almostEqual(ShannonMap(map[int]int{1: 3, 2: -1}), 0, 1e-12) {
+		t.Error("non-positive counts ignored")
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	if Normalized(3, 1) != 0 || Normalized(3, 0) != 0 || Normalized(-1, 16) != 0 {
+		t.Error("degenerate normalization should be 0")
+	}
+	if !almostEqual(Normalized(4, 16), 1, 1e-12) {
+		t.Error("4 bits over 16 outcomes is maximal")
+	}
+}
+
+func TestShannonUpperBoundProperty(t *testing.T) {
+	// Property: 0 <= H <= log2(#positive outcomes).
+	f := func(raw []uint8) bool {
+		counts := make([]int, len(raw))
+		k := 0
+		for i, v := range raw {
+			counts[i] = int(v)
+			if v > 0 {
+				k++
+			}
+		}
+		h := Shannon(counts)
+		if h < 0 {
+			return false
+		}
+		if k == 0 {
+			return h == 0
+		}
+		return h <= math.Log2(float64(k))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func constantAddrs(n int, s string) []ip6.Addr {
+	a := ip6.MustParseAddr(s)
+	out := make([]ip6.Addr, n)
+	for i := range out {
+		out[i] = a
+	}
+	return out
+}
+
+func TestProfileConstantSet(t *testing.T) {
+	p := NewProfile(constantAddrs(100, "2001:db8::1"))
+	if p.N != 100 {
+		t.Fatalf("N = %d", p.N)
+	}
+	for i, h := range p.H {
+		if h != 0 {
+			t.Errorf("nybble %d entropy = %v, want 0 for constant set", i, h)
+		}
+	}
+	if p.Total() != 0 {
+		t.Errorf("Total = %v", p.Total())
+	}
+	v, ok := p.Constant(0)
+	if !ok || v != 2 {
+		t.Errorf("Constant(0) = %v, %v", v, ok)
+	}
+	mc, prob := p.MostCommon(31)
+	if mc != 1 || prob != 1 {
+		t.Errorf("MostCommon(31) = %v, %v", mc, prob)
+	}
+}
+
+func TestProfilePaperExample(t *testing.T) {
+	// Fig. 3 of the paper: five addresses where the last nybble takes "c"
+	// twice and "f" thrice -> normalized entropy ~0.24.
+	lines := []string{
+		"20010db840011111000000000000111c",
+		"20010db840011111000000000000111f",
+		"20010db840031c13000000000000200c",
+		"20010db8400a2f2a000000000000200f",
+		"20010db840011111000000000000111f",
+	}
+	addrs := make([]ip6.Addr, len(lines))
+	for i, l := range lines {
+		addrs[i] = ip6.MustParseHex(l)
+	}
+	p := NewProfile(addrs)
+	if !almostEqual(p.H[31], 0.2427, 5e-4) {
+		t.Errorf("H[31] = %v, want ~0.243 (paper Eq. 2)", p.H[31])
+	}
+	// Hex chars 1-11 (0-based 0..10) are constant in Fig. 3.
+	for i := 0; i < 11; i++ {
+		if p.H[i] != 0 {
+			t.Errorf("H[%d] = %v, want 0", i, p.H[i])
+		}
+	}
+	// Hex chars 12-16 (0-based 11..15) vary.
+	varying := false
+	for i := 11; i < 16; i++ {
+		if p.H[i] > 0 {
+			varying = true
+		}
+	}
+	if !varying {
+		t.Error("expected some entropy in nybbles 11..15")
+	}
+}
+
+func TestProfileRandomIIDApproachesOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]ip6.Addr, 20000)
+	base := ip6.MustParseAddr("2001:db8:1:2::")
+	for i := range addrs {
+		a := base
+		a = a.SetField(16, 16, rng.Uint64())
+		addrs[i] = a
+	}
+	p := NewProfile(addrs)
+	for i := 0; i < 16; i++ {
+		if p.H[i] != 0 {
+			t.Errorf("network nybble %d should be constant", i)
+		}
+	}
+	for i := 16; i < 32; i++ {
+		if p.H[i] < 0.99 {
+			t.Errorf("IID nybble %d entropy = %v, want ~1", i, p.H[i])
+		}
+	}
+	if p.Total() < 15.8 || p.Total() > 16.2 {
+		t.Errorf("Total = %v, want ~16", p.Total())
+	}
+}
+
+func TestProfileEmpty(t *testing.T) {
+	p := NewProfile(nil)
+	if p.Total() != 0 {
+		t.Error("empty profile should have zero entropy")
+	}
+	if _, ok := p.Constant(0); ok {
+		t.Error("Constant on empty profile should be false")
+	}
+	if _, prob := p.MostCommon(0); prob != 0 {
+		t.Error("MostCommon on empty profile should have probability 0")
+	}
+}
+
+func TestConstantDetectsMixed(t *testing.T) {
+	addrs := []ip6.Addr{ip6.MustParseAddr("2001:db8::1"), ip6.MustParseAddr("3001:db8::1")}
+	p := NewProfile(addrs)
+	if _, ok := p.Constant(0); ok {
+		t.Error("nybble 0 is not constant")
+	}
+	if v, ok := p.Constant(1); !ok || v != 0 {
+		t.Error("nybble 1 should be constant 0")
+	}
+}
+
+func TestWindowed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Addresses: constant /64, random low 16 bits.
+	addrs := make([]ip6.Addr, 5000)
+	base := ip6.MustParseAddr("2001:db8::")
+	for i := range addrs {
+		addrs[i] = base.SetField(28, 4, rng.Uint64())
+	}
+	w := NewWindowed(addrs)
+	if len(w) != ip6.NybbleCount {
+		t.Fatalf("rows = %d", len(w))
+	}
+	for pos, row := range w {
+		if len(row) != ip6.NybbleCount-pos {
+			t.Fatalf("row %d length = %d", pos, len(row))
+		}
+	}
+	// Window fully inside the constant part has zero entropy.
+	if w.At(0, 16) != 0 {
+		t.Errorf("constant window entropy = %v", w.At(0, 16))
+	}
+	// Window over the random low nybbles: entropy is bounded by the number
+	// of samples, log2(5000) ≈ 12.3 bits.
+	if w.At(28, 4) < 11.5 {
+		t.Errorf("random window entropy = %v, want ~12.3", w.At(28, 4))
+	}
+	// Full-length window entropy equals entropy over whole addresses.
+	if w.At(0, 32) < 12 {
+		t.Errorf("full window entropy = %v, want close to log2(5000)", w.At(0, 32))
+	}
+	// Monotone in window length for fixed position.
+	for length := 2; length <= 32; length++ {
+		if w.At(0, length) < w.At(0, length-1)-1e-9 {
+			t.Errorf("windowed entropy not monotone at length %d", length)
+		}
+	}
+	if w.Max() < 11.5 {
+		t.Errorf("Max = %v", w.Max())
+	}
+	// Out of range queries.
+	if w.At(-1, 1) != 0 || w.At(0, 0) != 0 || w.At(31, 2) != 0 {
+		t.Error("out-of-range At should return 0")
+	}
+}
+
+func TestBitProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	addrs := make([]ip6.Addr, 4000)
+	base := ip6.MustParseAddr("2001:db8::")
+	for i := range addrs {
+		addrs[i] = base.SetField(24, 8, rng.Uint64())
+	}
+	bp := BitProfile(addrs)
+	if len(bp) != 128 {
+		t.Fatalf("len = %d", len(bp))
+	}
+	for bit := 0; bit < 96; bit++ {
+		if bp[bit] != 0 {
+			t.Errorf("bit %d should be constant", bit)
+		}
+	}
+	for bit := 96; bit < 128; bit++ {
+		if bp[bit] < 0.98 {
+			t.Errorf("bit %d entropy = %v, want ~1", bit, bp[bit])
+		}
+	}
+}
+
+func TestWordProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	addrs := make([]ip6.Addr, 3000)
+	base := ip6.MustParseAddr("2001:db8::")
+	for i := range addrs {
+		addrs[i] = base.SetField(28, 4, rng.Uint64())
+	}
+	wp := WordProfile(addrs)
+	if len(wp) != 8 {
+		t.Fatalf("len = %d", len(wp))
+	}
+	for w := 0; w < 7; w++ {
+		if wp[w] != 0 {
+			t.Errorf("word %d should be constant", w)
+		}
+	}
+	if wp[7] <= 0 || wp[7] > 1 {
+		t.Errorf("word 7 entropy = %v", wp[7])
+	}
+}
+
+func BenchmarkNewProfile10K(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]ip6.Addr, 10000)
+	for i := range addrs {
+		var buf [16]byte
+		rng.Read(buf[:])
+		addrs[i] = ip6.AddrFrom16(buf)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewProfile(addrs)
+	}
+}
+
+func BenchmarkNewWindowed1K(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]ip6.Addr, 1000)
+	for i := range addrs {
+		var buf [16]byte
+		rng.Read(buf[:])
+		addrs[i] = ip6.AddrFrom16(buf)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewWindowed(addrs)
+	}
+}

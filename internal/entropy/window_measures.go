@@ -1,0 +1,90 @@
+package entropy
+
+import (
+	"fmt"
+	"math"
+
+	"entropyip/internal/ip6"
+)
+
+// Measure selects the variability metric used by the windowed analysis.
+// §4.5 of the paper suggests that, besides entropy, "number of distinct
+// values, inter-quartile range, frequency of the most popular value, or a
+// weighted mean thereof" could drive the windowing analysis; these
+// alternatives are provided for that exploration and for the ablation
+// benches.
+type Measure int
+
+// Available windowed variability measures.
+const (
+	// MeasureEntropy is the unnormalized Shannon entropy (the paper's
+	// default, Fig. 5).
+	MeasureEntropy Measure = iota
+	// MeasureDistinct is the number of distinct window values, log2-scaled
+	// so it is comparable to entropy (log2 of the count).
+	MeasureDistinct
+	// MeasureTopFrequency is 1 minus the relative frequency of the most
+	// popular window value: 0 when one value dominates completely, close to
+	// 1 when no value repeats.
+	MeasureTopFrequency
+)
+
+// String returns the measure's name.
+func (m Measure) String() string {
+	switch m {
+	case MeasureEntropy:
+		return "entropy"
+	case MeasureDistinct:
+		return "distinct"
+	case MeasureTopFrequency:
+		return "top-frequency"
+	default:
+		return fmt.Sprintf("measure(%d)", int(m))
+	}
+}
+
+// NewWindowedMeasure computes the windowed variability matrix of Fig. 5
+// under the chosen measure. NewWindowed is equivalent to calling this with
+// MeasureEntropy.
+func NewWindowedMeasure(addrs []ip6.Addr, measure Measure) Windowed {
+	w := make(Windowed, ip6.NybbleCount)
+	nybs := make([]ip6.Nybbles, len(addrs))
+	for i, a := range addrs {
+		nybs[i] = a.Nybbles()
+	}
+	for pos := 0; pos < ip6.NybbleCount; pos++ {
+		maxLen := ip6.NybbleCount - pos
+		w[pos] = make([]float64, maxLen)
+		for length := 1; length <= maxLen; length++ {
+			counts := make(map[string]int, 64)
+			for i := range nybs {
+				counts[string(nybs[i][pos:pos+length])]++
+			}
+			w[pos][length-1] = applyMeasure(counts, len(addrs), measure)
+		}
+	}
+	return w
+}
+
+func applyMeasure(counts map[string]int, total int, measure Measure) float64 {
+	switch measure {
+	case MeasureDistinct:
+		if len(counts) == 0 {
+			return 0
+		}
+		return math.Log2(float64(len(counts)))
+	case MeasureTopFrequency:
+		if total == 0 {
+			return 0
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		return 1 - float64(max)/float64(total)
+	default:
+		return ShannonMap(counts)
+	}
+}

@@ -1,0 +1,102 @@
+package entropy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"entropyip/internal/ip6"
+)
+
+func TestMeasureString(t *testing.T) {
+	names := map[Measure]string{
+		MeasureEntropy:      "entropy",
+		MeasureDistinct:     "distinct",
+		MeasureTopFrequency: "top-frequency",
+		Measure(9):          "measure(9)",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+}
+
+func windowTestAddrs(n int, seed int64) []ip6.Addr {
+	rng := rand.New(rand.NewSource(seed))
+	base := ip6.MustParseAddr("2001:db8::")
+	out := make([]ip6.Addr, n)
+	for i := range out {
+		out[i] = base.SetField(28, 4, rng.Uint64())
+	}
+	return out
+}
+
+func TestNewWindowedMeasureEntropyMatchesDefault(t *testing.T) {
+	addrs := windowTestAddrs(500, 1)
+	a := NewWindowed(addrs)
+	b := NewWindowedMeasure(addrs, MeasureEntropy)
+	for pos := range a {
+		for l := range a[pos] {
+			if math.Abs(a[pos][l]-b[pos][l]) > 1e-12 {
+				t.Fatalf("mismatch at pos %d len %d: %v vs %v", pos, l+1, a[pos][l], b[pos][l])
+			}
+		}
+	}
+}
+
+func TestNewWindowedMeasureDistinct(t *testing.T) {
+	addrs := windowTestAddrs(2000, 2)
+	w := NewWindowedMeasure(addrs, MeasureDistinct)
+	// Constant windows: one distinct value -> log2(1) = 0.
+	if w.At(0, 16) != 0 {
+		t.Errorf("constant window distinct measure = %v", w.At(0, 16))
+	}
+	// The random 16-bit tail: distinct count near min(2000, 65536),
+	// log2 of which is ≈ 10.9.
+	if w.At(28, 4) < 10 || w.At(28, 4) > 11.1 {
+		t.Errorf("random window distinct measure = %v", w.At(28, 4))
+	}
+	// Distinct-count measure always upper-bounds entropy.
+	we := NewWindowed(addrs)
+	for pos := range w {
+		for l := range w[pos] {
+			if we[pos][l] > w[pos][l]+1e-9 {
+				t.Fatalf("entropy exceeds log2(distinct) at pos %d len %d", pos, l+1)
+			}
+		}
+	}
+}
+
+func TestNewWindowedMeasureTopFrequency(t *testing.T) {
+	addrs := windowTestAddrs(2000, 3)
+	w := NewWindowedMeasure(addrs, MeasureTopFrequency)
+	// Constant windows: the top value has frequency 1 -> measure 0.
+	if w.At(0, 16) != 0 {
+		t.Errorf("constant window top-frequency measure = %v", w.At(0, 16))
+	}
+	// Random windows: no value dominates -> measure close to 1.
+	if w.At(28, 4) < 0.95 {
+		t.Errorf("random window top-frequency measure = %v", w.At(28, 4))
+	}
+	// Values always lie in [0, 1].
+	for pos := range w {
+		for l, v := range w[pos] {
+			if v < 0 || v > 1 {
+				t.Fatalf("top-frequency out of range at pos %d len %d: %v", pos, l+1, v)
+			}
+		}
+	}
+}
+
+func TestNewWindowedMeasureEmpty(t *testing.T) {
+	for _, m := range []Measure{MeasureEntropy, MeasureDistinct, MeasureTopFrequency} {
+		w := NewWindowedMeasure(nil, m)
+		if len(w) != ip6.NybbleCount {
+			t.Fatalf("measure %v: rows = %d", m, len(w))
+		}
+		if w.Max() != 0 {
+			t.Errorf("measure %v of empty set should be all zero", m)
+		}
+	}
+}

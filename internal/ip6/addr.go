@@ -1,0 +1,305 @@
+// Package ip6 implements the IPv6 address substrate used by Entropy/IP.
+//
+// The package is intentionally self-contained (it does not depend on
+// net/netip) so that the rest of the system can operate directly on the
+// representation the paper uses: an address as a fixed-width string of 32
+// hexadecimal characters ("nybbles"), without colons. It provides parsing
+// of all RFC 4291 text forms, canonical and fixed-width formatting,
+// prefixes, prefix sets and counting tries, address classification helpers
+// (EUI-64, embedded IPv4, low-byte), and anonymization into the
+// documentation prefix as done in the paper.
+package ip6
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NybbleCount is the number of hexadecimal characters (4-bit nybbles) in a
+// full IPv6 address.
+const NybbleCount = 32
+
+// Addr is a 128-bit IPv6 address stored as 16 bytes in network order.
+//
+// The zero value is the unspecified address "::".
+type Addr [16]byte
+
+// Nybbles is an IPv6 address expressed as 32 nybble values, each in the
+// range 0-15, most significant first. It corresponds to the fixed-width
+// hexadecimal representation used throughout the paper (Fig. 3).
+type Nybbles [NybbleCount]byte
+
+// AddrFromBytes returns the address for the given 16 bytes.
+func AddrFromBytes(b []byte) (Addr, error) {
+	var a Addr
+	if len(b) != 16 {
+		return a, fmt.Errorf("ip6: address must be 16 bytes, got %d", len(b))
+	}
+	copy(a[:], b)
+	return a, nil
+}
+
+// AddrFrom16 returns the address for the given 16-byte array.
+func AddrFrom16(b [16]byte) Addr { return Addr(b) }
+
+// AddrFromUint64s builds an address from its high and low 64-bit halves.
+func AddrFromUint64s(hi, lo uint64) Addr {
+	var a Addr
+	for i := 0; i < 8; i++ {
+		a[i] = byte(hi >> (56 - 8*i))
+		a[8+i] = byte(lo >> (56 - 8*i))
+	}
+	return a
+}
+
+// Uint64s returns the high and low 64-bit halves of the address.
+func (a Addr) Uint64s() (hi, lo uint64) {
+	for i := 0; i < 8; i++ {
+		hi = hi<<8 | uint64(a[i])
+		lo = lo<<8 | uint64(a[8+i])
+	}
+	return hi, lo
+}
+
+// Bytes returns the 16-byte representation of the address.
+func (a Addr) Bytes() [16]byte { return [16]byte(a) }
+
+// IsZero reports whether a is the unspecified address "::".
+func (a Addr) IsZero() bool {
+	return a == Addr{}
+}
+
+// Is4In6 reports whether a is an IPv4-mapped IPv6 address (::ffff:0:0/96).
+func (a Addr) Is4In6() bool {
+	for i := 0; i < 10; i++ {
+		if a[i] != 0 {
+			return false
+		}
+	}
+	return a[10] == 0xff && a[11] == 0xff
+}
+
+// Nybble returns the value of the i-th nybble (0-based, 0..31), most
+// significant first.
+func (a Addr) Nybble(i int) byte {
+	b := a[i/2]
+	if i%2 == 0 {
+		return b >> 4
+	}
+	return b & 0x0f
+}
+
+// SetNybble returns a copy of the address with the i-th nybble (0-based)
+// set to v (only the low 4 bits of v are used).
+func (a Addr) SetNybble(i int, v byte) Addr {
+	v &= 0x0f
+	if i%2 == 0 {
+		a[i/2] = a[i/2]&0x0f | v<<4
+	} else {
+		a[i/2] = a[i/2]&0xf0 | v
+	}
+	return a
+}
+
+// Nybbles expands the address into its 32 nybble values.
+func (a Addr) Nybbles() Nybbles {
+	var n Nybbles
+	for i := 0; i < 16; i++ {
+		n[2*i] = a[i] >> 4
+		n[2*i+1] = a[i] & 0x0f
+	}
+	return n
+}
+
+// Addr packs 32 nybble values back into an address. Nybble values must be
+// in the range 0-15; higher bits are masked off.
+func (n Nybbles) Addr() Addr {
+	var a Addr
+	for i := 0; i < 16; i++ {
+		a[i] = n[2*i]&0x0f<<4 | n[2*i+1]&0x0f
+	}
+	return a
+}
+
+// String returns the nybbles as a 32-character lowercase hexadecimal
+// string, e.g. "20010db8000000000000000000000001".
+func (n Nybbles) String() string {
+	var b [NybbleCount]byte
+	for i, v := range n {
+		b[i] = hexDigit(v & 0x0f)
+	}
+	return string(b[:])
+}
+
+// Field extracts nybbles [start, start+width) as an unsigned integer, most
+// significant nybble first. Width must be between 0 and 16; wider fields do
+// not fit in a uint64 and cause a panic, which matches the segmentation
+// invariant that no segment crosses the 64-bit boundary.
+func (n Nybbles) Field(start, width int) uint64 {
+	if width < 0 || width > 16 || start < 0 || start+width > NybbleCount {
+		panic(fmt.Sprintf("ip6: invalid nybble field [%d,%d)", start, start+width))
+	}
+	var v uint64
+	for i := start; i < start+width; i++ {
+		v = v<<4 | uint64(n[i]&0x0f)
+	}
+	return v
+}
+
+// SetField writes the width lowest nybbles of v into nybbles
+// [start, start+width), most significant first, and returns the result.
+func (n Nybbles) SetField(start, width int, v uint64) Nybbles {
+	if width < 0 || width > 16 || start < 0 || start+width > NybbleCount {
+		panic(fmt.Sprintf("ip6: invalid nybble field [%d,%d)", start, start+width))
+	}
+	for i := width - 1; i >= 0; i-- {
+		n[start+i] = byte(v & 0x0f)
+		v >>= 4
+	}
+	return n
+}
+
+// Field extracts nybbles [start, start+width) of the address as an
+// unsigned integer. See Nybbles.Field for constraints.
+func (a Addr) Field(start, width int) uint64 {
+	return a.Nybbles().Field(start, width)
+}
+
+// SetField writes the width lowest nybbles of v into the address at nybble
+// positions [start, start+width) and returns the result.
+func (a Addr) SetField(start, width int, v uint64) Addr {
+	return a.Nybbles().SetField(start, width, v).Addr()
+}
+
+// Compare returns -1, 0 or +1 depending on whether a sorts before, equal
+// to, or after b in numeric (network byte) order.
+func (a Addr) Compare(b Addr) int {
+	for i := 0; i < 16; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Less reports whether a sorts strictly before b.
+func (a Addr) Less(b Addr) bool { return a.Compare(b) < 0 }
+
+// Hex returns the fixed-width 32-character hexadecimal form of the address
+// (no colons), as used by the paper's Fig. 3.
+func (a Addr) Hex() string {
+	return a.Nybbles().String()
+}
+
+// String returns the canonical RFC 5952 textual representation of the
+// address (lowercase, zero compression of the longest run of zero groups,
+// no leading zeros within groups).
+func (a Addr) String() string {
+	// RFC 5952 §5: IPv4-mapped addresses use mixed notation.
+	if a.Is4In6() {
+		return fmt.Sprintf("::ffff:%d.%d.%d.%d", a[12], a[13], a[14], a[15])
+	}
+	var groups [8]uint16
+	for i := 0; i < 8; i++ {
+		groups[i] = uint16(a[2*i])<<8 | uint16(a[2*i+1])
+	}
+	// Find the longest run of zero groups (length >= 2) for "::".
+	bestStart, bestLen := -1, 1
+	runStart, runLen := -1, 0
+	for i := 0; i < 8; i++ {
+		if groups[i] == 0 {
+			if runStart < 0 {
+				runStart, runLen = i, 1
+			} else {
+				runLen++
+			}
+			if runLen > bestLen {
+				bestStart, bestLen = runStart, runLen
+			}
+		} else {
+			runStart, runLen = -1, 0
+		}
+	}
+	buf := make([]byte, 0, 41)
+	for i := 0; i < 8; i++ {
+		if bestStart >= 0 && i == bestStart {
+			buf = append(buf, ':', ':')
+			i += bestLen - 1
+			continue
+		}
+		if len(buf) > 0 && buf[len(buf)-1] != ':' {
+			buf = append(buf, ':')
+		}
+		buf = appendHexGroup(buf, groups[i])
+	}
+	if len(buf) == 0 {
+		return "::"
+	}
+	return string(buf)
+}
+
+// Expanded returns the fully expanded, colon-separated form of the address,
+// e.g. "2001:0db8:0000:0000:0000:0000:0000:0001".
+func (a Addr) Expanded() string {
+	buf := make([]byte, 0, 39)
+	for i := 0; i < 8; i++ {
+		if i > 0 {
+			buf = append(buf, ':')
+		}
+		g := uint16(a[2*i])<<8 | uint16(a[2*i+1])
+		buf = append(buf, hexDigit(byte(g>>12)), hexDigit(byte(g>>8&0xf)),
+			hexDigit(byte(g>>4&0xf)), hexDigit(byte(g&0xf)))
+	}
+	return string(buf)
+}
+
+// MarshalText implements encoding.TextMarshaler using the canonical form.
+func (a Addr) MarshalText() ([]byte, error) { return []byte(a.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler; it accepts any form
+// accepted by ParseAddr.
+func (a *Addr) UnmarshalText(text []byte) error {
+	p, err := ParseAddr(string(text))
+	if err != nil {
+		return err
+	}
+	*a = p
+	return nil
+}
+
+func appendHexGroup(buf []byte, g uint16) []byte {
+	started := false
+	for shift := 12; shift >= 0; shift -= 4 {
+		d := byte(g >> uint(shift) & 0xf)
+		if d != 0 || started || shift == 0 {
+			buf = append(buf, hexDigit(d))
+			started = true
+		}
+	}
+	return buf
+}
+
+func hexDigit(v byte) byte {
+	if v < 10 {
+		return '0' + v
+	}
+	return 'a' + v - 10
+}
+
+// ErrNotNybble is returned when a hexadecimal digit was expected.
+var ErrNotNybble = errors.New("ip6: not a hexadecimal digit")
+
+func hexValue(c byte) (byte, error) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', nil
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, nil
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, nil
+	}
+	return 0, ErrNotNybble
+}

@@ -1,0 +1,172 @@
+package ip6
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseAddr parses an IPv6 address in any of the textual forms of RFC 4291
+// §2.2: fully expanded groups, zero-compressed ("::"), and forms with an
+// embedded dotted-quad IPv4 address in the low 32 bits. It also accepts the
+// fixed-width 32-character hexadecimal form (no colons) used by the paper.
+func ParseAddr(s string) (Addr, error) {
+	var a Addr
+	if s == "" {
+		return a, fmt.Errorf("ip6: empty address")
+	}
+	// Fixed-width hex form, e.g. "20010db8000000000000000000000001".
+	if !strings.ContainsAny(s, ":.") {
+		return ParseHex(s)
+	}
+	orig := s
+
+	// Leading "::".
+	var groups []uint16
+	compressAt := -1 // index in groups where "::" appeared
+	if strings.HasPrefix(s, "::") {
+		compressAt = 0
+		s = s[2:]
+		if s == "" {
+			return a, nil // "::"
+		}
+	} else if strings.HasPrefix(s, ":") {
+		return a, fmt.Errorf("ip6: %q: address cannot start with a single colon", orig)
+	}
+
+	for s != "" {
+		// Embedded IPv4 must be the final piece.
+		if i := strings.IndexByte(s, ':'); i < 0 && strings.Contains(s, ".") {
+			v4, err := parseIPv4(s)
+			if err != nil {
+				return a, fmt.Errorf("ip6: %q: %v", orig, err)
+			}
+			groups = append(groups, uint16(v4>>16), uint16(v4&0xffff))
+			s = ""
+			break
+		}
+		var piece string
+		if i := strings.IndexByte(s, ':'); i >= 0 {
+			piece, s = s[:i], s[i+1:]
+			if s == "" && piece != "" {
+				// trailing single colon, e.g. "1:2:"
+				return a, fmt.Errorf("ip6: %q: trailing colon", orig)
+			}
+		} else {
+			piece, s = s, ""
+		}
+		if piece == "" {
+			// "::" in the middle (or at the end).
+			if compressAt >= 0 {
+				return a, fmt.Errorf("ip6: %q: multiple \"::\"", orig)
+			}
+			compressAt = len(groups)
+			continue
+		}
+		if len(piece) > 4 {
+			// Could still be an embedded IPv4 in a middle position, which
+			// is invalid; report group error.
+			return a, fmt.Errorf("ip6: %q: group %q too long", orig, piece)
+		}
+		var g uint16
+		for i := 0; i < len(piece); i++ {
+			v, err := hexValue(piece[i])
+			if err != nil {
+				return a, fmt.Errorf("ip6: %q: invalid character %q", orig, piece[i])
+			}
+			g = g<<4 | uint16(v)
+		}
+		groups = append(groups, g)
+		if len(groups) > 8 {
+			return a, fmt.Errorf("ip6: %q: too many groups", orig)
+		}
+	}
+
+	switch {
+	case compressAt < 0 && len(groups) != 8:
+		return a, fmt.Errorf("ip6: %q: expected 8 groups, got %d", orig, len(groups))
+	case compressAt >= 0 && len(groups) >= 8:
+		return a, fmt.Errorf("ip6: %q: \"::\" must compress at least one group", orig)
+	}
+
+	out := make([]uint16, 8)
+	if compressAt < 0 {
+		copy(out, groups)
+	} else {
+		copy(out, groups[:compressAt])
+		tail := groups[compressAt:]
+		copy(out[8-len(tail):], tail)
+	}
+	for i, g := range out {
+		a[2*i] = byte(g >> 8)
+		a[2*i+1] = byte(g)
+	}
+	return a, nil
+}
+
+// MustParseAddr is like ParseAddr but panics on error. It is intended for
+// tests and for package-level constants built from literals.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// ParseHex parses the fixed-width 32-character hexadecimal form of an IPv6
+// address (no colons), as used in the paper's Fig. 3 and by the dataset
+// files in this repository. Shorter strings are rejected.
+func ParseHex(s string) (Addr, error) {
+	var a Addr
+	if len(s) != NybbleCount {
+		return a, fmt.Errorf("ip6: fixed-width form must have %d hex characters, got %d", NybbleCount, len(s))
+	}
+	var n Nybbles
+	for i := 0; i < NybbleCount; i++ {
+		v, err := hexValue(s[i])
+		if err != nil {
+			return a, fmt.Errorf("ip6: invalid hex character %q at position %d", s[i], i)
+		}
+		n[i] = v
+	}
+	return n.Addr(), nil
+}
+
+// MustParseHex is like ParseHex but panics on error.
+func MustParseHex(s string) Addr {
+	a, err := ParseHex(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// parseIPv4 parses a dotted-quad IPv4 address into a uint32.
+func parseIPv4(s string) (uint32, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("embedded IPv4 %q: expected 4 octets", s)
+	}
+	var v uint32
+	for _, p := range parts {
+		if p == "" || len(p) > 3 {
+			return 0, fmt.Errorf("embedded IPv4 %q: bad octet %q", s, p)
+		}
+		var o uint32
+		for i := 0; i < len(p); i++ {
+			c := p[i]
+			if c < '0' || c > '9' {
+				return 0, fmt.Errorf("embedded IPv4 %q: bad octet %q", s, p)
+			}
+			o = o*10 + uint32(c-'0')
+		}
+		if o > 255 {
+			return 0, fmt.Errorf("embedded IPv4 %q: octet %q out of range", s, p)
+		}
+		if len(p) > 1 && p[0] == '0' {
+			return 0, fmt.Errorf("embedded IPv4 %q: octet %q has leading zero", s, p)
+		}
+		v = v<<8 | o
+	}
+	return v, nil
+}

@@ -1,0 +1,177 @@
+package ip6
+
+import "sort"
+
+// Set is an unordered collection of unique IPv6 addresses.
+//
+// The zero value is not ready for use; call NewSet.
+type Set struct {
+	m map[Addr]struct{}
+}
+
+// NewSet returns an empty address set with capacity hint n.
+func NewSet(n int) *Set {
+	return &Set{m: make(map[Addr]struct{}, n)}
+}
+
+// SetOf returns a set containing the given addresses (duplicates removed).
+func SetOf(addrs ...Addr) *Set {
+	s := NewSet(len(addrs))
+	for _, a := range addrs {
+		s.Add(a)
+	}
+	return s
+}
+
+// Add inserts the address and reports whether it was not already present.
+func (s *Set) Add(a Addr) bool {
+	if _, ok := s.m[a]; ok {
+		return false
+	}
+	s.m[a] = struct{}{}
+	return true
+}
+
+// AddAll inserts every address in the slice and returns the number of
+// addresses that were newly added.
+func (s *Set) AddAll(addrs []Addr) int {
+	added := 0
+	for _, a := range addrs {
+		if s.Add(a) {
+			added++
+		}
+	}
+	return added
+}
+
+// Contains reports whether the address is in the set.
+func (s *Set) Contains(a Addr) bool {
+	_, ok := s.m[a]
+	return ok
+}
+
+// Remove deletes the address and reports whether it was present.
+func (s *Set) Remove(a Addr) bool {
+	if _, ok := s.m[a]; !ok {
+		return false
+	}
+	delete(s.m, a)
+	return true
+}
+
+// Len returns the number of addresses in the set.
+func (s *Set) Len() int { return len(s.m) }
+
+// Slice returns the addresses in the set in unspecified order.
+func (s *Set) Slice() []Addr {
+	out := make([]Addr, 0, len(s.m))
+	for a := range s.m {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Sorted returns the addresses in the set in ascending numeric order.
+func (s *Set) Sorted() []Addr {
+	out := s.Slice()
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Prefixes returns the set of distinct prefixes of the given bit length
+// covering the addresses in the set.
+func (s *Set) Prefixes(bits int) *PrefixSet {
+	ps := NewPrefixSet(len(s.m))
+	for a := range s.m {
+		ps.Add(PrefixFrom(a, bits))
+	}
+	return ps
+}
+
+// Dedup returns the unique addresses from the slice, preserving the order
+// of first occurrence.
+func Dedup(addrs []Addr) []Addr {
+	seen := make(map[Addr]struct{}, len(addrs))
+	out := make([]Addr, 0, len(addrs))
+	for _, a := range addrs {
+		if _, ok := seen[a]; ok {
+			continue
+		}
+		seen[a] = struct{}{}
+		out = append(out, a)
+	}
+	return out
+}
+
+// SortAddrs sorts the slice of addresses in ascending numeric order,
+// in place, and returns it.
+func SortAddrs(addrs []Addr) []Addr {
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+	return addrs
+}
+
+// PrefixSet is an unordered collection of unique prefixes.
+type PrefixSet struct {
+	m map[Prefix]struct{}
+}
+
+// NewPrefixSet returns an empty prefix set with capacity hint n.
+func NewPrefixSet(n int) *PrefixSet {
+	return &PrefixSet{m: make(map[Prefix]struct{}, n)}
+}
+
+// Add inserts the prefix and reports whether it was not already present.
+func (s *PrefixSet) Add(p Prefix) bool {
+	if _, ok := s.m[p]; ok {
+		return false
+	}
+	s.m[p] = struct{}{}
+	return true
+}
+
+// Contains reports whether the prefix is in the set.
+func (s *PrefixSet) Contains(p Prefix) bool {
+	_, ok := s.m[p]
+	return ok
+}
+
+// ContainsAddr reports whether any prefix in the set of the given length
+// contains the address. It is a convenience for hit-testing candidate /64s.
+func (s *PrefixSet) ContainsAddr(a Addr, bits int) bool {
+	return s.Contains(PrefixFrom(a, bits))
+}
+
+// Len returns the number of prefixes in the set.
+func (s *PrefixSet) Len() int { return len(s.m) }
+
+// Slice returns the prefixes in unspecified order.
+func (s *PrefixSet) Slice() []Prefix {
+	out := make([]Prefix, 0, len(s.m))
+	for p := range s.m {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Sorted returns the prefixes sorted by base address, then by length.
+func (s *PrefixSet) Sorted() []Prefix {
+	out := s.Slice()
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].addr.Compare(out[j].addr); c != 0 {
+			return c < 0
+		}
+		return out[i].bits < out[j].bits
+	})
+	return out
+}
+
+// Diff returns the prefixes in s that are not in other.
+func (s *PrefixSet) Diff(other *PrefixSet) *PrefixSet {
+	out := NewPrefixSet(0)
+	for p := range s.m {
+		if !other.Contains(p) {
+			out.Add(p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package ip6
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(4)
+	a := MustParseAddr("2001:db8::1")
+	b := MustParseAddr("2001:db8::2")
+	if !s.Add(a) || !s.Add(b) {
+		t.Error("Add of new addresses should return true")
+	}
+	if s.Add(a) {
+		t.Error("Add of duplicate should return false")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len() = %d", s.Len())
+	}
+	if !s.Contains(a) || s.Contains(MustParseAddr("2001:db8::3")) {
+		t.Error("Contains wrong")
+	}
+	if !s.Remove(a) || s.Remove(a) {
+		t.Error("Remove semantics wrong")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len() after remove = %d", s.Len())
+	}
+}
+
+func TestSetAddAllAndSorted(t *testing.T) {
+	addrs := []Addr{
+		MustParseAddr("2001:db8::3"),
+		MustParseAddr("2001:db8::1"),
+		MustParseAddr("2001:db8::2"),
+		MustParseAddr("2001:db8::1"), // duplicate
+	}
+	s := NewSet(0)
+	if got := s.AddAll(addrs); got != 3 {
+		t.Errorf("AddAll = %d, want 3", got)
+	}
+	sorted := s.Sorted()
+	for i := 1; i < len(sorted); i++ {
+		if !sorted[i-1].Less(sorted[i]) {
+			t.Errorf("Sorted not ascending at %d", i)
+		}
+	}
+	if len(s.Slice()) != 3 {
+		t.Error("Slice length wrong")
+	}
+}
+
+func TestSetOfAndPrefixes(t *testing.T) {
+	s := SetOf(
+		MustParseAddr("2001:db8:1::1"),
+		MustParseAddr("2001:db8:1::2"),
+		MustParseAddr("2001:db8:2::1"),
+	)
+	ps := s.Prefixes(48)
+	if ps.Len() != 2 {
+		t.Errorf("distinct /48s = %d, want 2", ps.Len())
+	}
+	if !ps.Contains(MustParsePrefix("2001:db8:1::/48")) {
+		t.Error("missing expected /48")
+	}
+}
+
+func TestDedupPreservesOrder(t *testing.T) {
+	a := MustParseAddr("2001:db8::a")
+	b := MustParseAddr("2001:db8::b")
+	in := []Addr{b, a, b, a, b}
+	out := Dedup(in)
+	if len(out) != 2 || out[0] != b || out[1] != a {
+		t.Errorf("Dedup = %v", out)
+	}
+}
+
+func TestSortAddrs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]Addr, 100)
+	for i := range addrs {
+		var b [16]byte
+		rng.Read(b[:])
+		addrs[i] = AddrFrom16(b)
+	}
+	SortAddrs(addrs)
+	for i := 1; i < len(addrs); i++ {
+		if addrs[i].Less(addrs[i-1]) {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestPrefixSetDiff(t *testing.T) {
+	a := NewPrefixSet(0)
+	b := NewPrefixSet(0)
+	p1 := MustParsePrefix("2001:db8:1::/48")
+	p2 := MustParsePrefix("2001:db8:2::/48")
+	p3 := MustParsePrefix("2001:db8:3::/48")
+	a.Add(p1)
+	a.Add(p2)
+	b.Add(p2)
+	b.Add(p3)
+	diff := a.Diff(b)
+	if diff.Len() != 1 || !diff.Contains(p1) {
+		t.Errorf("Diff = %v", diff.Slice())
+	}
+}
+
+func TestPrefixSetSortedAndContainsAddr(t *testing.T) {
+	s := NewPrefixSet(0)
+	s.Add(MustParsePrefix("2001:db8:2::/48"))
+	s.Add(MustParsePrefix("2001:db8:1::/48"))
+	if s.Add(MustParsePrefix("2001:db8:1::/48")) {
+		t.Error("duplicate Add should return false")
+	}
+	sorted := s.Sorted()
+	if len(sorted) != 2 || sorted[0].String() != "2001:db8:1::/48" {
+		t.Errorf("Sorted = %v", sorted)
+	}
+	if !s.ContainsAddr(MustParseAddr("2001:db8:1:2::3"), 48) {
+		t.Error("ContainsAddr should be true")
+	}
+	if s.ContainsAddr(MustParseAddr("2001:db8:9::1"), 48) {
+		t.Error("ContainsAddr should be false")
+	}
+}
+
+func TestPrefixCounter(t *testing.T) {
+	c := NewPrefixCounter()
+	if c.Count(1) != 0 || c.Count(0) != 0 {
+		t.Error("empty counter should have zero counts")
+	}
+	addrs := []Addr{
+		MustParseAddr("2001:db8:1::1"),
+		MustParseAddr("2001:db8:1::2"),
+		MustParseAddr("2001:db8:2::1"),
+		MustParseAddr("3001:db8::1"),
+	}
+	c.AddAll(addrs)
+	if c.Addrs() != 4 {
+		t.Errorf("Addrs() = %d", c.Addrs())
+	}
+	if got := c.Count(0); got != 1 {
+		t.Errorf("Count(0) = %d, want 1", got)
+	}
+	// First nybble: "2" and "3" -> 2 distinct.
+	if got := c.Count(1); got != 2 {
+		t.Errorf("Count(1) = %d, want 2", got)
+	}
+	// 12 nybbles = 48 bits: 2001:db8:1, 2001:db8:2, 3001:db8:0 -> 3 distinct.
+	if got := c.Count(12); got != 3 {
+		t.Errorf("Count(12) = %d, want 3", got)
+	}
+	// Full length: 4 distinct addresses.
+	if got := c.Count(32); got != 4 {
+		t.Errorf("Count(32) = %d, want 4", got)
+	}
+	if c.Count(-1) != 0 || c.Count(33) != 0 {
+		t.Error("out of range Count should be 0")
+	}
+	counts := c.Counts()
+	if counts[32] != 4 {
+		t.Error("Counts()[32] wrong")
+	}
+}
+
+func TestPrefixCounterDuplicates(t *testing.T) {
+	c := NewPrefixCounter()
+	a := MustParseAddr("2001:db8::1")
+	c.Add(a)
+	c.Add(a)
+	if c.Count(32) != 1 {
+		t.Errorf("duplicate addresses should count once, got %d", c.Count(32))
+	}
+	if c.Addrs() != 2 {
+		t.Errorf("Addrs() = %d, want 2", c.Addrs())
+	}
+}
+
+func TestPrefixCounterZeroValue(t *testing.T) {
+	var c PrefixCounter
+	c.Add(MustParseAddr("2001:db8::1"))
+	if c.Count(32) != 1 {
+		t.Error("zero-value counter should work after Add")
+	}
+}

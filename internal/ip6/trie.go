@@ -1,0 +1,69 @@
+package ip6
+
+// PrefixCounter counts the number of distinct prefixes observed at every
+// 4-bit (nybble-aligned) prefix length. It is the data structure behind the
+// Aggregate Count Ratio plots: inserting every address of a dataset yields,
+// for each nybble depth d (1..32), the number of distinct 4·d-bit prefixes.
+//
+// The implementation is a 16-way (nybble) trie. Memory is proportional to
+// the number of distinct prefixes at all depths, which for the datasets in
+// this repository is far smaller than the number of addresses.
+type PrefixCounter struct {
+	root   *trieNode
+	counts [NybbleCount + 1]int // counts[d] = distinct prefixes of d nybbles; counts[0] is 1 if any address was added
+	addrs  int
+}
+
+type trieNode struct {
+	children [16]*trieNode
+}
+
+// NewPrefixCounter returns an empty counter.
+func NewPrefixCounter() *PrefixCounter {
+	return &PrefixCounter{root: &trieNode{}}
+}
+
+// Add inserts an address into the counter.
+func (c *PrefixCounter) Add(a Addr) {
+	if c.root == nil {
+		c.root = &trieNode{}
+	}
+	c.addrs++
+	if c.addrs == 1 {
+		c.counts[0] = 1
+	}
+	n := c.root
+	nyb := a.Nybbles()
+	for d := 0; d < NybbleCount; d++ {
+		v := nyb[d]
+		child := n.children[v]
+		if child == nil {
+			child = &trieNode{}
+			n.children[v] = child
+			c.counts[d+1]++
+		}
+		n = child
+	}
+}
+
+// AddAll inserts every address in the slice.
+func (c *PrefixCounter) AddAll(addrs []Addr) {
+	for _, a := range addrs {
+		c.Add(a)
+	}
+}
+
+// Addrs returns the number of addresses added (with multiplicity).
+func (c *PrefixCounter) Addrs() int { return c.addrs }
+
+// Count returns the number of distinct prefixes of length d nybbles
+// (4·d bits) observed. Count(0) is 1 when any address has been added.
+func (c *PrefixCounter) Count(d int) int {
+	if d < 0 || d > NybbleCount {
+		return 0
+	}
+	return c.counts[d]
+}
+
+// Counts returns the distinct-prefix count for every nybble depth 0..32.
+func (c *PrefixCounter) Counts() [NybbleCount + 1]int { return c.counts }

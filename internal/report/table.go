@@ -1,0 +1,112 @@
+// Package report formats the tables of the paper's evaluation section and
+// implements the experiment runners that regenerate every table and figure
+// (Tables 1-6, Figures 1-10) on top of the synthetic dataset catalog. The
+// bench harness (bench_test.go) and the eipreport command are thin wrappers
+// around this package.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple text table with a title, a header and rows.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row; values are formatted with %v.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	update := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	update(t.Header)
+	for _, r := range t.Rows {
+		update(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Percent formats a ratio as a percentage with adaptive precision, like the
+// paper's tables ("43%", "0.55%").
+func Percent(x float64) string {
+	p := x * 100
+	switch {
+	case p >= 10:
+		return fmt.Sprintf("%.0f%%", p)
+	case p >= 1:
+		return fmt.Sprintf("%.1f%%", p)
+	default:
+		return fmt.Sprintf("%.2f%%", p)
+	}
+}
+
+// Count formats a count the way the paper does: "6.4 K", "160 K", "1.2 M".
+func Count(n int) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.1f G", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.1f M", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.1f K", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

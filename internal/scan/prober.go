@@ -1,0 +1,94 @@
+package scan
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"entropyip/internal/ip6"
+)
+
+// Outcome is the result of probing one candidate address.
+type Outcome struct {
+	// InTestSet reports whether the candidate is an active address of the
+	// universe (membership in the held-out test set, the paper's first
+	// column).
+	InTestSet bool
+	// Ping reports whether the candidate answered an echo probe.
+	Ping bool
+	// RDNS reports whether the candidate has a reverse DNS record.
+	RDNS bool
+}
+
+// Positive reports whether any oracle succeeded (the paper's "Overall"
+// column counts candidates that passed at least one test).
+func (o Outcome) Positive() bool { return o.InTestSet || o.Ping || o.RDNS }
+
+// Prober probes one candidate address against a target network.
+type Prober interface {
+	Probe(ctx context.Context, addr ip6.Addr) (Outcome, error)
+}
+
+// MemProber probes a Universe directly in memory. It can optionally drop a
+// fraction of echo responses (transient loss) and inject per-probe latency,
+// which is useful to exercise the scanner's concurrency under realistic
+// conditions.
+type MemProber struct {
+	Universe *Universe
+	// LossRate is the probability that a ping to a pingable host goes
+	// unanswered (false negatives), as the paper acknowledges can happen.
+	LossRate float64
+	// Latency, if positive, is the simulated per-probe round-trip time.
+	Latency time.Duration
+	// Seed seeds the loss process.
+	Seed int64
+
+	once sync.Once
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+// Probe implements Prober.
+func (p *MemProber) Probe(ctx context.Context, addr ip6.Addr) (Outcome, error) {
+	p.once.Do(func() { p.rng = rand.New(rand.NewSource(p.Seed)) })
+	if p.Latency > 0 {
+		select {
+		case <-time.After(p.Latency):
+		case <-ctx.Done():
+			return Outcome{}, ctx.Err()
+		}
+	} else if err := ctx.Err(); err != nil {
+		return Outcome{}, err
+	}
+	out := Outcome{
+		InTestSet: p.Universe.Active(addr),
+		RDNS:      p.Universe.HasRDNS(addr),
+	}
+	if p.Universe.Pingable(addr) {
+		lost := false
+		if p.LossRate > 0 {
+			p.mu.Lock()
+			lost = p.rng.Float64() < p.LossRate
+			p.mu.Unlock()
+		}
+		out.Ping = !lost
+	}
+	return out, nil
+}
+
+// PrefixProber evaluates candidate /64 prefixes instead of full addresses:
+// a candidate counts as a hit when its /64 holds at least one active host
+// (§5.6 of the paper). It reports the hit through the InTestSet field.
+type PrefixProber struct {
+	Universe *Universe
+}
+
+// Probe implements Prober for /64 candidates; the address is truncated to
+// its /64 before the lookup.
+func (p *PrefixProber) Probe(ctx context.Context, addr ip6.Addr) (Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{InTestSet: p.Universe.ActivePrefix64(addr)}, nil
+}

@@ -1,0 +1,156 @@
+package scan
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"entropyip/internal/ip6"
+)
+
+// Config controls a scanning campaign.
+type Config struct {
+	// Workers is the number of concurrent probing goroutines (default:
+	// GOMAXPROCS, minimum 1).
+	Workers int
+	// TrainingPrefixes, if set, is used to decide which hit /64s count as
+	// "new" — prefixes not seen in the training data (the paper's last
+	// column of Table 4).
+	TrainingPrefixes *ip6.PrefixSet
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Result summarizes a scanning campaign, with the same accounting as the
+// paper's Table 4.
+type Result struct {
+	// Candidates is the number of candidates probed.
+	Candidates int
+	// TestSet is the number of candidates found in the held-out test set.
+	TestSet int
+	// Ping is the number of candidates that answered echo probes.
+	Ping int
+	// RDNS is the number of candidates with reverse DNS records.
+	RDNS int
+	// Overall is the number of candidates that passed at least one test.
+	Overall int
+	// NewPrefixes64 is the number of distinct /64 prefixes among positive
+	// candidates that were not present in the training data.
+	NewPrefixes64 int
+	// Hits holds the positive candidate addresses.
+	Hits []ip6.Addr
+	// Errors counts probe errors (timeouts, socket failures).
+	Errors int
+}
+
+// SuccessRate returns Overall divided by Candidates.
+func (r Result) SuccessRate() float64 {
+	if r.Candidates == 0 {
+		return 0
+	}
+	return float64(r.Overall) / float64(r.Candidates)
+}
+
+// String renders the result as a compact one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("candidates=%d testset=%d ping=%d rdns=%d overall=%d (%.2f%%) new/64s=%d errors=%d",
+		r.Candidates, r.TestSet, r.Ping, r.RDNS, r.Overall, 100*r.SuccessRate(), r.NewPrefixes64, r.Errors)
+}
+
+// Run probes every candidate with the given prober using a worker pool and
+// aggregates the outcome. The context cancels the whole campaign.
+func Run(ctx context.Context, prober Prober, candidates []ip6.Addr, cfg Config) (Result, error) {
+	if prober == nil {
+		return Result{}, fmt.Errorf("scan: nil prober")
+	}
+	type indexed struct {
+		addr    ip6.Addr
+		outcome Outcome
+		err     error
+	}
+	jobs := make(chan ip6.Addr)
+	results := make(chan indexed)
+	var wg sync.WaitGroup
+	workers := cfg.workers()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for addr := range jobs {
+				out, err := prober.Probe(ctx, addr)
+				select {
+				case results <- indexed{addr: addr, outcome: out, err: err}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for _, a := range candidates {
+			select {
+			case jobs <- a:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	res := Result{}
+	newPrefixes := ip6.NewPrefixSet(0)
+	for r := range results {
+		res.Candidates++
+		if r.err != nil {
+			res.Errors++
+			continue
+		}
+		o := r.outcome
+		if o.InTestSet {
+			res.TestSet++
+		}
+		if o.Ping {
+			res.Ping++
+		}
+		if o.RDNS {
+			res.RDNS++
+		}
+		if o.Positive() {
+			res.Overall++
+			res.Hits = append(res.Hits, r.addr)
+			p64 := ip6.Prefix64(r.addr)
+			if cfg.TrainingPrefixes == nil || !cfg.TrainingPrefixes.Contains(p64) {
+				newPrefixes.Add(p64)
+			}
+		}
+	}
+	res.NewPrefixes64 = newPrefixes.Len()
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// TrainingPrefixSet is a convenience that builds the /64 prefix set of a
+// training sample for Config.TrainingPrefixes.
+func TrainingPrefixSet(train []ip6.Addr) *ip6.PrefixSet {
+	ps := ip6.NewPrefixSet(len(train))
+	for _, a := range train {
+		ps.Add(ip6.Prefix64(a))
+	}
+	return ps
+}

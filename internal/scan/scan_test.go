@@ -1,0 +1,223 @@
+package scan
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"entropyip/internal/ip6"
+)
+
+// smallUniverse builds a universe of n active addresses ::1, ::2, ... under
+// distinct /64s (one host per /64 for the first half, shared /64s after).
+func smallUniverse(n int, cfg UniverseConfig) (*Universe, []ip6.Addr) {
+	base := ip6.MustParseAddr("2001:db8::")
+	pop := make([]ip6.Addr, n)
+	for i := range pop {
+		a := base.SetField(12, 4, uint64(i/2)) // two hosts per /64
+		a = a.SetField(31, 1, uint64(i%2)+1)
+		pop[i] = a
+	}
+	return NewUniverse(pop, cfg), pop
+}
+
+func TestUniverseBasics(t *testing.T) {
+	u, pop := smallUniverse(100, UniverseConfig{PingFraction: 1, RDNSFraction: 1, Seed: 1})
+	if u.Size() != 100 {
+		t.Errorf("Size = %d", u.Size())
+	}
+	if u.Prefixes64() != 50 {
+		t.Errorf("Prefixes64 = %d", u.Prefixes64())
+	}
+	for _, a := range pop {
+		if !u.Active(a) || !u.Pingable(a) || !u.HasRDNS(a) || !u.ActivePrefix64(a) {
+			t.Fatalf("address %v should be fully active", a)
+		}
+	}
+	outside := ip6.MustParseAddr("2001:db9::1")
+	if u.Active(outside) || u.ActivePrefix64(outside) {
+		t.Error("outside address should not be active")
+	}
+}
+
+func TestUniverseFractions(t *testing.T) {
+	u, pop := smallUniverse(4000, UniverseConfig{PingFraction: 0.8, RDNSFraction: 0.5, Seed: 2})
+	ping, rdns := 0, 0
+	for _, a := range pop {
+		if u.Pingable(a) {
+			ping++
+		}
+		if u.HasRDNS(a) {
+			rdns++
+		}
+	}
+	if f := float64(ping) / 4000; f < 0.75 || f > 0.85 {
+		t.Errorf("ping fraction = %v", f)
+	}
+	if f := float64(rdns) / 4000; f < 0.45 || f > 0.55 {
+		t.Errorf("rdns fraction = %v", f)
+	}
+	// Duplicate population entries are deduplicated.
+	u2 := NewUniverse(append(pop, pop...), UniverseConfig{Seed: 3})
+	if u2.Size() != 4000 {
+		t.Errorf("duplicates should not inflate the universe: %d", u2.Size())
+	}
+}
+
+func TestMemProberOutcomes(t *testing.T) {
+	u, pop := smallUniverse(50, UniverseConfig{PingFraction: 1, RDNSFraction: 1, Seed: 4})
+	p := &MemProber{Universe: u}
+	ctx := context.Background()
+	out, err := p.Probe(ctx, pop[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.InTestSet || !out.Ping || !out.RDNS || !out.Positive() {
+		t.Errorf("outcome = %+v", out)
+	}
+	miss, err := p.Probe(ctx, ip6.MustParseAddr("2001:db9::1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.Positive() {
+		t.Errorf("miss outcome = %+v", miss)
+	}
+	// Cancelled context.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := p.Probe(cancelled, pop[0]); err == nil {
+		t.Error("expected context error")
+	}
+	// Latency path respects cancellation.
+	slow := &MemProber{Universe: u, Latency: time.Second}
+	start := time.Now()
+	if _, err := slow.Probe(cancelled, pop[0]); err == nil {
+		t.Error("expected context error on latency path")
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Error("cancelled probe should return promptly")
+	}
+}
+
+func TestMemProberLoss(t *testing.T) {
+	u, pop := smallUniverse(2000, UniverseConfig{PingFraction: 1, RDNSFraction: 0.0001, Seed: 5})
+	p := &MemProber{Universe: u, LossRate: 0.5, Seed: 6}
+	ctx := context.Background()
+	answered := 0
+	for _, a := range pop {
+		out, err := p.Probe(ctx, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Ping {
+			answered++
+		}
+	}
+	if f := float64(answered) / float64(len(pop)); f < 0.4 || f > 0.6 {
+		t.Errorf("answered fraction = %v, want ~0.5", f)
+	}
+}
+
+func TestPrefixProber(t *testing.T) {
+	u, pop := smallUniverse(10, UniverseConfig{Seed: 7})
+	p := &PrefixProber{Universe: u}
+	ctx := context.Background()
+	// Any address inside an active /64 counts, even if the host itself is
+	// not active.
+	candidate := ip6.Prefix64(pop[0]).Addr().SetField(28, 4, 0xdead)
+	out, err := p.Probe(ctx, candidate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.InTestSet {
+		t.Error("candidate inside an active /64 should hit")
+	}
+	out, _ = p.Probe(ctx, ip6.MustParseAddr("2001:db9::1"))
+	if out.InTestSet {
+		t.Error("candidate outside active /64s should miss")
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := p.Probe(cancelled, pop[0]); err == nil {
+		t.Error("expected context error")
+	}
+}
+
+func TestRunAggregation(t *testing.T) {
+	u, pop := smallUniverse(200, UniverseConfig{PingFraction: 1, RDNSFraction: 1, Seed: 8})
+	// Candidates: the first 100 actives (in training /64s for the first
+	// 50), 100 misses.
+	train := pop[:50]
+	candidates := append([]ip6.Addr{}, pop[:100]...)
+	for i := 0; i < 100; i++ {
+		candidates = append(candidates, ip6.MustParseAddr("2001:db9::").SetField(24, 8, uint64(i+1)))
+	}
+	res, err := Run(context.Background(), &MemProber{Universe: u}, candidates, Config{
+		Workers:          4,
+		TrainingPrefixes: TrainingPrefixSet(train),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates != 200 {
+		t.Errorf("Candidates = %d", res.Candidates)
+	}
+	if res.TestSet != 100 || res.Ping != 100 || res.RDNS != 100 || res.Overall != 100 {
+		t.Errorf("counts = %+v", res)
+	}
+	if len(res.Hits) != 100 {
+		t.Errorf("hits = %d", len(res.Hits))
+	}
+	// Hits 0..99 live in /64s 0..49; training covered /64s 0..24 (first 50
+	// addresses = two per /64), so 25 new /64s.
+	if res.NewPrefixes64 != 25 {
+		t.Errorf("NewPrefixes64 = %d, want 25", res.NewPrefixes64)
+	}
+	if res.SuccessRate() != 0.5 {
+		t.Errorf("SuccessRate = %v", res.SuccessRate())
+	}
+	if res.String() == "" {
+		t.Error("String should not be empty")
+	}
+}
+
+func TestRunWithoutTrainingPrefixes(t *testing.T) {
+	u, pop := smallUniverse(20, UniverseConfig{PingFraction: 1, RDNSFraction: 1, Seed: 9})
+	res, err := Run(context.Background(), &MemProber{Universe: u}, pop, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NewPrefixes64 != 10 {
+		t.Errorf("all hit /64s count as new without training prefixes: %d", res.NewPrefixes64)
+	}
+}
+
+func TestRunNilProberAndEmpty(t *testing.T) {
+	if _, err := Run(context.Background(), nil, nil, Config{}); err == nil {
+		t.Error("nil prober should error")
+	}
+	res, err := Run(context.Background(), &MemProber{Universe: NewUniverse(nil, UniverseConfig{})}, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates != 0 || res.SuccessRate() != 0 {
+		t.Errorf("empty scan result = %+v", res)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	u, pop := smallUniverse(50, UniverseConfig{Seed: 10})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, &MemProber{Universe: u, Latency: 10 * time.Millisecond}, pop, Config{Workers: 2})
+	if err == nil {
+		t.Error("cancelled run should report the context error")
+	}
+}
+
+func TestZeroValueOutcome(t *testing.T) {
+	var o Outcome
+	if o.Positive() {
+		t.Error("zero outcome should not be positive")
+	}
+}

@@ -1,0 +1,189 @@
+package scan
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"entropyip/internal/ip6"
+)
+
+// The UDP prober/responder pair simulates ICMPv6 echo scanning over real
+// sockets on the loopback interface: the responder stands in for the
+// target network (it knows the ground-truth universe and answers probes
+// only for pingable addresses), and the prober sends one datagram per
+// candidate and waits for a reply with a deadline and retries. This
+// exercises a genuine network code path — sockets, timeouts, packet loss
+// handling, concurrent probing — without sending a single packet beyond
+// the loopback interface.
+
+// probeMagic distinguishes probe datagrams from stray traffic.
+var probeMagic = [4]byte{'e', 'i', 'p', '1'}
+
+// Responder answers UDP probe datagrams for the active addresses of a
+// universe. Start it with ListenAndServe and stop it by closing it or
+// cancelling the context.
+type Responder struct {
+	Universe *Universe
+	// DropRate silently ignores this fraction of valid probes (simulated
+	// loss); retries at the prober usually recover them.
+	DropRate float64
+
+	mu     sync.Mutex
+	conn   *net.UDPConn
+	closed bool
+	drop   func() bool
+}
+
+// Start binds the responder to an ephemeral UDP port on the loopback
+// interface and begins serving in a background goroutine. It returns the
+// bound address for probers to target.
+func (r *Responder) Start(ctx context.Context) (*net.UDPAddr, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv6loopback, Port: 0})
+	if err != nil {
+		// Fall back to IPv4 loopback for environments without ::1.
+		conn, err = net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})
+		if err != nil {
+			return nil, fmt.Errorf("scan: responder listen: %w", err)
+		}
+	}
+	r.mu.Lock()
+	r.conn = conn
+	r.mu.Unlock()
+	go r.serve(ctx, conn)
+	return conn.LocalAddr().(*net.UDPAddr), nil
+}
+
+// Close shuts the responder down.
+func (r *Responder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.conn == nil {
+		return nil
+	}
+	r.closed = true
+	return r.conn.Close()
+}
+
+func (r *Responder) serve(ctx context.Context, conn *net.UDPConn) {
+	defer r.Close()
+	buf := make([]byte, 64)
+	var lossCounter int
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, peer, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue
+			}
+			return // closed or fatal
+		}
+		if n != len(probeMagic)+16 {
+			continue
+		}
+		if [4]byte(buf[:4]) != probeMagic {
+			continue
+		}
+		addr, err := ip6.AddrFromBytes(buf[4 : 4+16])
+		if err != nil {
+			continue
+		}
+		if !r.Universe.Pingable(addr) {
+			continue // unreachable hosts stay silent, like real scanning
+		}
+		if r.DropRate > 0 {
+			// Deterministic but interleaved drop pattern (61 is coprime
+			// with 100, so drops spread evenly rather than clustering).
+			lossCounter++
+			if float64(lossCounter*61%100) < r.DropRate*100 {
+				continue
+			}
+		}
+		reply := append(append([]byte{}, probeMagic[:]...), buf[4:4+16]...)
+		_, _ = conn.WriteToUDP(reply, peer)
+	}
+}
+
+// UDPProber probes candidates by sending them to a Responder over UDP.
+type UDPProber struct {
+	// Target is the responder's address.
+	Target *net.UDPAddr
+	// Timeout is the per-attempt reply deadline (default 50ms).
+	Timeout time.Duration
+	// Retries is the number of additional attempts after a timeout
+	// (default 1).
+	Retries int
+}
+
+func (p *UDPProber) timeout() time.Duration {
+	if p.Timeout <= 0 {
+		return 50 * time.Millisecond
+	}
+	return p.Timeout
+}
+
+func (p *UDPProber) retries() int {
+	if p.Retries < 0 {
+		return 0
+	}
+	if p.Retries == 0 {
+		return 1
+	}
+	return p.Retries
+}
+
+// Probe implements Prober. A candidate whose probe receives a matching
+// reply within the deadline (after retries) is reported as Ping-positive;
+// silence means a miss, exactly as with real echo scanning.
+func (p *UDPProber) Probe(ctx context.Context, addr ip6.Addr) (Outcome, error) {
+	if p.Target == nil {
+		return Outcome{}, fmt.Errorf("scan: UDPProber has no target")
+	}
+	conn, err := net.DialUDP("udp", nil, p.Target)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("scan: dial responder: %w", err)
+	}
+	defer conn.Close()
+
+	payload := append(append([]byte{}, probeMagic[:]...), addrBytes(addr)...)
+	buf := make([]byte, 64)
+	attempts := 1 + p.retries()
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return Outcome{}, err
+		}
+		if _, err := conn.Write(payload); err != nil {
+			return Outcome{}, fmt.Errorf("scan: send probe: %w", err)
+		}
+		deadline := time.Now().Add(p.timeout())
+		if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
+			deadline = ctxDeadline
+		}
+		_ = conn.SetReadDeadline(deadline)
+		n, err := conn.Read(buf)
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue // retry or give up: host did not answer
+			}
+			return Outcome{}, fmt.Errorf("scan: read reply: %w", err)
+		}
+		if n == len(payload) && [4]byte(buf[:4]) == probeMagic && bytes.Equal(buf[4:4+16], addrBytes(addr)) {
+			return Outcome{Ping: true}, nil
+		}
+	}
+	return Outcome{Ping: false}, nil
+}
+
+func addrBytes(a ip6.Addr) []byte {
+	b := a.Bytes()
+	return b[:]
+}

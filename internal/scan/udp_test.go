@@ -1,0 +1,119 @@
+package scan
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"entropyip/internal/ip6"
+)
+
+func TestUDPProberAgainstResponder(t *testing.T) {
+	u, pop := smallUniverse(40, UniverseConfig{PingFraction: 1, RDNSFraction: 1, Seed: 20})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	responder := &Responder{Universe: u}
+	target, err := responder.Start(ctx)
+	if err != nil {
+		t.Skipf("cannot bind loopback UDP socket: %v", err)
+	}
+	defer responder.Close()
+
+	prober := &UDPProber{Target: target, Timeout: 100 * time.Millisecond, Retries: 2}
+	// Active addresses answer.
+	for _, a := range pop[:10] {
+		out, err := prober.Probe(ctx, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Ping {
+			t.Fatalf("active address %v did not answer", a)
+		}
+	}
+	// Inactive addresses stay silent (miss after timeout, no error).
+	miss, err := prober.Probe(ctx, ip6.MustParseAddr("2001:db9::1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.Ping {
+		t.Error("inactive address should not answer")
+	}
+}
+
+func TestUDPScanEndToEnd(t *testing.T) {
+	u, pop := smallUniverse(30, UniverseConfig{PingFraction: 1, RDNSFraction: 1, Seed: 21})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	responder := &Responder{Universe: u}
+	target, err := responder.Start(ctx)
+	if err != nil {
+		t.Skipf("cannot bind loopback UDP socket: %v", err)
+	}
+	defer responder.Close()
+
+	candidates := append([]ip6.Addr{}, pop[:20]...)
+	for i := 0; i < 10; i++ {
+		candidates = append(candidates, ip6.MustParseAddr("2001:db9::").SetField(28, 4, uint64(i+1)))
+	}
+	prober := &UDPProber{Target: target, Timeout: 60 * time.Millisecond, Retries: 1}
+	res, err := Run(ctx, prober, candidates, Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ping != 20 {
+		t.Errorf("Ping = %d, want 20 (got %+v)", res.Ping, res)
+	}
+	if res.Overall != 20 || res.Errors != 0 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestUDPResponderDropsAndRetries(t *testing.T) {
+	u, pop := smallUniverse(10, UniverseConfig{PingFraction: 1, RDNSFraction: 1, Seed: 22})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	responder := &Responder{Universe: u, DropRate: 0.5}
+	target, err := responder.Start(ctx)
+	if err != nil {
+		t.Skipf("cannot bind loopback UDP socket: %v", err)
+	}
+	defer responder.Close()
+	// With generous retries, drops are recovered.
+	prober := &UDPProber{Target: target, Timeout: 80 * time.Millisecond, Retries: 5}
+	answered := 0
+	for _, a := range pop {
+		out, err := prober.Probe(ctx, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Ping {
+			answered++
+		}
+	}
+	if answered < 8 {
+		t.Errorf("only %d/10 answered despite retries", answered)
+	}
+}
+
+func TestUDPProberErrors(t *testing.T) {
+	p := &UDPProber{}
+	if _, err := p.Probe(context.Background(), ip6.MustParseAddr("2001:db8::1")); err == nil {
+		t.Error("prober without target should error")
+	}
+}
+
+func TestResponderCloseIdempotent(t *testing.T) {
+	u, _ := smallUniverse(1, UniverseConfig{Seed: 23})
+	r := &Responder{Universe: u}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if _, err := r.Start(ctx); err != nil {
+		t.Skipf("cannot bind loopback UDP socket: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal("second Close should be a no-op")
+	}
+}

@@ -1,0 +1,262 @@
+// Package stats provides the small statistics substrate used by Entropy/IP:
+// frequency tables over categorical values, quartiles and Tukey outlier
+// detection (used by segment mining, §4.3 step (a)), histograms, and the
+// sampling helpers (uniform, reservoir and stratified sampling) used to
+// build training sets the way the paper does (§3, §5.1).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Freq is a frequency table over uint64-valued observations (segment values
+// fit in a uint64; see internal/segment).
+type Freq struct {
+	counts map[uint64]int
+	total  int
+}
+
+// NewFreq returns an empty frequency table.
+func NewFreq() *Freq {
+	return &Freq{counts: make(map[uint64]int)}
+}
+
+// FreqOf builds a frequency table from the given observations.
+func FreqOf(values []uint64) *Freq {
+	f := NewFreq()
+	for _, v := range values {
+		f.Add(v)
+	}
+	return f
+}
+
+// Add records one observation of value v.
+func (f *Freq) Add(v uint64) { f.AddN(v, 1) }
+
+// AddN records n observations of value v.
+func (f *Freq) AddN(v uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	f.counts[v] += n
+	f.total += n
+}
+
+// Remove deletes all observations of value v and returns how many there
+// were. It is used by segment mining, which removes mined values from the
+// remaining pool after each step.
+func (f *Freq) Remove(v uint64) int {
+	n := f.counts[v]
+	if n > 0 {
+		delete(f.counts, v)
+		f.total -= n
+	}
+	return n
+}
+
+// Count returns the number of observations of value v.
+func (f *Freq) Count(v uint64) int { return f.counts[v] }
+
+// Total returns the total number of observations.
+func (f *Freq) Total() int { return f.total }
+
+// Distinct returns the number of distinct observed values.
+func (f *Freq) Distinct() int { return len(f.counts) }
+
+// P returns the empirical probability of value v.
+func (f *Freq) P(v uint64) float64 {
+	if f.total == 0 {
+		return 0
+	}
+	return float64(f.counts[v]) / float64(f.total)
+}
+
+// Values returns the distinct observed values in ascending order.
+func (f *Freq) Values() []uint64 {
+	out := make([]uint64, 0, len(f.counts))
+	for v := range f.counts {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Entry is a (value, count) pair.
+type Entry struct {
+	Value uint64
+	Count int
+}
+
+// Entries returns (value, count) pairs in ascending value order.
+func (f *Freq) Entries() []Entry {
+	vals := f.Values()
+	out := make([]Entry, len(vals))
+	for i, v := range vals {
+		out[i] = Entry{Value: v, Count: f.counts[v]}
+	}
+	return out
+}
+
+// TopK returns up to k entries with the highest counts, ties broken by
+// ascending value, in descending count order.
+func (f *Freq) TopK(k int) []Entry {
+	entries := f.Entries()
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return entries[i].Value < entries[j].Value
+	})
+	if k > len(entries) {
+		k = len(entries)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return entries[:k]
+}
+
+// Min returns the smallest observed value; ok is false if the table is
+// empty.
+func (f *Freq) Min() (v uint64, ok bool) {
+	first := true
+	for x := range f.counts {
+		if first || x < v {
+			v = x
+			first = false
+		}
+	}
+	return v, !first
+}
+
+// Max returns the largest observed value; ok is false if the table is
+// empty.
+func (f *Freq) Max() (v uint64, ok bool) {
+	first := true
+	for x := range f.counts {
+		if first || x > v {
+			v = x
+			first = false
+		}
+	}
+	return v, !first
+}
+
+// CountRange returns the number of observations with lo <= value <= hi.
+func (f *Freq) CountRange(lo, hi uint64) int {
+	n := 0
+	for v, c := range f.counts {
+		if v >= lo && v <= hi {
+			n += c
+		}
+	}
+	return n
+}
+
+// RemoveRange deletes all observations with lo <= value <= hi and returns
+// how many observations were removed.
+func (f *Freq) RemoveRange(lo, hi uint64) int {
+	removed := 0
+	for v, c := range f.counts {
+		if v >= lo && v <= hi {
+			removed += c
+			delete(f.counts, v)
+		}
+	}
+	f.total -= removed
+	return removed
+}
+
+// Clone returns a deep copy of the frequency table.
+func (f *Freq) Clone() *Freq {
+	c := &Freq{counts: make(map[uint64]int, len(f.counts)), total: f.total}
+	for v, n := range f.counts {
+		c.counts[v] = n
+	}
+	return c
+}
+
+// Quartiles returns the first quartile, median and third quartile of the
+// data using linear interpolation between order statistics (type 7, the
+// same convention as numpy's default). It panics on empty input.
+func Quartiles(data []float64) (q1, q2, q3 float64) {
+	if len(data) == 0 {
+		panic("stats: Quartiles of empty data")
+	}
+	s := append([]float64(nil), data...)
+	sort.Float64s(s)
+	return quantileSorted(s, 0.25), quantileSorted(s, 0.5), quantileSorted(s, 0.75)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the data using linear
+// interpolation. It panics on empty input or q outside [0,1].
+func Quantile(data []float64, q float64) float64 {
+	if len(data) == 0 {
+		panic("stats: Quantile of empty data")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of range", q))
+	}
+	s := append([]float64(nil), data...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// IQR returns the inter-quartile range of the data.
+func IQR(data []float64) float64 {
+	q1, _, q3 := Quartiles(data)
+	return q3 - q1
+}
+
+// TukeyUpperFence returns the classic upper outlier fence Q3 + k·IQR.
+// The paper uses k = 1.5 to find unusually prevalent segment values.
+func TukeyUpperFence(data []float64, k float64) float64 {
+	q1, _, q3 := Quartiles(data)
+	return q3 + k*(q3-q1)
+}
+
+// Mean returns the arithmetic mean of the data (0 for empty input).
+func Mean(data []float64) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range data {
+		sum += v
+	}
+	return sum / float64(len(data))
+}
+
+// Variance returns the population variance of the data (0 for fewer than
+// two samples).
+func Variance(data []float64) float64 {
+	if len(data) < 2 {
+		return 0
+	}
+	m := Mean(data)
+	sum := 0.0
+	for _, v := range data {
+		d := v - m
+		sum += d * d
+	}
+	return sum / float64(len(data))
+}
+
+// StdDev returns the population standard deviation of the data.
+func StdDev(data []float64) float64 { return math.Sqrt(Variance(data)) }

@@ -1,0 +1,217 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestFreqBasics(t *testing.T) {
+	f := NewFreq()
+	if f.Total() != 0 || f.Distinct() != 0 {
+		t.Error("empty table should have zero totals")
+	}
+	f.Add(5)
+	f.Add(5)
+	f.Add(7)
+	f.AddN(9, 3)
+	f.AddN(9, 0)  // no-op
+	f.AddN(9, -1) // no-op
+	if f.Total() != 6 {
+		t.Errorf("Total = %d", f.Total())
+	}
+	if f.Count(5) != 2 || f.Count(7) != 1 || f.Count(9) != 3 || f.Count(1) != 0 {
+		t.Error("Count wrong")
+	}
+	if f.Distinct() != 3 {
+		t.Errorf("Distinct = %d", f.Distinct())
+	}
+	if !almostEqual(f.P(5), 2.0/6.0) || !almostEqual(f.P(42), 0) {
+		t.Error("P wrong")
+	}
+	vals := f.Values()
+	if len(vals) != 3 || vals[0] != 5 || vals[2] != 9 {
+		t.Errorf("Values = %v", vals)
+	}
+}
+
+func TestFreqRemoveAndRanges(t *testing.T) {
+	f := FreqOf([]uint64{1, 2, 2, 3, 3, 3, 10})
+	if f.Remove(2) != 2 {
+		t.Error("Remove(2) should return 2")
+	}
+	if f.Remove(2) != 0 {
+		t.Error("second Remove(2) should return 0")
+	}
+	if f.Total() != 5 {
+		t.Errorf("Total after remove = %d", f.Total())
+	}
+	if got := f.CountRange(1, 3); got != 4 {
+		t.Errorf("CountRange(1,3) = %d", got)
+	}
+	if got := f.RemoveRange(3, 10); got != 4 {
+		t.Errorf("RemoveRange(3,10) = %d", got)
+	}
+	if f.Total() != 1 || f.Distinct() != 1 {
+		t.Errorf("after RemoveRange: total=%d distinct=%d", f.Total(), f.Distinct())
+	}
+}
+
+func TestFreqMinMaxEntriesTopK(t *testing.T) {
+	f := FreqOf([]uint64{8, 8, 8, 1, 1, 4})
+	mn, ok := f.Min()
+	if !ok || mn != 1 {
+		t.Errorf("Min = %d, %v", mn, ok)
+	}
+	mx, ok := f.Max()
+	if !ok || mx != 8 {
+		t.Errorf("Max = %d, %v", mx, ok)
+	}
+	entries := f.Entries()
+	if len(entries) != 3 || entries[0].Value != 1 || entries[0].Count != 2 {
+		t.Errorf("Entries = %v", entries)
+	}
+	top := f.TopK(2)
+	if len(top) != 2 || top[0].Value != 8 || top[1].Value != 1 {
+		t.Errorf("TopK = %v", top)
+	}
+	if len(f.TopK(100)) != 3 || len(f.TopK(-1)) != 0 {
+		t.Error("TopK bounds wrong")
+	}
+	empty := NewFreq()
+	if _, ok := empty.Min(); ok {
+		t.Error("Min of empty should be not ok")
+	}
+	if _, ok := empty.Max(); ok {
+		t.Error("Max of empty should be not ok")
+	}
+}
+
+func TestFreqClone(t *testing.T) {
+	f := FreqOf([]uint64{1, 2, 3})
+	c := f.Clone()
+	c.Add(4)
+	if f.Total() != 3 || c.Total() != 4 {
+		t.Error("Clone is not independent")
+	}
+}
+
+func TestFreqTotalInvariantProperty(t *testing.T) {
+	// Property: total always equals the sum of counts.
+	f := func(values []uint64) bool {
+		tab := FreqOf(values)
+		sum := 0
+		for _, e := range tab.Entries() {
+			sum += e.Count
+		}
+		return sum == tab.Total() && tab.Total() == len(values)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuartiles(t *testing.T) {
+	q1, q2, q3 := Quartiles([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if !almostEqual(q1, 3) || !almostEqual(q2, 5) || !almostEqual(q3, 7) {
+		t.Errorf("Quartiles = %v %v %v", q1, q2, q3)
+	}
+	q1, q2, q3 = Quartiles([]float64{5})
+	if q1 != 5 || q2 != 5 || q3 != 5 {
+		t.Error("single-element quartiles should all equal the element")
+	}
+	// numpy convention check: [1,2,3,4] -> 1.75, 2.5, 3.25
+	q1, q2, q3 = Quartiles([]float64{1, 2, 3, 4})
+	if !almostEqual(q1, 1.75) || !almostEqual(q2, 2.5) || !almostEqual(q3, 3.25) {
+		t.Errorf("Quartiles([1..4]) = %v %v %v", q1, q2, q3)
+	}
+}
+
+func TestQuartilesPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Quartiles(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	data := []float64{10, 20, 30, 40, 50}
+	if !almostEqual(Quantile(data, 0), 10) || !almostEqual(Quantile(data, 1), 50) {
+		t.Error("extreme quantiles wrong")
+	}
+	if !almostEqual(Quantile(data, 0.5), 30) {
+		t.Error("median wrong")
+	}
+	// Input must not be modified (sorted copy).
+	shuffled := []float64{50, 10, 30, 20, 40}
+	_ = Quantile(shuffled, 0.5)
+	if shuffled[0] != 50 {
+		t.Error("Quantile modified its input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, q := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for q=%v", q)
+				}
+			}()
+			Quantile([]float64{1}, q)
+		}()
+	}
+}
+
+func TestIQRAndTukey(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if !almostEqual(IQR(data), 4) {
+		t.Errorf("IQR = %v", IQR(data))
+	}
+	if !almostEqual(TukeyUpperFence(data, 1.5), 7+1.5*4) {
+		t.Errorf("TukeyUpperFence = %v", TukeyUpperFence(data, 1.5))
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{3}) != 0 {
+		t.Error("degenerate cases should be 0")
+	}
+	data := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almostEqual(Mean(data), 5) {
+		t.Errorf("Mean = %v", Mean(data))
+	}
+	if !almostEqual(Variance(data), 4) {
+		t.Errorf("Variance = %v", Variance(data))
+	}
+	if !almostEqual(StdDev(data), 2) {
+		t.Errorf("StdDev = %v", StdDev(data))
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		data := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				data = append(data, v)
+			}
+		}
+		if len(data) == 0 {
+			return true
+		}
+		qa := float64(a%101) / 100
+		qb := float64(b%101) / 100
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(data, qa) <= Quantile(data, qb)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,336 @@
+package synth
+
+import (
+	"entropyip/internal/plan"
+)
+
+// This file defines the concrete addressing plans of every archetype. Each
+// builder documents which features of the paper's corresponding dataset it
+// reproduces; the exact constants (which /32s, which subnet pools) are
+// derived deterministically from the seed.
+
+// single wraps one plan as a mixture.
+func single(p *plan.Plan) *plan.Mixture {
+	return &plan.Mixture{Name: p.Name, Components: []plan.Component{{Weight: 1, Plan: p}}}
+}
+
+// merge flattens several mixtures into one, scaling each mixture's
+// components by the given weight.
+func merge(name string, weights []float64, mixtures ...*plan.Mixture) *plan.Mixture {
+	out := &plan.Mixture{Name: name}
+	for i, m := range mixtures {
+		total := 0.0
+		for _, c := range m.Components {
+			total += c.Weight
+		}
+		for _, c := range m.Components {
+			out.Components = append(out.Components, plan.Component{
+				Weight: weights[i] * c.Weight / total,
+				Plan:   c.Plan,
+			})
+		}
+	}
+	return out
+}
+
+// buildS1 reproduces the paper's S1 (web hoster, §5.2, Fig. 7, Table 3):
+// two /32 prefixes at 64%/36%, a variant-selector byte at bits 32-40 with
+// the Table 3 distribution, and four addressing variants: pseudo-random
+// IIDs with structured low nybbles (B1), nearly constant low bits (B2/B3),
+// embedded IPv4 addresses (B4/B6-like), and an all-static variant (B5).
+func buildS1(seed int64) *plan.Mixture {
+	prefixes := []uint64{operatorPrefix(seed, 0), operatorPrefix(seed, 1)}
+	prefixGen := plan.Choice(prefixes, []float64{0.635, 0.365})
+	subnetC := plan.Choice([]uint64{0x00, 0x01, 0xc2, 0xfe, 0xff, 0x20, 0x30, 0x42, 0x5c, 0x71},
+		[]float64{0.67, 0.11, 0.007, 0.004, 0.004, 0.06, 0.06, 0.035, 0.04, 0.01})
+	subnetDE := plan.Uniform(0, 0xff) // nybbles 12-13: spread
+	hostTail := plan.Choice([]uint64{0x0, 0x8, 0x1, 0x2, 0x5, 0x9},
+		[]float64{0.49, 0.37, 0.05, 0.03, 0.03, 0.03})
+
+	random := &plan.Plan{Name: "s1-random-iid", Fields: []plan.Field{
+		field("prefix", 0, 8, prefixGen),
+		field("variant", 8, 2, plan.Const(0x10)),
+		field("subnetC", 10, 2, subnetC),
+		field("subnetDE", 12, 2, subnetDE),
+		field("subnetF", 14, 2, plan.Uniform(0, 0xff)),
+		field("iid", 16, 13, plan.Random()),
+		field("tailH", 29, 1, hostTail),
+		field("tailI", 30, 1, hostTail),
+		field("tailJ", 31, 1, plan.Uniform(0, 0xf)),
+	}}
+	static := &plan.Plan{Name: "s1-static", Fields: []plan.Field{
+		field("prefix", 0, 8, prefixGen),
+		field("variant", 8, 2, plan.UniformChoice(0x08, 0x09)),
+		field("subnetC", 10, 2, subnetC),
+		field("subnetDE", 12, 4, plan.Uniform(0, 0x60)),
+		field("iid", 16, 13, plan.Const(0)),
+		field("host", 29, 3, plan.Uniform(1, 0x2ff)),
+	}}
+	embedded := &plan.Plan{Name: "s1-embedded-v4", Fields: []plan.Field{
+		field("prefix", 0, 8, prefixGen),
+		field("variant", 8, 2, plan.UniformChoice(0x07, 0x05)),
+		field("subnetC", 10, 2, subnetC),
+		field("subnetDEF", 12, 4, plan.Uniform(0, 0x40)),
+		field("zeros", 16, 8, plan.Const(0)),
+		field("v4", 24, 8, plan.EmbeddedIPv4Hex(127)),
+	}}
+	simple := &plan.Plan{Name: "s1-simple", Fields: []plan.Field{
+		field("prefix", 0, 8, prefixGen),
+		field("variant", 8, 2, plan.Const(0x00)),
+		field("subnet", 10, 6, plan.Uniform(0, 0x20)),
+		field("host", 28, 4, plan.Uniform(1, 0x200)),
+	}}
+	return &plan.Mixture{Name: "S1", Components: []plan.Component{
+		{Weight: 0.778, Plan: random},
+		{Weight: 0.205, Plan: static},
+		{Weight: 0.012, Plan: embedded},
+		{Weight: 0.005, Plan: simple},
+	}}
+}
+
+// buildS2 reproduces S2 (CDN with DNS + unicast): many globally distributed
+// prefixes, per-site subnets and low-byte hosts.
+func buildS2(seed int64) *plan.Mixture {
+	prefixCount := 12
+	prefixes := make([]uint64, prefixCount)
+	for i := range prefixes {
+		prefixes[i] = operatorPrefix(seed, 10+i)
+	}
+	sites := pool(seed, 3, 40, 0x140)
+	siteW := zipfWeights(len(sites))
+	p := &plan.Plan{Name: "s2-site", Fields: []plan.Field{
+		field("prefix", 0, 8, plan.Choice(prefixes, zipfWeights(prefixCount))),
+		field("site", 8, 4, plan.Choice(sites, siteW)),
+		field("zeros", 12, 4, plan.Const(0)),
+		field("iid-zero", 16, 14, plan.Const(0)),
+		field("host", 30, 2, plan.Uniform(1, 0xc8)),
+	}}
+	return single(p)
+}
+
+// buildS3 reproduces S3 (anycast CDN): essentially one /96 prefix used
+// worldwide; only the last 32 bits discriminate clusters and hosts.
+func buildS3(seed int64) *plan.Mixture {
+	clusters := pool(seed, 5, 64, 0x140)
+	p := &plan.Plan{Name: "s3-anycast", Fields: []plan.Field{
+		field("prefix", 0, 8, plan.Const(operatorPrefix(seed, 30))),
+		field("fixed96", 8, 16, plan.Const(0x15)),
+		field("cluster", 24, 4, plan.Choice(clusters, zipfWeights(len(clusters)))),
+		field("host", 28, 4, plan.Uniform(1, 0x1000)),
+	}}
+	return single(p)
+}
+
+// buildS4 reproduces S4 (cloud provider): a simple structure in bits 32-48
+// and host discrimination only in the last 32 bits.
+func buildS4(seed int64) *plan.Mixture {
+	p := &plan.Plan{Name: "s4-cloud", Fields: []plan.Field{
+		field("prefix", 0, 8, plan.Const(operatorPrefix(seed, 40))),
+		field("region", 8, 4, plan.Choice([]uint64{0x1000, 0x2000, 0x4000, 0x8000}, []float64{0.4, 0.3, 0.2, 0.1})),
+		field("zeros", 12, 12, plan.Const(0)),
+		field("host", 24, 8, plan.Uniform(1, 1<<20)),
+	}}
+	return single(p)
+}
+
+// buildS5 reproduces S5 (large web company): many /64 prefixes whose last
+// nybbles identify the service type.
+func buildS5(seed int64) *plan.Mixture {
+	services := []uint64{0x0050, 0x0443, 0x0025, 0x0053, 0x1935, 0x8080, 0x0143, 0x0993,
+		0x0110, 0x5222, 0x0080, 0x8443, 0x0989, 0x3478, 0x5349, 0x0123}
+	subnets := pool(seed, 7, 300, 0x1800)
+	p := &plan.Plan{Name: "s5-services", Fields: []plan.Field{
+		field("prefix", 0, 8, plan.Const(operatorPrefix(seed, 50))),
+		field("pop", 8, 2, plan.Choice(lowValues(3), []float64{0.5, 0.3, 0.2})),
+		field("subnet", 10, 6, plan.Choice(subnets, zipfWeights(len(subnets)))),
+		field("zeros", 16, 12, plan.Const(0)),
+		field("service", 28, 4, plan.Choice(services, zipfWeights(len(services)))),
+	}}
+	return single(p)
+}
+
+// buildR1 reproduces R1 (global carrier, Fig. 9): bits 28-64 discriminate
+// prefixes, the IID is a string of zeros ending in 1 or 2 (point-to-point
+// links).
+func buildR1(seed int64) *plan.Mixture {
+	p := &plan.Plan{Name: "r1-backbone", Fields: []plan.Field{
+		field("prefix", 0, 7, plan.Const(operatorPrefix(seed, 60)>>4)),
+		field("prefix-low", 7, 1, plan.Choice(lowValues(3), []float64{0.6, 0.3, 0.1})),
+		field("linknet", 8, 8, plan.Uniform(0, 200_000)),
+		field("iid-zero", 16, 15, plan.Const(0)),
+		field("ptp", 31, 1, plan.Choice([]uint64{1, 2}, []float64{0.55, 0.45})),
+	}}
+	return single(p)
+}
+
+// buildR2 reproduces R2: the bottom 64 bits equal 1 or 2.
+func buildR2(seed int64) *plan.Mixture {
+	p := &plan.Plan{Name: "r2-carrier", Fields: []plan.Field{
+		field("prefix", 0, 8, plan.Const(operatorPrefix(seed, 70))),
+		field("linknet", 8, 6, plan.Uniform(0, 600_000)),
+		field("zeros", 14, 2, plan.Const(0)),
+		field("iid", 16, 16, plan.Choice([]uint64{1, 2}, []float64{0.5, 0.5})),
+	}}
+	return single(p)
+}
+
+// buildR3 reproduces R3: bits 32-48 discriminate prefixes, bits 48-116 are
+// mostly zero, and the last 12 bits look pseudo-random.
+func buildR3(seed int64) *plan.Mixture {
+	p := &plan.Plan{Name: "r3-carrier", Fields: []plan.Field{
+		field("prefix", 0, 8, plan.Const(operatorPrefix(seed, 80))),
+		field("pop", 8, 4, plan.Uniform(0, 600)),
+		field("zeros", 12, 16, plan.Const(0)),
+		field("zeros2", 28, 1, plan.Const(0)),
+		field("tail", 29, 3, plan.Random()),
+	}}
+	return single(p)
+}
+
+// buildR4 reproduces R4: interface identifiers encode the router's IPv4
+// address as base-10 octets across 16-bit words.
+func buildR4(seed int64) *plan.Mixture {
+	p := &plan.Plan{Name: "r4-carrier", Fields: []plan.Field{
+		field("prefix", 0, 8, plan.Const(operatorPrefix(seed, 90))),
+		field("pop", 8, 4, plan.Uniform(0, 100)),
+		field("zeros", 12, 4, plan.Const(0)),
+		field("iid-v4", 16, 16, plan.EmbeddedIPv4DecimalPool(10<<24|1<<16, 17)),
+	}}
+	return single(p)
+}
+
+// buildR5 reproduces R5: addresses discriminate in bits 52-64 while the
+// bottom bits follow a predictable low-byte pattern.
+func buildR5(seed int64) *plan.Mixture {
+	p := &plan.Plan{Name: "r5-carrier", Fields: []plan.Field{
+		field("prefix", 0, 8, plan.Const(operatorPrefix(seed, 100))),
+		field("zeros", 8, 5, plan.Const(0)),
+		field("linknet", 13, 3, plan.Uniform(0, 0x900)),
+		field("iid-zero", 16, 14, plan.Const(0)),
+		field("host", 30, 2, plan.Uniform(1, 0x30)),
+	}}
+	return single(p)
+}
+
+// buildC1 reproduces C1 (mobile ISP, Fig. 10): 47% of addresses follow a
+// vendor-specific pattern (zero middle, IID ending in 01) coupled across
+// segments; the rest have pseudo-random IIDs. Bits 32-64 discriminate /64
+// prefixes, with the selector byte taking only low values.
+func buildC1(seed int64) *plan.Mixture {
+	prefix := operatorPrefix(seed, 110)
+	android := &plan.Plan{Name: "c1-vendor-pattern", Fields: []plan.Field{
+		field("prefix", 0, 8, plan.Const(prefix)),
+		field("selector", 8, 3, plan.Choice(lowValues(9), zipfWeights(9))),
+		field("pool", 11, 5, plan.Uniform(0, 120_000)),
+		field("zero-middle", 16, 5, plan.Const(0)),
+		field("vendor", 21, 9, plan.Random()),
+		field("tail01", 30, 2, plan.Const(0x01)),
+	}}
+	privacy := &plan.Plan{Name: "c1-random-iid", Fields: []plan.Field{
+		field("prefix", 0, 8, plan.Const(prefix)),
+		field("selector", 8, 3, plan.Choice(lowValues(9), zipfWeights(9))),
+		field("pool", 11, 5, plan.Uniform(0, 120_000)),
+		field("iid", 16, 16, plan.Random()),
+	}}
+	return &plan.Mixture{Name: "C1", Components: []plan.Component{
+		{Weight: 0.47, Plan: android},
+		{Weight: 0.53, Plan: privacy},
+	}}
+}
+
+// buildC2 reproduces C2 (mobile ISP): structured /64s and pseudo-random
+// IIDs without the u-bit dip characteristic of standard SLAAC privacy
+// addresses.
+func buildC2(seed int64) *plan.Mixture {
+	p := &plan.Plan{Name: "c2-mobile", Fields: []plan.Field{
+		field("prefix", 0, 8, plan.Const(operatorPrefix(seed, 120))),
+		field("region", 8, 2, plan.Choice(lowValues(4), []float64{0.4, 0.3, 0.2, 0.1})),
+		field("pool", 10, 6, plan.Uniform(0, 2_000_000)),
+		field("iid", 16, 16, plan.Random()),
+	}}
+	return single(p)
+}
+
+// buildC3 reproduces C3 (large wired ISP): wide /64 pools and SLAAC privacy
+// IIDs (with the u-bit dip).
+func buildC3(seed int64) *plan.Mixture {
+	p := &plan.Plan{Name: "c3-wired", Fields: []plan.Field{
+		field("prefix", 0, 8, plan.Const(operatorPrefix(seed, 130))),
+		field("pool", 8, 8, plan.Uniform(0, 8_000_000)),
+		field("iid", 16, 16, plan.SLAACPrivacy()),
+	}}
+	return single(p)
+}
+
+// buildC4 reproduces C4 (wired + mobile ISP): structure in bits 32-64 and
+// SLAAC privacy IIDs.
+func buildC4(seed int64) *plan.Mixture {
+	regions := pool(seed, 9, 8, 0x100)
+	p := &plan.Plan{Name: "c4-isp", Fields: []plan.Field{
+		field("prefix", 0, 8, plan.Const(operatorPrefix(seed, 140))),
+		field("region", 8, 2, plan.Choice(regions, zipfWeights(len(regions)))),
+		field("pool", 10, 6, plan.Uniform(0, 600_000)),
+		field("iid", 16, 16, plan.SLAACPrivacy()),
+	}}
+	return single(p)
+}
+
+// buildC5 reproduces C5 (wired ISP): predictable, densely packed /64
+// assignment (the easiest network for prefix prediction in Table 6) and
+// SLAAC privacy IIDs.
+func buildC5(seed int64) *plan.Mixture {
+	p := &plan.Plan{Name: "c5-isp", Fields: []plan.Field{
+		field("prefix", 0, 8, plan.Const(operatorPrefix(seed, 150))),
+		field("region", 8, 2, plan.Choice(lowValues(3), []float64{0.6, 0.3, 0.1})),
+		field("pool", 10, 5, plan.Uniform(0, 120_000)),
+		field("zeros", 15, 1, plan.Const(0)),
+		field("iid", 16, 16, plan.SLAACPrivacy()),
+	}}
+	return single(p)
+}
+
+// buildAS reproduces the aggregate server dataset AS: a mixture of the S*
+// archetypes (distinct operators), which produces the oscillating entropy
+// of Fig. 6.
+func buildAS(seed int64) *plan.Mixture {
+	return merge("AS", []float64{0.35, 0.25, 0.15, 0.1, 0.15},
+		buildS1(seed), buildS2(seed+1), buildS3(seed+2), buildS4(seed+3), buildS5(seed+4))
+}
+
+// buildAR reproduces the aggregate router dataset AR: a mixture of the R*
+// archetypes plus a share of interfaces with MAC-derived Modified EUI-64
+// IIDs, which produces the entropy dip at bits 88-104 of Fig. 6.
+func buildAR(seed int64) *plan.Mixture {
+	eui := &plan.Plan{Name: "ar-eui64", Fields: []plan.Field{
+		field("prefix", 0, 8, plan.Const(operatorPrefix(seed, 160))),
+		field("linknet", 8, 8, plan.Uniform(0, 500_000)),
+		field("iid", 16, 16, plan.EUI64(0x001122, 0x00aabb, 0x44ccdd, 0x00cafe)),
+	}}
+	m := merge("AR", []float64{0.35, 0.2, 0.1, 0.05, 0.05},
+		buildR1(seed), buildR2(seed+1), buildR3(seed+2), buildR4(seed+3), buildR5(seed+4))
+	m.Components = append(m.Components, plan.Component{Weight: 0.25, Plan: eui})
+	return m
+}
+
+// buildAC reproduces the aggregate client dataset AC: dominated by SLAAC
+// privacy IIDs, giving entropy ≈ 1 in the low 64 bits except for the u-bit
+// dip at bits 68-72 (Fig. 6).
+func buildAC(seed int64) *plan.Mixture {
+	return merge("AC", []float64{0.2, 0.15, 0.3, 0.15, 0.2},
+		buildC1(seed), buildC2(seed+1), buildC3(seed+2), buildC4(seed+3), buildC5(seed+4))
+}
+
+// buildAT reproduces the BitTorrent aggregate AT: like AC but with a larger
+// share of MAC-derived EUI-64 IIDs, the difference the paper observes at
+// bits 88-104 of Fig. 6.
+func buildAT(seed int64) *plan.Mixture {
+	eui := &plan.Plan{Name: "at-eui64", Fields: []plan.Field{
+		field("prefix", 0, 8, plan.Const(operatorPrefix(seed, 170))),
+		field("pool", 8, 8, plan.Uniform(0, 3_000_000)),
+		field("iid", 16, 16, plan.EUI64(0x3c5ab4, 0xf0def1, 0x001a2b, 0x84d6d0)),
+	}}
+	m := merge("AT", []float64{0.25, 0.2, 0.15},
+		buildC3(seed+5), buildC4(seed+6), buildC5(seed+7))
+	m.Components = append(m.Components, plan.Component{Weight: 0.4, Plan: eui})
+	return m
+}

@@ -1,0 +1,43 @@
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"entropyip/internal/core"
+)
+
+// DOTNetwork renders the Bayesian-network structure as a Graphviz DOT
+// graph, mirroring Fig. 2 of the paper: one node per segment (laid out left
+// to right), one edge per direct dependency, with the edges touching the
+// highlighted segment drawn in red.
+func DOTNetwork(m *core.Model, highlight string) string {
+	var b strings.Builder
+	b.WriteString("digraph entropyip {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=circle, fontname=\"sans-serif\"];\n")
+	for _, sm := range m.Segments {
+		attrs := ""
+		if sm.Seg.Label == highlight {
+			attrs = ", style=filled, fillcolor=\"#ffdddd\""
+		}
+		fmt.Fprintf(&b, "  %q [label=\"%s\\n%d-%d\"%s];\n", sm.Seg.Label, sm.Seg.Label, sm.Seg.StartBit(), sm.Seg.EndBit(), attrs)
+	}
+	deps := m.Dependencies()
+	sort.Slice(deps, func(i, j int) bool {
+		if deps[i].Parent != deps[j].Parent {
+			return deps[i].Parent < deps[j].Parent
+		}
+		return deps[i].Child < deps[j].Child
+	})
+	for _, d := range deps {
+		color := "black"
+		if highlight != "" && (d.Parent == highlight || d.Child == highlight) {
+			color = "red"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [color=%s, label=\"%.2f\"];\n", d.Parent, d.Child, color, d.MI)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

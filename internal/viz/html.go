@@ -1,0 +1,160 @@
+package viz
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+
+	"entropyip/internal/core"
+	"entropyip/internal/ip6"
+)
+
+// BrowserPage renders the "graphical web page" of the paper (§1, Fig. 1):
+// the entropy/ACR plot, the Bayesian-network dependency list, and the
+// conditional probability browser as a heat-mapped HTML table, optionally
+// conditioned on evidence.
+type BrowserPage struct {
+	// Title identifies the analyzed dataset.
+	Title string
+	// Model is the trained Entropy/IP model.
+	Model *core.Model
+	// Evidence conditions the browser (may be nil for the prior view).
+	Evidence core.Evidence
+}
+
+type browserData struct {
+	Title        string
+	TrainCount   int
+	TotalEntropy string
+	EvidenceDesc string
+	EntropySVG   template.HTML
+	Segments     []browserSegment
+	Dependencies []core.Dependency
+}
+
+type browserSegment struct {
+	Label   string
+	Bits    string
+	Entries []browserEntry
+}
+
+type browserEntry struct {
+	Code    string
+	Display string
+	Percent string
+	Color   template.CSS
+	IsRange bool
+}
+
+var browserTemplate = template.Must(template.New("browser").Parse(`<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>Entropy/IP — {{.Title}}</title>
+<style>
+body { font-family: sans-serif; margin: 2em; }
+h1 { font-size: 1.4em; }
+table.browser { border-collapse: collapse; }
+table.browser th { padding: 4px 8px; text-align: left; background: #eee; }
+table.browser td { padding: 2px 8px; font-family: monospace; font-size: 0.85em; }
+.dep { color: #555; }
+</style>
+</head>
+<body>
+<h1>Entropy/IP analysis — {{.Title}}</h1>
+<p>{{.TrainCount}} training addresses, total entropy H<sub>S</sub> = {{.TotalEntropy}}.
+{{if .EvidenceDesc}}Conditioned on: <b>{{.EvidenceDesc}}</b>.{{end}}</p>
+{{.EntropySVG}}
+<h2>Segment dependencies (Bayesian network)</h2>
+<ul>
+{{range .Dependencies}}<li class="dep">{{.Parent}} &rarr; {{.Child}} (mutual information {{printf "%.2f" .MI}} bits)</li>
+{{end}}</ul>
+<h2>Conditional probability browser</h2>
+<table class="browser">
+<tr>{{range .Segments}}<th>{{.Label}}<br><small>{{.Bits}}</small></th>{{end}}</tr>
+<tr>
+{{range .Segments}}<td valign="top">
+{{range .Entries}}<div style="background: {{.Color}}" title="{{.Code}}">{{.Display}} <b>{{.Percent}}</b></div>
+{{end}}</td>
+{{end}}</tr>
+</table>
+</body>
+</html>
+`))
+
+// Render writes the page as HTML to w.
+func (p *BrowserPage) Render(w io.Writer) error {
+	m := p.Model
+	dists, err := m.Browse(p.Evidence)
+	if err != nil {
+		return err
+	}
+	markers := SegmentMarkers(m)
+	data := browserData{
+		Title:        p.Title,
+		TrainCount:   m.TrainCount,
+		TotalEntropy: fmt.Sprintf("%.1f", m.TotalEntropy()),
+		EvidenceDesc: evidenceDesc(p.Evidence),
+		EntropySVG:   template.HTML(SVGEntropyPlot("Entropy and 4-bit ACR per nybble", m.Profile.H[:], m.ACR.ACR[:], markers)),
+		Dependencies: m.Dependencies(),
+	}
+	for i, sm := range m.Segments {
+		seg := browserSegment{
+			Label: sm.Seg.Label,
+			Bits:  fmt.Sprintf("bits %d-%d", sm.Seg.StartBit(), sm.Seg.EndBit()),
+		}
+		for _, e := range dists[i].Entries {
+			seg.Entries = append(seg.Entries, browserEntry{
+				Code:    e.Code,
+				Display: e.Display,
+				Percent: fmt.Sprintf("%.0f%%", e.Prob*100),
+				Color:   template.CSS(probColor(e.Prob)),
+				IsRange: e.IsRange,
+			})
+		}
+		data.Segments = append(data.Segments, seg)
+	}
+	return browserTemplate.Execute(w, data)
+}
+
+// SegmentMarkers converts a model's segmentation into plot markers.
+func SegmentMarkers(m *core.Model) []SegmentMarker {
+	out := make([]SegmentMarker, 0, len(m.Segments))
+	for _, sm := range m.Segments {
+		out = append(out, SegmentMarker{
+			Label:        sm.Seg.Label,
+			StartNybble:  sm.Seg.Start,
+			WidthNybbles: sm.Seg.Width,
+		})
+	}
+	// Markers past the model's coverage (e.g. /64-only models) are fine;
+	// the plot is always 32 nybbles wide.
+	if len(out) > ip6.NybbleCount {
+		out = out[:ip6.NybbleCount]
+	}
+	return out
+}
+
+func evidenceDesc(ev core.Evidence) string {
+	if len(ev) == 0 {
+		return ""
+	}
+	s := ""
+	for label, code := range ev {
+		if s != "" {
+			s += ", "
+		}
+		s += label + "=" + code
+	}
+	return s
+}
+
+// probColor maps a probability to the heat-map color ramp used by the
+// paper's interface (white → yellow → red).
+func probColor(p float64) string {
+	p = clamp01(p)
+	r := 255
+	g := int(255 - 160*p)
+	b := int(255 - 255*p)
+	return fmt.Sprintf("rgb(%d,%d,%d)", r, g, b)
+}

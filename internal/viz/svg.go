@@ -1,0 +1,135 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"entropyip/internal/ip6"
+)
+
+// SVGEntropyPlot renders the entropy-vs-ACR panel of the paper's figures
+// (Figs. 1a, 6, 7a, 8, 9a, 10a): a blue per-nybble entropy line, a dashed
+// red ACR line, dashed vertical segment boundaries and segment letters.
+// segments holds "label at nybble" pairs as returned by SegmentMarkers.
+func SVGEntropyPlot(title string, h []float64, acr []float64, segments []SegmentMarker) string {
+	const (
+		width    = 760
+		height   = 300
+		marginL  = 50
+		marginB  = 40
+		marginT  = 30
+		plotW    = width - marginL - 20
+		plotH    = height - marginT - marginB
+		nNybbles = ip6.NybbleCount
+	)
+	x := func(nybble float64) float64 { return marginL + nybble/nNybbles*plotW }
+	y := func(v float64) float64 { return marginT + (1-clamp01(v))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-family="sans-serif" font-size="14">%s</text>`+"\n", marginL, escape(title))
+
+	// Axes and gridlines.
+	for _, v := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", x(0), y(v), x(nNybbles), y(v))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%.1f</text>`+"\n", marginL-5, y(v)+3, v)
+	}
+	for bits := 0; bits <= 128; bits += 16 {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%d</text>`+"\n",
+			x(float64(bits)/4), height-marginB+14, bits)
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">Prefix length / hex char location (bits)</text>`+"\n",
+		x(16), height-8)
+
+	// Segment boundaries and labels.
+	for _, m := range segments {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#999" stroke-dasharray="4,3"/>`+"\n",
+			x(float64(m.StartNybble)), y(1), x(float64(m.StartNybble)), y(0))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x(float64(m.StartNybble)+float64(m.WidthNybbles)/2), float64(marginT)-4, escape(m.Label))
+	}
+
+	// ACR (dashed red), drawn first so entropy overlays it.
+	if acr != nil {
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="#cc3333" stroke-width="1.5" stroke-dasharray="6,4" points="%s"/>`+"\n",
+			polyline(acr, x, y))
+	}
+	// Entropy (solid blue).
+	fmt.Fprintf(&b, `<polyline fill="none" stroke="#2255cc" stroke-width="2" points="%s"/>`+"\n", polyline(h, x, y))
+	b.WriteString(`</svg>` + "\n")
+	return b.String()
+}
+
+// SegmentMarker places a segment label on the entropy plot.
+type SegmentMarker struct {
+	Label        string
+	StartNybble  int
+	WidthNybbles int
+}
+
+func polyline(values []float64, x func(float64) float64, y func(float64) float64) string {
+	var parts []string
+	for i, v := range values {
+		// Plot each nybble at the center of its column.
+		parts = append(parts, fmt.Sprintf("%.1f,%.1f", x(float64(i)+0.5), y(v)))
+	}
+	return strings.Join(parts, " ")
+}
+
+// SVGWindowedHeatmap renders the windowed-entropy matrix (Fig. 5) as an SVG
+// heat map: window length on the X axis, window position on the Y axis.
+func SVGWindowedHeatmap(title string, w [][]float64) string {
+	const cell = 16
+	const marginL, marginT = 60, 40
+	n := len(w)
+	width := marginL + n*cell + 80
+	height := marginT + n*cell + 40
+	max := 0.0
+	for _, row := range w {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-family="sans-serif" font-size="14">%s</text>`+"\n", marginL, escape(title))
+	for pos, row := range w {
+		for li, v := range row {
+			r, g, bb := heatColor(v / max)
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="rgb(%d,%d,%d)"/>`+"\n",
+				marginL+li*cell, marginT+pos*cell, cell, cell, r, g, bb)
+		}
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">window length (nybbles) →</text>`+"\n", marginL, height-10)
+	fmt.Fprintf(&b, `<text x="10" y="%d" font-family="sans-serif" font-size="11">pos ↓</text>`+"\n", marginT+12)
+	b.WriteString(`</svg>` + "\n")
+	return b.String()
+}
+
+// heatColor maps a normalized value to a blue→red ramp.
+func heatColor(v float64) (r, g, b int) {
+	v = clamp01(v)
+	return int(40 + 215*v), int(60 + 80*(1-v)), int(220 * (1 - v))
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
