@@ -1,0 +1,98 @@
+// Command eipserved is the Entropy/IP model-serving daemon: a long-running
+// HTTP server that holds trained models in a versioned registry (in-memory
+// LRU over a disk directory) and answers the paper's two application
+// workloads over the network — conditional-probability browsing (Figs. 1,
+// 7, 9–10) and candidate generation for scanning (§5.5–5.6).
+//
+// Usage:
+//
+//	eipserved -addr :8080 -dir /var/lib/eipserved
+//
+// Endpoints (see internal/serve for the full API):
+//
+//	GET    /v1/models                   list models
+//	PUT    /v1/models/{name}            upload or train a model
+//	POST   /v1/models/{name}/browse     conditional probabilities
+//	POST   /v1/models/{name}/generate   stream candidates (NDJSON)
+//	GET    /healthz                     liveness + metrics
+//
+// Expensive training requests run on a bounded worker pool; the daemon
+// sheds load with 503 when the queue is full. SIGINT/SIGTERM trigger a
+// graceful shutdown that lets in-flight requests finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"entropyip/internal/registry"
+	"entropyip/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		dir         = flag.String("dir", "models", "model registry directory")
+		cacheSize   = flag.Int("cache", registry.DefaultCacheSize, "decoded models kept in memory (LRU)")
+		workers     = flag.Int("workers", serve.DefaultWorkers, "concurrent model-training workers")
+		queueDepth  = flag.Int("queue", serve.DefaultQueueDepth, "training requests that may wait for a worker")
+		maxBodyMB   = flag.Int("max-body-mb", 64, "request body limit in MiB")
+		maxGenerate = flag.Int("max-generate", serve.DefaultMaxGenerateCount, "largest count one generate request may ask for")
+		drainWait   = flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
+	)
+	flag.Parse()
+
+	reg, err := registry.Open(*dir, *cacheSize)
+	if err != nil {
+		log.Fatalf("eipserved: %v", err)
+	}
+	handler := serve.New(reg, serve.Options{
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		MaxBodyBytes:     int64(*maxBodyMB) << 20,
+		MaxGenerateCount: *maxGenerate,
+	})
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: handler,
+		// No WriteTimeout: generate responses stream for as long as the
+		// client keeps reading. Header reads are still bounded.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		st := reg.Stats()
+		log.Printf("eipserved: listening on %s (%d models, %d versions in %s)", *addr, st.Models, st.Versions, *dir)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("eipserved: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("eipserved: shutting down (draining up to %s)", *drainWait)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("eipserved: forced shutdown: %v", err)
+			_ = srv.Close()
+		}
+		st := reg.Stats()
+		fmt.Fprintf(os.Stderr, "eipserved: served %d cache hits / %d misses; bye\n", st.Hits, st.Misses)
+	}
+}

@@ -22,10 +22,13 @@ package entropyip
 import (
 	"fmt"
 	"io"
+	"net/http"
 
 	"entropyip/internal/core"
 	"entropyip/internal/dataset"
 	"entropyip/internal/ip6"
+	"entropyip/internal/registry"
+	"entropyip/internal/serve"
 	"entropyip/internal/synth"
 )
 
@@ -111,6 +114,64 @@ func NewSet(capacity int) *Set { return ip6.NewSet(capacity) }
 // Prefix64 returns the /64 prefix ("subnet") containing the address, the
 // unit used when counting newly discovered networks.
 func Prefix64(a Addr) Prefix { return ip6.Prefix64(a) }
+
+// Prefix32 re-exports below this line belong to the serving subsystem: the
+// versioned model registry and the HTTP API of the eipserved daemon.
+
+// Registry is a named, versioned store of trained models: an in-memory LRU
+// of decoded models over a disk directory of Model.Save files. Safe for
+// concurrent use.
+type Registry = registry.Registry
+
+// ModelInfo describes one stored model version.
+type ModelInfo = registry.Info
+
+// RegistryStats is a snapshot of registry cache behaviour.
+type RegistryStats = registry.Stats
+
+// ServeOptions configures the HTTP serving layer.
+type ServeOptions = serve.Options
+
+// PutModelRequest is the body of PUT /v1/models/{name}: either a
+// serialized model upload or an address set to train on.
+type PutModelRequest = serve.PutModelRequest
+
+// PutModelResponse acknowledges a stored model version.
+type PutModelResponse = serve.PutModelResponse
+
+// ListModelsResponse is the body of GET /v1/models.
+type ListModelsResponse = serve.ListModelsResponse
+
+// BrowseRequest is one conditional-probability query against a served
+// model — a click state of the paper's browser.
+type BrowseRequest = serve.BrowseRequest
+
+// BrowseResponse carries the posterior distribution of every segment.
+type BrowseResponse = serve.BrowseResponse
+
+// GenerateRequest asks a served model for candidate addresses or /64
+// prefixes, streamed back as NDJSON.
+type GenerateRequest = serve.GenerateRequest
+
+// GenerateItem is one line of the NDJSON candidate stream.
+type GenerateItem = serve.GenerateItem
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse = serve.HealthResponse
+
+// OpenRegistry opens (creating if needed) a model registry rooted at dir,
+// keeping up to cacheSize decoded models in memory (<= 0 selects the
+// default).
+func OpenRegistry(dir string, cacheSize int) (*Registry, error) {
+	return registry.Open(dir, cacheSize)
+}
+
+// NewServeHandler returns the HTTP handler of the model-serving API over
+// the given registry — the handler cmd/eipserved mounts, usable directly
+// with net/http or httptest.
+func NewServeHandler(reg *Registry, opts ServeOptions) http.Handler {
+	return serve.New(reg, opts)
+}
 
 // Prefix32 returns the /32 prefix containing the address, the smallest
 // block registries allocate to operators.

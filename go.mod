@@ -1,0 +1,3 @@
+module entropyip
+
+go 1.22

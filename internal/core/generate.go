@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"entropyip/internal/ip6"
@@ -25,14 +26,98 @@ type GenerateOptions struct {
 	// draws even if fewer than Count unique candidates were found.
 	// Zero means the default of 20.
 	MaxAttemptsFactor int
+	// Stop, if non-nil, is polled periodically (including during runs of
+	// duplicate or excluded draws that emit nothing); generation halts
+	// when it returns true. Servers use it to abandon work for
+	// disconnected clients.
+	Stop func() bool
 }
+
+// stopPollInterval is how many draws pass between Stop polls.
+const stopPollInterval = 1024
 
 func (o GenerateOptions) maxAttempts() int {
 	f := o.MaxAttemptsFactor
 	if f <= 0 {
 		f = 20
 	}
-	return o.Count * f
+	n := o.Count * f
+	if n/f != o.Count { // overflow: effectively unbounded attempts
+		return math.MaxInt
+	}
+	return n
+}
+
+// setCapacity bounds the dedup set's initial allocation: the set still
+// grows to Count entries when generation gets that far, but a huge
+// requested Count no longer pre-allocates hundreds of megabytes up front.
+func setCapacity(count int) int {
+	const max = 1 << 20
+	if count > max {
+		return max
+	}
+	return count
+}
+
+// GenerateStream draws unique candidate IPv6 addresses from the model's
+// joint distribution (§5.5 of the paper) and hands each one to yield as
+// soon as it is produced, without accumulating them. Generation stops when
+// Count candidates have been emitted, the attempt budget is exhausted, or
+// yield returns false. Memory use is bounded by the deduplication set (16
+// bytes per emitted candidate), not by the candidates themselves, which
+// makes it suitable for streaming very large candidate lists over a
+// network connection.
+//
+// The candidate sequence is identical to Generate's for the same model,
+// seed and options.
+func (m *Model) GenerateStream(opts GenerateOptions, yield func(ip6.Addr) bool) error {
+	if opts.Count <= 0 {
+		return fmt.Errorf("core: GenerateStream needs a positive Count")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	enc := m.Encoder()
+
+	evidence, err := m.evidenceIndices(opts.Evidence)
+	if err != nil {
+		return err
+	}
+
+	emitted := 0
+	seen := ip6.NewSet(setCapacity(opts.Count))
+	attempts := 0
+	maxAttempts := opts.maxAttempts()
+	for emitted < opts.Count && attempts < maxAttempts {
+		attempts++
+		if opts.Stop != nil && attempts%stopPollInterval == 0 && opts.Stop() {
+			return nil
+		}
+		var vec []int
+		if len(evidence) == 0 {
+			vec = m.Net.Sample(rng)
+		} else {
+			vec, err = m.Net.SampleConditional(rng, evidence)
+			if err != nil {
+				return err
+			}
+		}
+		addr, err := enc.Decode(vec, rng)
+		if err != nil {
+			return err
+		}
+		if m.Opts.Prefix64Only {
+			addr = ip6.Mask(addr, 64)
+		}
+		if opts.Exclude != nil && opts.Exclude.Contains(addr) {
+			continue
+		}
+		if seen.Add(addr) {
+			emitted++
+			if !yield(addr) {
+				return nil
+			}
+		}
+	}
+	return nil
 }
 
 // Generate produces unique candidate IPv6 addresses drawn from the model's
@@ -44,44 +129,70 @@ func (m *Model) Generate(opts GenerateOptions) ([]ip6.Addr, error) {
 	if opts.Count <= 0 {
 		return nil, fmt.Errorf("core: Generate needs a positive Count")
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-	enc := m.Encoder()
-
-	evidence, err := m.evidenceIndices(opts.Evidence)
+	out := make([]ip6.Addr, 0, opts.Count)
+	err := m.GenerateStream(opts, func(a ip6.Addr) bool {
+		out = append(out, a)
+		return true
+	})
 	if err != nil {
 		return nil, err
 	}
+	return out, nil
+}
 
-	out := make([]ip6.Addr, 0, opts.Count)
-	seen := ip6.NewSet(opts.Count)
+// GeneratePrefixesStream draws unique candidate /64 prefixes (§5.6 of the
+// paper) and hands each one to yield as soon as it is produced. It works
+// for both full models and Prefix64Only models: full models have their
+// generated addresses truncated to /64 before deduplication. Stops under
+// the same conditions as GenerateStream.
+func (m *Model) GeneratePrefixesStream(opts GenerateOptions, yield func(ip6.Prefix) bool) error {
+	if opts.Count <= 0 {
+		return fmt.Errorf("core: GeneratePrefixesStream needs a positive Count")
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	enc := m.Encoder()
+	evidence, err := m.evidenceIndices(opts.Evidence)
+	if err != nil {
+		return err
+	}
+	emitted := 0
+	seen := ip6.NewPrefixSet(setCapacity(opts.Count))
+	var excludePrefixes *ip6.PrefixSet
+	if opts.Exclude != nil {
+		excludePrefixes = opts.Exclude.Prefixes(64)
+	}
 	attempts := 0
 	maxAttempts := opts.maxAttempts()
-	for len(out) < opts.Count && attempts < maxAttempts {
+	for emitted < opts.Count && attempts < maxAttempts {
 		attempts++
+		if opts.Stop != nil && attempts%stopPollInterval == 0 && opts.Stop() {
+			return nil
+		}
 		var vec []int
 		if len(evidence) == 0 {
 			vec = m.Net.Sample(rng)
 		} else {
 			vec, err = m.Net.SampleConditional(rng, evidence)
 			if err != nil {
-				return nil, err
+				return err
 			}
 		}
 		addr, err := enc.Decode(vec, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if m.Opts.Prefix64Only {
-			addr = ip6.Mask(addr, 64)
-		}
-		if opts.Exclude != nil && opts.Exclude.Contains(addr) {
+		p := ip6.Prefix64(addr)
+		if excludePrefixes != nil && excludePrefixes.Contains(p) {
 			continue
 		}
-		if seen.Add(addr) {
-			out = append(out, addr)
+		if seen.Add(p) {
+			emitted++
+			if !yield(p) {
+				return nil
+			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // GeneratePrefixes produces unique candidate /64 prefixes (§5.6 of the
@@ -91,42 +202,13 @@ func (m *Model) GeneratePrefixes(opts GenerateOptions) ([]ip6.Prefix, error) {
 	if opts.Count <= 0 {
 		return nil, fmt.Errorf("core: GeneratePrefixes needs a positive Count")
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-	enc := m.Encoder()
-	evidence, err := m.evidenceIndices(opts.Evidence)
+	out := make([]ip6.Prefix, 0, opts.Count)
+	err := m.GeneratePrefixesStream(opts, func(p ip6.Prefix) bool {
+		out = append(out, p)
+		return true
+	})
 	if err != nil {
 		return nil, err
-	}
-	out := make([]ip6.Prefix, 0, opts.Count)
-	seen := ip6.NewPrefixSet(opts.Count)
-	var excludePrefixes *ip6.PrefixSet
-	if opts.Exclude != nil {
-		excludePrefixes = opts.Exclude.Prefixes(64)
-	}
-	attempts := 0
-	maxAttempts := opts.maxAttempts()
-	for len(out) < opts.Count && attempts < maxAttempts {
-		attempts++
-		var vec []int
-		if len(evidence) == 0 {
-			vec = m.Net.Sample(rng)
-		} else {
-			vec, err = m.Net.SampleConditional(rng, evidence)
-			if err != nil {
-				return nil, err
-			}
-		}
-		addr, err := enc.Decode(vec, rng)
-		if err != nil {
-			return nil, err
-		}
-		p := ip6.Prefix64(addr)
-		if excludePrefixes != nil && excludePrefixes.Contains(p) {
-			continue
-		}
-		if seen.Add(p) {
-			out = append(out, p)
-		}
 	}
 	return out, nil
 }

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"entropyip/internal/bayes"
 	"entropyip/internal/entropy"
@@ -54,6 +55,7 @@ type Model struct {
 	// TrainCount is the number of training addresses.
 	TrainCount int
 
+	encOnce sync.Once
 	encoder *mining.Encoder
 }
 
@@ -118,10 +120,10 @@ func Build(addrs []ip6.Addr, opts Options) (*Model, error) {
 }
 
 // Encoder returns the categorical encoder over the model's mined segments.
+// It is safe for concurrent use: a model shared between request handlers
+// initializes its encoder exactly once.
 func (m *Model) Encoder() *mining.Encoder {
-	if m.encoder == nil {
-		m.encoder = mining.NewEncoder(m.Segments)
-	}
+	m.encOnce.Do(func() { m.encoder = mining.NewEncoder(m.Segments) })
 	return m.encoder
 }
 

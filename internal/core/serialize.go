@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 
 	"entropyip/internal/bayes"
 	"entropyip/internal/entropy"
@@ -19,16 +20,108 @@ const modelVersion = 1
 // reconstruct the model is stored; derived structures (the encoder) are
 // rebuilt on load.
 type modelJSON struct {
-	Version      int                    `json:"version"`
-	Prefix64Only bool                   `json:"prefix64_only"`
-	TrainCount   int                    `json:"train_count"`
-	EntropyH     []float64              `json:"entropy_h"`
-	EntropyRaw   []float64              `json:"entropy_raw"`
-	ACRCounts    []int                  `json:"acr_counts"`
-	ACRAddrs     int                    `json:"acr_addrs"`
-	Segments     []segmentJSON          `json:"segments"`
-	Net          *bayes.Network         `json:"net"`
-	Options      map[string]interface{} `json:"options,omitempty"`
+	Version      int            `json:"version"`
+	Prefix64Only bool           `json:"prefix64_only"`
+	TrainCount   int            `json:"train_count"`
+	EntropyH     []float64      `json:"entropy_h"`
+	EntropyRaw   []float64      `json:"entropy_raw"`
+	ACRCounts    []int          `json:"acr_counts"`
+	ACRAddrs     int            `json:"acr_addrs"`
+	Segments     []segmentJSON  `json:"segments"`
+	Net          *bayes.Network `json:"net"`
+	Options      *optionsJSON   `json:"options,omitempty"`
+}
+
+// optionsJSON is the serialized form of Options. Every field that changes
+// how a model is built is persisted, so that a loaded model reports exactly
+// the configuration it was trained with (and retraining from the stored
+// options reproduces it).
+type optionsJSON struct {
+	Segmentation segmentConfigJSON `json:"segmentation"`
+	Mining       miningConfigJSON  `json:"mining"`
+	Learn        learnConfigJSON   `json:"learn"`
+	Prefix64Only bool              `json:"prefix64_only"`
+}
+
+type segmentConfigJSON struct {
+	// Thresholds and ForcedBoundaries must NOT use omitempty: nil (use the
+	// defaults) and [] (explicitly none) mean different things to
+	// segment.Config, and both must survive the round trip.
+	Thresholds       []float64 `json:"thresholds"`
+	Hysteresis       float64   `json:"hysteresis,omitempty"`
+	ForcedBoundaries []int     `json:"forced_boundaries"`
+	MaxNybble        int       `json:"max_nybble,omitempty"`
+}
+
+type miningConfigJSON struct {
+	NominateLimit  int     `json:"nominate_limit,omitempty"`
+	StopFraction   float64 `json:"stop_fraction,omitempty"`
+	SmallSetLimit  int     `json:"small_set_limit,omitempty"`
+	TukeyK         float64 `json:"tukey_k,omitempty"`
+	MinRangePoints int     `json:"min_range_points,omitempty"`
+}
+
+type learnConfigJSON struct {
+	MaxParents           int     `json:"max_parents,omitempty"`
+	EquivalentSampleSize float64 `json:"equivalent_sample_size,omitempty"`
+	Pseudocount          float64 `json:"pseudocount,omitempty"`
+	MaxParentConfigs     int     `json:"max_parent_configs,omitempty"`
+	Structure            int     `json:"structure,omitempty"`
+	Score                int     `json:"score,omitempty"`
+}
+
+func optionsToJSON(o Options) *optionsJSON {
+	return &optionsJSON{
+		Segmentation: segmentConfigJSON{
+			Thresholds:       o.Segmentation.Thresholds,
+			Hysteresis:       o.Segmentation.Hysteresis,
+			ForcedBoundaries: o.Segmentation.ForcedBoundaries,
+			MaxNybble:        o.Segmentation.MaxNybble,
+		},
+		Mining: miningConfigJSON{
+			NominateLimit:  o.Mining.NominateLimit,
+			StopFraction:   o.Mining.StopFraction,
+			SmallSetLimit:  o.Mining.SmallSetLimit,
+			TukeyK:         o.Mining.TukeyK,
+			MinRangePoints: o.Mining.MinRangePoints,
+		},
+		Learn: learnConfigJSON{
+			MaxParents:           o.Learn.MaxParents,
+			EquivalentSampleSize: o.Learn.EquivalentSampleSize,
+			Pseudocount:          o.Learn.Pseudocount,
+			MaxParentConfigs:     o.Learn.MaxParentConfigs,
+			Structure:            int(o.Learn.Structure),
+			Score:                int(o.Learn.Score),
+		},
+		Prefix64Only: o.Prefix64Only,
+	}
+}
+
+func (oj *optionsJSON) toOptions() Options {
+	return Options{
+		Segmentation: segment.Config{
+			Thresholds:       oj.Segmentation.Thresholds,
+			Hysteresis:       oj.Segmentation.Hysteresis,
+			ForcedBoundaries: oj.Segmentation.ForcedBoundaries,
+			MaxNybble:        oj.Segmentation.MaxNybble,
+		},
+		Mining: mining.Config{
+			NominateLimit:  oj.Mining.NominateLimit,
+			StopFraction:   oj.Mining.StopFraction,
+			SmallSetLimit:  oj.Mining.SmallSetLimit,
+			TukeyK:         oj.Mining.TukeyK,
+			MinRangePoints: oj.Mining.MinRangePoints,
+		},
+		Learn: bayes.LearnConfig{
+			MaxParents:           oj.Learn.MaxParents,
+			EquivalentSampleSize: oj.Learn.EquivalentSampleSize,
+			Pseudocount:          oj.Learn.Pseudocount,
+			MaxParentConfigs:     oj.Learn.MaxParentConfigs,
+			Structure:            bayes.Structure(oj.Learn.Structure),
+			Score:                bayes.Score(oj.Learn.Score),
+		},
+		Prefix64Only: oj.Prefix64Only,
+	}
 }
 
 type segmentJSON struct {
@@ -58,6 +151,7 @@ func (m *Model) MarshalJSON() ([]byte, error) {
 		ACRCounts:    append([]int(nil), m.ACR.Counts[:]...),
 		ACRAddrs:     m.ACR.N,
 		Net:          m.Net,
+		Options:      optionsToJSON(m.Opts),
 	}
 	for _, sm := range m.Segments {
 		sj := segmentJSON{
@@ -139,8 +233,16 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 	m.Segmentation = sg
 	m.Segments = models
 	m.Net = in.Net
-	m.Opts = Options{Prefix64Only: in.Prefix64Only}
+	if in.Options != nil {
+		m.Opts = in.Options.toOptions()
+	} else {
+		// Model files written before options were persisted carry only the
+		// Prefix64Only flag; the remaining options default to zero (the
+		// paper's configuration).
+		m.Opts = Options{Prefix64Only: in.Prefix64Only}
+	}
 	m.TrainCount = in.TrainCount
+	m.encOnce = sync.Once{}
 	m.encoder = nil
 	return nil
 }

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"entropyip/internal/bayes"
+	"entropyip/internal/mining"
+	"entropyip/internal/segment"
+)
+
+// TestOptionsRoundTrip verifies that Save/Load preserves the full Options —
+// not just Prefix64Only but the segmentation, mining and learning
+// configuration the model was built with.
+func TestOptionsRoundTrip(t *testing.T) {
+	opts := Options{
+		Segmentation: segment.Config{
+			Thresholds:       []float64{0.025, 0.1, 0.3, 0.5, 0.9},
+			Hysteresis:       0.08,
+			ForcedBoundaries: []int{32, 64},
+		},
+		Mining: mining.Config{
+			NominateLimit:  12,
+			StopFraction:   0.002,
+			SmallSetLimit:  8,
+			TukeyK:         2.0,
+			MinRangePoints: 4,
+		},
+		Learn: bayes.LearnConfig{
+			MaxParents:           1,
+			EquivalentSampleSize: 2.0,
+			Pseudocount:          0.25,
+			MaxParentConfigs:     2048,
+			Structure:            bayes.StructureChain,
+			Score:                bayes.ScoreBDeu,
+		},
+	}
+	m, _ := buildTestModel(t, 2000, 7, opts)
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.Opts, m.Opts) {
+		t.Errorf("options did not round-trip:\n got  %+v\n want %+v", loaded.Opts, m.Opts)
+	}
+
+	// A second round trip must be byte-identical (the format is stable).
+	var buf2 bytes.Buffer
+	if err := loaded.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("second save differs from first")
+	}
+}
+
+// TestOptionsRoundTripPrefix64 checks the flag that existed before full
+// options were persisted still round-trips through the new field.
+func TestOptionsRoundTripPrefix64(t *testing.T) {
+	m, _ := buildTestModel(t, 2000, 3, Options{Prefix64Only: true})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Opts.Prefix64Only {
+		t.Error("Prefix64Only lost in round trip")
+	}
+	if !reflect.DeepEqual(loaded.Opts, m.Opts) {
+		t.Errorf("options did not round-trip: got %+v want %+v", loaded.Opts, m.Opts)
+	}
+}
+
+// TestLoadLegacyModelWithoutOptions ensures model files written before the
+// options field existed (only the top-level prefix64_only flag) still load,
+// restoring the flag and defaulting the rest.
+func TestLoadLegacyModelWithoutOptions(t *testing.T) {
+	m, _ := buildTestModel(t, 2000, 5, Options{Prefix64Only: true})
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	delete(doc, "options")
+	legacy, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Opts.Prefix64Only {
+		t.Error("legacy Prefix64Only flag not restored")
+	}
+	want := Options{Prefix64Only: true}
+	if !reflect.DeepEqual(loaded.Opts, want) {
+		t.Errorf("legacy options = %+v, want %+v", loaded.Opts, want)
+	}
+}

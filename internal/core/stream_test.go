@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"entropyip/internal/ip6"
+)
+
+// TestGenerateStreamMatchesGenerate checks the streaming generator emits
+// exactly the sequence the batch API returns for the same seed.
+func TestGenerateStreamMatchesGenerate(t *testing.T) {
+	m, _ := buildTestModel(t, 3000, 11, Options{})
+	opts := GenerateOptions{Count: 500, Seed: 99}
+	batch, err := m.Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []ip6.Addr
+	if err := m.GenerateStream(opts, func(a ip6.Addr) bool {
+		streamed = append(streamed, a)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(batch) {
+		t.Fatalf("stream emitted %d candidates, batch returned %d", len(streamed), len(batch))
+	}
+	for i := range batch {
+		if streamed[i] != batch[i] {
+			t.Fatalf("candidate %d differs: %v vs %v", i, streamed[i], batch[i])
+		}
+	}
+}
+
+// TestGenerateStreamEarlyStop checks yield returning false halts generation.
+func TestGenerateStreamEarlyStop(t *testing.T) {
+	m, _ := buildTestModel(t, 3000, 11, Options{})
+	n := 0
+	err := m.GenerateStream(GenerateOptions{Count: 500, Seed: 1}, func(ip6.Addr) bool {
+		n++
+		return n < 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("expected exactly 10 yields before stop, got %d", n)
+	}
+}
+
+// TestGenerateStreamStop checks the Stop hook halts generation even when
+// nothing is being yielded (the disconnected-client path).
+func TestGenerateStreamStop(t *testing.T) {
+	m, _ := buildTestModel(t, 3000, 11, Options{})
+	n := 0
+	err := m.GenerateStream(GenerateOptions{
+		Count: 1 << 20,
+		Seed:  1,
+		Stop:  func() bool { return true },
+	}, func(ip6.Addr) bool {
+		n++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop is polled every stopPollInterval draws, so at most that many
+	// candidates can be emitted before the halt is noticed.
+	if n > stopPollInterval {
+		t.Errorf("emitted %d candidates after Stop, want <= %d", n, stopPollInterval)
+	}
+}
+
+// TestGeneratePrefixesStreamMatchesBatch mirrors the address test for /64s.
+func TestGeneratePrefixesStreamMatchesBatch(t *testing.T) {
+	m, _ := buildTestModel(t, 3000, 11, Options{})
+	opts := GenerateOptions{Count: 200, Seed: 5}
+	batch, err := m.GeneratePrefixes(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []ip6.Prefix
+	if err := m.GeneratePrefixesStream(opts, func(p ip6.Prefix) bool {
+		streamed = append(streamed, p)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(batch) {
+		t.Fatalf("stream emitted %d prefixes, batch returned %d", len(streamed), len(batch))
+	}
+	for i := range batch {
+		if streamed[i] != batch[i] {
+			t.Fatalf("prefix %d differs: %v vs %v", i, streamed[i], batch[i])
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Metrics collects basic per-route request statistics: counts, errors and
+// cumulative handler time. It is safe for concurrent use.
+type Metrics struct {
+	mu       sync.Mutex
+	start    time.Time
+	inFlight int
+	routes   map[string]*routeStats
+}
+
+type routeStats struct {
+	requests int64
+	errors   int64
+	total    time.Duration
+}
+
+// RouteSnapshot is the exported view of one route's counters.
+type RouteSnapshot struct {
+	// Requests is the number of completed requests.
+	Requests int64 `json:"requests"`
+	// Errors is the number of requests answered with a 4xx or 5xx status.
+	Errors int64 `json:"errors"`
+	// TotalMillis is the cumulative handler time in milliseconds.
+	TotalMillis int64 `json:"total_millis"`
+}
+
+// MetricsSnapshot is a point-in-time view of all request metrics.
+type MetricsSnapshot struct {
+	// UptimeSeconds is the time since the server was created.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// InFlight is the number of requests currently being handled.
+	InFlight int `json:"in_flight"`
+	// Routes maps "METHOD pattern" to that route's counters.
+	Routes map[string]RouteSnapshot `json:"routes"`
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{start: time.Now(), routes: make(map[string]*routeStats)}
+}
+
+func (m *Metrics) begin() {
+	m.mu.Lock()
+	m.inFlight++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) end(route string, status int, dur time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inFlight--
+	rs := m.routes[route]
+	if rs == nil {
+		rs = &routeStats{}
+		m.routes[route] = rs
+	}
+	rs.requests++
+	if status >= 400 {
+		rs.errors++
+	}
+	rs.total += dur
+}
+
+// Snapshot returns the current counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		InFlight:      m.inFlight,
+		Routes:        make(map[string]RouteSnapshot, len(m.routes)),
+	}
+	for route, rs := range m.routes {
+		out.Routes[route] = RouteSnapshot{
+			Requests:    rs.requests,
+			Errors:      rs.errors,
+			TotalMillis: rs.total.Milliseconds(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrBusy is returned by Pool.Do when the queue of waiting requests is
+// full. HTTP handlers translate it to 503 Service Unavailable so that
+// expensive work degrades by shedding load instead of stampeding.
+var ErrBusy = errors.New("serve: too many queued requests")
+
+// Pool bounds concurrency of expensive work (model training) with a fixed
+// number of workers and a bounded queue of waiting requests. Work beyond
+// workers+queue is rejected immediately with ErrBusy.
+type Pool struct {
+	workers chan struct{} // worker tokens
+	queue   chan struct{} // admission tokens: workers + queue depth
+}
+
+// NewPool returns a pool with the given number of workers and queue
+// depth. Non-positive values select 1 worker and a queue of 0.
+func NewPool(workers, queueDepth int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &Pool{
+		workers: make(chan struct{}, workers),
+		queue:   make(chan struct{}, workers+queueDepth),
+	}
+}
+
+// Do runs fn on one of the pool's workers, waiting in the queue if all
+// workers are busy. It returns ErrBusy without running fn when the queue
+// is full, and the context's error if ctx is done before a worker frees
+// up.
+func (p *Pool) Do(ctx context.Context, fn func() error) error {
+	select {
+	case p.queue <- struct{}{}:
+	default:
+		return ErrBusy
+	}
+	defer func() { <-p.queue }()
+
+	select {
+	case p.workers <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-p.workers }()
+	return fn()
+}

@@ -1,0 +1,583 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"entropyip/internal/core"
+	"entropyip/internal/ip6"
+	"entropyip/internal/registry"
+)
+
+// testAddrs synthesizes a structured network with a large address support
+// (pseudo-random IIDs), so that streaming tests can draw tens of
+// thousands of unique candidates.
+func testAddrs(n int, seed int64) []ip6.Addr {
+	rng := rand.New(rand.NewSource(seed))
+	base := ip6.MustParseAddr("2001:db8::")
+	out := make([]ip6.Addr, n)
+	for i := range out {
+		a := base
+		a = a.SetField(8, 2, uint64(rng.Intn(8)))
+		a = a.SetField(16, 16, rng.Uint64())
+		out[i] = a
+	}
+	return out
+}
+
+func testModel(t *testing.T, seed int64) *core.Model {
+	t.Helper()
+	m, err := core.Build(testAddrs(1500, seed), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// newTestServer returns a Server over a fresh registry plus the registry.
+func newTestServer(t *testing.T, opts Options) (*Server, *registry.Registry) {
+	t.Helper()
+	reg, err := registry.Open(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(reg, opts), reg
+}
+
+// do issues a JSON request against the handler and returns the recorder.
+func do(t *testing.T, s *Server, method, path string, body interface{}) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+func decode(t *testing.T, w *httptest.ResponseRecorder, v interface{}) {
+	t.Helper()
+	if err := json.Unmarshal(w.Body.Bytes(), v); err != nil {
+		t.Fatalf("decoding response %q: %v", w.Body.String(), err)
+	}
+}
+
+func TestListEmptyAndPopulated(t *testing.T) {
+	s, reg := newTestServer(t, Options{})
+	w := do(t, s, "GET", "/v1/models", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	var list ListModelsResponse
+	decode(t, w, &list)
+	if len(list.Models) != 0 {
+		t.Errorf("expected empty list, got %d", len(list.Models))
+	}
+
+	if _, err := reg.Put("web", testModel(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	w = do(t, s, "GET", "/v1/models", nil)
+	decode(t, w, &list)
+	if len(list.Models) != 1 || list.Models[0].Name != "web" || list.Models[0].Version != 1 {
+		t.Errorf("list = %+v", list.Models)
+	}
+}
+
+func TestUploadModel(t *testing.T) {
+	s, _ := newTestServer(t, Options{})
+	m := testModel(t, 1)
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := do(t, s, "PUT", "/v1/models/web", PutModelRequest{Model: raw})
+	if w.Code != http.StatusCreated {
+		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	var resp PutModelResponse
+	decode(t, w, &resp)
+	if resp.Trained {
+		t.Error("upload must not report trained")
+	}
+	if resp.Info.Version != 1 || resp.Info.TrainCount != m.TrainCount {
+		t.Errorf("info = %+v", resp.Info)
+	}
+
+	// Second upload bumps the version.
+	w = do(t, s, "PUT", "/v1/models/web", PutModelRequest{Model: raw})
+	decode(t, w, &resp)
+	if resp.Info.Version != 2 {
+		t.Errorf("second upload version = %d", resp.Info.Version)
+	}
+}
+
+func TestUploadErrors(t *testing.T) {
+	s, _ := newTestServer(t, Options{})
+	cases := []struct {
+		name   string
+		path   string
+		body   interface{}
+		status int
+	}{
+		{"invalid name", "/v1/models/.hidden", PutModelRequest{}, http.StatusBadRequest},
+		{"empty request", "/v1/models/web", PutModelRequest{}, http.StatusBadRequest},
+		{"corrupt model", "/v1/models/web", PutModelRequest{Model: json.RawMessage(`{"version":99}`)}, http.StatusBadRequest},
+		{"both model and addresses", "/v1/models/web", map[string]interface{}{
+			"model": json.RawMessage(`{}`), "addresses": []string{"::1"},
+		}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		w := do(t, s, "PUT", tc.path, tc.body)
+		if w.Code != tc.status {
+			t.Errorf("%s: status = %d, want %d (%s)", tc.name, w.Code, tc.status, w.Body.String())
+		}
+	}
+
+	// Malformed JSON body.
+	req := httptest.NewRequest("PUT", "/v1/models/web", strings.NewReader("{"))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status = %d", w.Code)
+	}
+}
+
+func TestTrainFromAddresses(t *testing.T) {
+	s, _ := newTestServer(t, Options{})
+	lines := make([]string, 0, 1500)
+	for _, a := range testAddrs(1500, 3) {
+		lines = append(lines, a.String())
+	}
+	w := do(t, s, "PUT", "/v1/models/trained", PutModelRequest{Addresses: lines})
+	if w.Code != http.StatusCreated {
+		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	var resp PutModelResponse
+	decode(t, w, &resp)
+	if !resp.Trained {
+		t.Error("training must report trained")
+	}
+	if resp.Info.TrainCount != 1500 {
+		t.Errorf("train count = %d", resp.Info.TrainCount)
+	}
+
+	// A bad address in the set is a 400, not a train failure.
+	w = do(t, s, "PUT", "/v1/models/trained", PutModelRequest{Addresses: []string{"not-an-address"}})
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("bad address: status = %d", w.Code)
+	}
+
+	// Training on an empty-after-parse set fails cleanly.
+	w = do(t, s, "PUT", "/v1/models/trained", PutModelRequest{Addresses: []string{}, Model: nil})
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("no addresses: status = %d", w.Code)
+	}
+}
+
+func TestTrainPrefix64Option(t *testing.T) {
+	s, _ := newTestServer(t, Options{})
+	lines := make([]string, 0, 1500)
+	for _, a := range testAddrs(1500, 3) {
+		lines = append(lines, a.String())
+	}
+	w := do(t, s, "PUT", "/v1/models/p64", PutModelRequest{
+		Addresses: lines,
+		Options:   TrainOptions{Prefix64Only: true},
+	})
+	if w.Code != http.StatusCreated {
+		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	var resp PutModelResponse
+	decode(t, w, &resp)
+	if !resp.Info.Prefix64Only {
+		t.Error("Prefix64Only option not applied")
+	}
+}
+
+// TestTrainShedsLoad fills the worker pool and checks the next training
+// request is answered 503 instead of queueing without bound.
+func TestTrainShedsLoad(t *testing.T) {
+	s, _ := newTestServer(t, Options{Workers: 1, QueueDepth: -1})
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = s.pool.Do(context.Background(), func() error { <-block; return nil })
+	}()
+	// Wait until the worker token is actually held; with one worker and no
+	// extra queue depth, the pool is then saturated.
+	for len(s.pool.workers) < 1 {
+		runtime.Gosched()
+	}
+
+	lines := []string{"2001:db8::1", "2001:db8::2"}
+	w := do(t, s, "PUT", "/v1/models/busy", PutModelRequest{Addresses: lines})
+	if w.Code != http.StatusServiceUnavailable {
+		t.Errorf("saturated pool: status = %d, want 503 (%s)", w.Code, w.Body.String())
+	}
+	close(block)
+	wg.Wait()
+}
+
+func TestBrowseMatchesDirect(t *testing.T) {
+	s, reg := newTestServer(t, Options{})
+	m := testModel(t, 1)
+	if _, err := reg.Put("web", m); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, ev := range []map[string]string{nil, {"A": "A1"}} {
+		w := do(t, s, "POST", "/v1/models/web/browse", BrowseRequest{Evidence: ev})
+		if w.Code != http.StatusOK {
+			t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+		}
+		var resp BrowseResponse
+		decode(t, w, &resp)
+
+		direct, err := m.Browse(core.Evidence(ev))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Distributions) != len(direct) {
+			t.Fatalf("got %d distributions, want %d", len(resp.Distributions), len(direct))
+		}
+		for i, d := range direct {
+			got := resp.Distributions[i]
+			if got.Label != d.Label || len(got.Entries) != len(d.Entries) {
+				t.Fatalf("distribution %d = %+v, want label %s with %d entries", i, got, d.Label, len(d.Entries))
+			}
+			for k, e := range d.Entries {
+				ge := got.Entries[k]
+				if ge.Code != e.Code || ge.Display != e.Display || ge.IsRange != e.IsRange {
+					t.Errorf("%s entry %d metadata mismatch: %+v vs %+v", d.Label, k, ge, e)
+				}
+				if ge.Prob != e.Prob {
+					t.Errorf("%s/%s prob = %v over HTTP, %v direct", d.Label, e.Code, ge.Prob, e.Prob)
+				}
+			}
+		}
+	}
+}
+
+func TestBrowseErrors(t *testing.T) {
+	s, reg := newTestServer(t, Options{})
+	if _, err := reg.Put("web", testModel(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	w := do(t, s, "POST", "/v1/models/missing/browse", BrowseRequest{})
+	if w.Code != http.StatusNotFound {
+		t.Errorf("missing model: status = %d", w.Code)
+	}
+	w = do(t, s, "POST", "/v1/models/web/browse", BrowseRequest{Evidence: map[string]string{"ZZ": "Z1"}})
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("bad evidence: status = %d", w.Code)
+	}
+	w = do(t, s, "POST", "/v1/models/web/browse", BrowseRequest{Version: 42})
+	if w.Code != http.StatusNotFound {
+		t.Errorf("bad version: status = %d", w.Code)
+	}
+}
+
+func TestGenerateStreamsNDJSON(t *testing.T) {
+	s, reg := newTestServer(t, Options{})
+	m := testModel(t, 1)
+	if _, err := reg.Put("web", m); err != nil {
+		t.Fatal(err)
+	}
+
+	const count = 2000
+	w := do(t, s, "POST", "/v1/models/web/generate", GenerateRequest{Count: count, Seed: 7})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type = %q", ct)
+	}
+
+	// The stream must reproduce exactly what the batch API returns for the
+	// same seed.
+	want, err := m.Generate(core.GenerateOptions{Count: count, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	sc := bufio.NewScanner(bytes.NewReader(w.Body.Bytes()))
+	for sc.Scan() {
+		var item GenerateItem
+		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if item.Addr == "" {
+			t.Fatalf("line without addr: %q", sc.Text())
+		}
+		got = append(got, item.Addr)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d candidates, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i].String() {
+			t.Fatalf("candidate %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGeneratePrefixesMode(t *testing.T) {
+	s, reg := newTestServer(t, Options{})
+	m := testModel(t, 1)
+	if _, err := reg.Put("web", m); err != nil {
+		t.Fatal(err)
+	}
+	w := do(t, s, "POST", "/v1/models/web/generate", GenerateRequest{Count: 50, Seed: 7, Prefixes: true})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	// The test network has only a handful of distinct /64s, so the stream
+	// must match exactly what the batch API can produce.
+	want, err := m.GeneratePrefixes(core.GenerateOptions{Count: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(w.Body.Bytes()))
+	var got []string
+	for sc.Scan() {
+		var item GenerateItem
+		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasSuffix(item.Prefix, "/64") {
+			t.Fatalf("expected /64 prefix, got %q", item.Prefix)
+		}
+		got = append(got, item.Prefix)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d prefixes, batch produced %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i].String() {
+			t.Fatalf("prefix %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	s, reg := newTestServer(t, Options{MaxGenerateCount: 100})
+	if _, err := reg.Put("web", testModel(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		path   string
+		req    GenerateRequest
+		status int
+	}{
+		{"zero count", "/v1/models/web/generate", GenerateRequest{Count: 0}, http.StatusBadRequest},
+		{"over limit", "/v1/models/web/generate", GenerateRequest{Count: 101}, http.StatusBadRequest},
+		{"missing model", "/v1/models/none/generate", GenerateRequest{Count: 10}, http.StatusNotFound},
+		{"bad evidence", "/v1/models/web/generate", GenerateRequest{Count: 10, Evidence: map[string]string{"ZZ": "1"}}, http.StatusBadRequest},
+		{"attempts factor over limit", "/v1/models/web/generate", GenerateRequest{Count: 10, MaxAttemptsFactor: MaxAttemptsFactorLimit + 1}, http.StatusBadRequest},
+		{"negative attempts factor", "/v1/models/web/generate", GenerateRequest{Count: 10, MaxAttemptsFactor: -1}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		w := do(t, s, "POST", tc.path, tc.req)
+		if w.Code != tc.status {
+			t.Errorf("%s: status = %d, want %d (%s)", tc.name, w.Code, tc.status, w.Body.String())
+		}
+	}
+}
+
+// TestGenerateEndToEnd10k uploads a model over a real HTTP server, then
+// streams >= 10k unique candidates, reading the body incrementally —
+// the acceptance scenario for bounded-memory streaming.
+func TestGenerateEndToEnd10k(t *testing.T) {
+	s, _ := newTestServer(t, Options{FlushEvery: 256})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Upload.
+	m := testModel(t, 1)
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	if err := json.NewEncoder(&body).Encode(PutModelRequest{Model: raw}); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("PUT", ts.URL+"/v1/models/web", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload status = %d", resp.StatusCode)
+	}
+
+	// List.
+	resp, err = http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list ListModelsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Models) != 1 || list.Models[0].Name != "web" {
+		t.Fatalf("list = %+v", list.Models)
+	}
+
+	// Stream 10k candidates, consuming line by line off the wire.
+	const count = 10_000
+	genBody := strings.NewReader(fmt.Sprintf(`{"count": %d, "seed": 1}`, count))
+	resp, err = http.Post(ts.URL+"/v1/models/web/generate", "application/json", genBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generate status = %d", resp.StatusCode)
+	}
+	seen := make(map[string]bool, count)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var item GenerateItem
+		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+			t.Fatalf("bad line: %v", err)
+		}
+		if seen[item.Addr] {
+			t.Fatalf("duplicate candidate %s", item.Addr)
+		}
+		seen[item.Addr] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) < count {
+		t.Fatalf("streamed %d unique candidates, want >= %d", len(seen), count)
+	}
+}
+
+func TestDownloadRoundTrips(t *testing.T) {
+	s, reg := newTestServer(t, Options{})
+	m := testModel(t, 1)
+	if _, err := reg.Put("web", m); err != nil {
+		t.Fatal(err)
+	}
+	w := do(t, s, "GET", "/v1/models/web/model", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	loaded, err := core.Load(bytes.NewReader(w.Body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.TrainCount != m.TrainCount || len(loaded.Segments) != len(m.Segments) {
+		t.Errorf("downloaded model differs: %d/%d segments, %d/%d train",
+			len(loaded.Segments), len(m.Segments), loaded.TrainCount, m.TrainCount)
+	}
+
+	// A malformed version pin must be rejected, not silently serve latest.
+	w = do(t, s, "GET", "/v1/models/web/model?version=abc", nil)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("bad version param: status = %d, want 400", w.Code)
+	}
+	w = do(t, s, "GET", "/v1/models/web/model?version=9", nil)
+	if w.Code != http.StatusNotFound {
+		t.Errorf("missing version param: status = %d, want 404", w.Code)
+	}
+}
+
+func TestModelInfoAndDelete(t *testing.T) {
+	s, reg := newTestServer(t, Options{})
+	m := testModel(t, 1)
+	if _, err := reg.Put("web", m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Put("web", m); err != nil {
+		t.Fatal(err)
+	}
+	w := do(t, s, "GET", "/v1/models/web", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	var info ModelInfoResponse
+	decode(t, w, &info)
+	if info.Latest.Version != 2 || len(info.Versions) != 2 {
+		t.Errorf("info = %+v", info)
+	}
+
+	w = do(t, s, "DELETE", "/v1/models/web", nil)
+	if w.Code != http.StatusNoContent {
+		t.Errorf("delete status = %d", w.Code)
+	}
+	w = do(t, s, "DELETE", "/v1/models/web", nil)
+	if w.Code != http.StatusNotFound {
+		t.Errorf("double delete status = %d", w.Code)
+	}
+	w = do(t, s, "GET", "/v1/models/web", nil)
+	if w.Code != http.StatusNotFound {
+		t.Errorf("info after delete status = %d", w.Code)
+	}
+}
+
+func TestHealthzReportsMetrics(t *testing.T) {
+	s, reg := newTestServer(t, Options{})
+	if _, err := reg.Put("web", testModel(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	do(t, s, "GET", "/v1/models", nil)
+	do(t, s, "POST", "/v1/models/web/browse", BrowseRequest{})
+	do(t, s, "POST", "/v1/models/missing/browse", BrowseRequest{})
+
+	w := do(t, s, "GET", "/healthz", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	var h HealthResponse
+	decode(t, w, &h)
+	if h.Status != "ok" {
+		t.Errorf("status = %q", h.Status)
+	}
+	if h.Registry.Models != 1 {
+		t.Errorf("registry models = %d", h.Registry.Models)
+	}
+	browse := h.Metrics.Routes["POST /v1/models/{name}/browse"]
+	if browse.Requests != 2 || browse.Errors != 1 {
+		t.Errorf("browse route metrics = %+v", browse)
+	}
+	if h.Metrics.Routes["GET /v1/models"].Requests != 1 {
+		t.Errorf("list route metrics = %+v", h.Metrics.Routes["GET /v1/models"])
+	}
+}
+
+func TestBodySizeLimit(t *testing.T) {
+	s, _ := newTestServer(t, Options{MaxBodyBytes: 64})
+	big := strings.Repeat("x", 200)
+	req := httptest.NewRequest("PUT", "/v1/models/web", strings.NewReader(`{"addresses": ["`+big+`"]}`))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("status = %d, want 413", w.Code)
+	}
+}

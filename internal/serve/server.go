@@ -1,0 +1,614 @@
+// Package serve implements the HTTP API of the Entropy/IP model-serving
+// daemon: the network face of the paper's interactive conditional
+// probability browser (Figs. 1, 7, 9–10) and of candidate generation for
+// scanning (§5.5–5.6), backed by a versioned model registry.
+//
+// API (all bodies JSON):
+//
+//	GET    /v1/models                     list models (latest version each)
+//	GET    /v1/models/{name}              info + all versions of one model
+//	GET    /v1/models/{name}/model        download the serialized model
+//	PUT    /v1/models/{name}              upload a model, or train one from
+//	                                      a posted address set (queued on a
+//	                                      bounded worker pool)
+//	DELETE /v1/models/{name}              delete all versions
+//	POST   /v1/models/{name}/browse       conditional probability query
+//	POST   /v1/models/{name}/generate     stream candidates as NDJSON
+//	GET    /healthz                       liveness + request metrics
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"entropyip/internal/core"
+	"entropyip/internal/ip6"
+	"entropyip/internal/registry"
+)
+
+// Defaults used when Options fields are zero.
+const (
+	DefaultWorkers          = 2
+	DefaultQueueDepth       = 8
+	DefaultMaxBodyBytes     = 64 << 20 // 64 MiB of addresses or model JSON
+	DefaultMaxGenerateCount = 10_000_000
+	DefaultFlushEvery       = 512 // NDJSON lines between explicit flushes
+)
+
+// Options configures the HTTP server.
+type Options struct {
+	// Workers is the number of concurrent model-training workers; training
+	// requests beyond this run after queued ones. Zero means
+	// DefaultWorkers.
+	Workers int
+	// QueueDepth is how many training requests may wait for a worker
+	// before the server answers 503. Zero means DefaultQueueDepth;
+	// negative means no queueing beyond the workers themselves.
+	QueueDepth int
+	// MaxBodyBytes caps request body size. Zero means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// MaxGenerateCount caps the count of one generate request. Zero means
+	// DefaultMaxGenerateCount.
+	MaxGenerateCount int
+	// FlushEvery is the number of NDJSON lines written between explicit
+	// flushes while streaming. Zero means DefaultFlushEvery.
+	FlushEvery int
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return DefaultWorkers
+	}
+	return o.Workers
+}
+
+func (o Options) queueDepth() int {
+	if o.QueueDepth == 0 {
+		return DefaultQueueDepth
+	}
+	if o.QueueDepth < 0 {
+		return 0
+	}
+	return o.QueueDepth
+}
+
+func (o Options) maxBodyBytes() int64 {
+	if o.MaxBodyBytes <= 0 {
+		return DefaultMaxBodyBytes
+	}
+	return o.MaxBodyBytes
+}
+
+func (o Options) maxGenerateCount() int {
+	if o.MaxGenerateCount <= 0 {
+		return DefaultMaxGenerateCount
+	}
+	return o.MaxGenerateCount
+}
+
+func (o Options) flushEvery() int {
+	if o.FlushEvery <= 0 {
+		return DefaultFlushEvery
+	}
+	return o.FlushEvery
+}
+
+// Server is the HTTP front end over a model registry. It implements
+// http.Handler.
+type Server struct {
+	reg     *registry.Registry
+	opts    Options
+	pool    *Pool
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// New returns a Server over the given registry.
+func New(reg *registry.Registry, opts Options) *Server {
+	s := &Server{
+		reg:     reg,
+		opts:    opts,
+		pool:    NewPool(opts.workers(), opts.queueDepth()),
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.handle("GET /v1/models", s.handleList)
+	s.handle("GET /v1/models/{name}", s.handleModelInfo)
+	s.handle("GET /v1/models/{name}/model", s.handleDownload)
+	s.handle("PUT /v1/models/{name}", s.handlePut)
+	s.handle("DELETE /v1/models/{name}", s.handleDelete)
+	s.handle("POST /v1/models/{name}/browse", s.handleBrowse)
+	s.handle("POST /v1/models/{name}/generate", s.handleGenerate)
+	s.handle("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Metrics exposes the server's request metrics (for the daemon's logs).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// handle registers an instrumented handler under a method+path pattern.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.begin()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.metrics.end(pattern, sw.status, time.Since(start))
+	})
+}
+
+// statusWriter records the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status      int
+	wroteHeader bool
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if !w.wroteHeader {
+		w.status = status
+		w.wroteHeader = true
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// errorResponse is the JSON body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeRegistryError maps registry errors to HTTP statuses.
+func writeRegistryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, registry.ErrNotFound):
+		writeError(w, http.StatusNotFound, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// ListModelsResponse is the body of GET /v1/models.
+type ListModelsResponse struct {
+	// Models holds the latest version of every model, sorted by name.
+	Models []registry.Info `json:"models"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ListModelsResponse{Models: s.reg.List()})
+}
+
+// ModelInfoResponse is the body of GET /v1/models/{name}.
+type ModelInfoResponse struct {
+	// Latest is the newest version's info.
+	Latest registry.Info `json:"latest"`
+	// Versions lists every stored version, oldest first.
+	Versions []registry.Info `json:"versions"`
+}
+
+func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
+	versions, err := s.reg.Versions(r.PathValue("name"))
+	if err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ModelInfoResponse{
+		Latest:   versions[len(versions)-1],
+		Versions: versions,
+	})
+}
+
+func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
+	version, err := versionParam(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rc, info, err := s.reg.OpenRaw(r.PathValue("name"), version)
+	if err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	defer rc.Close()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Model-Version", fmt.Sprint(info.Version))
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.Copy(w, rc)
+}
+
+// versionParam parses the optional ?version=N query parameter; absent or
+// 0 means latest. Malformed values are an error rather than silently
+// serving the latest version.
+func versionParam(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("version")
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("invalid version %q", raw)
+	}
+	return v, nil
+}
+
+// TrainOptions is the JSON-facing subset of core.Options accepted when
+// training a model server-side.
+type TrainOptions struct {
+	// Prefix64Only restricts the model to the top 64 bits (the client
+	// /64-prefix prediction configuration of §5.6).
+	Prefix64Only bool `json:"prefix64_only,omitempty"`
+	// MaxNybble restricts segmentation to the first MaxNybble nybbles.
+	MaxNybble int `json:"max_nybble,omitempty"`
+	// MaxParents bounds the number of BN parents per segment.
+	MaxParents int `json:"max_parents,omitempty"`
+}
+
+func (t TrainOptions) coreOptions() core.Options {
+	opts := core.Options{Prefix64Only: t.Prefix64Only}
+	opts.Segmentation.MaxNybble = t.MaxNybble
+	opts.Learn.MaxParents = t.MaxParents
+	return opts
+}
+
+// PutModelRequest is the body of PUT /v1/models/{name}. Exactly one of
+// Model or Addresses must be set: Model uploads a pre-trained model in the
+// core.Save format, Addresses trains a new model server-side on the
+// posted address set.
+type PutModelRequest struct {
+	// Model is a serialized model document (the format Model.Save writes).
+	Model json.RawMessage `json:"model,omitempty"`
+	// Addresses is the training set, one textual IPv6 address each.
+	Addresses []string `json:"addresses,omitempty"`
+	// Options configures server-side training; ignored for uploads.
+	Options TrainOptions `json:"options,omitempty"`
+}
+
+// PutModelResponse is the body of a successful PUT.
+type PutModelResponse struct {
+	// Info describes the stored version.
+	Info registry.Info `json:"info"`
+	// Trained is true when the server trained the model from addresses,
+	// false when a pre-trained model was uploaded.
+	Trained bool `json:"trained"`
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !registry.ValidName(name) {
+		writeError(w, http.StatusBadRequest, "invalid model name %q", name)
+		return
+	}
+	var req PutModelRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	switch {
+	case len(req.Model) > 0 && len(req.Addresses) > 0:
+		writeError(w, http.StatusBadRequest, "set either model or addresses, not both")
+	case len(req.Model) > 0:
+		info, err := s.reg.PutRaw(name, req.Model)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusCreated, PutModelResponse{Info: info})
+		case errors.Is(err, registry.ErrInvalidModel):
+			writeError(w, http.StatusBadRequest, "%v", err)
+		default:
+			// The document was valid; storing it failed server-side.
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+	case len(req.Addresses) > 0:
+		s.train(w, r, name, req)
+	default:
+		writeError(w, http.StatusBadRequest, "request needs a model or addresses")
+	}
+}
+
+// train parses the posted addresses and builds the model on the worker
+// pool, so that concurrent training requests queue instead of stampeding.
+func (s *Server) train(w http.ResponseWriter, r *http.Request, name string, req PutModelRequest) {
+	addrs := make([]ip6.Addr, 0, len(req.Addresses))
+	for i, line := range req.Addresses {
+		a, err := ip6.ParseAddr(line)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "address %d: %v", i, err)
+			return
+		}
+		addrs = append(addrs, a)
+	}
+	var info registry.Info
+	var buildErr error
+	err := s.pool.Do(r.Context(), func() error {
+		m, err := core.Build(addrs, req.Options.coreOptions())
+		if err != nil {
+			buildErr = err
+			return err
+		}
+		info, err = s.reg.Put(name, m)
+		return err
+	})
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusCreated, PutModelResponse{Info: info, Trained: true})
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Client went away while queued; nothing useful to write.
+		writeError(w, http.StatusServiceUnavailable, "request cancelled while queued")
+	case buildErr != nil:
+		writeError(w, http.StatusUnprocessableEntity, "training failed: %v", buildErr)
+	default:
+		// Training worked; persisting the model failed server-side.
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Delete(r.PathValue("name")); err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// BrowseRequest is the body of POST /v1/models/{name}/browse: one click
+// state of the paper's conditional probability browser.
+type BrowseRequest struct {
+	// Version selects a model version; 0 means latest.
+	Version int `json:"version,omitempty"`
+	// Evidence fixes segments to value codes, e.g. {"J": "J1"}.
+	Evidence map[string]string `json:"evidence,omitempty"`
+}
+
+// Distribution is the posterior distribution of one segment.
+type Distribution struct {
+	// Label is the segment letter (A, B, C, ...).
+	Label string `json:"label"`
+	// Entries are the segment's mined values with posterior probability.
+	Entries []DistributionEntry `json:"entries"`
+}
+
+// DistributionEntry is one value of a segment.
+type DistributionEntry struct {
+	// Code is the value code (e.g. "B2").
+	Code string `json:"code"`
+	// Display is the human-readable value or range.
+	Display string `json:"display"`
+	// Prob is the posterior probability given the request's evidence.
+	Prob float64 `json:"prob"`
+	// IsRange marks mined ranges as opposed to exact values.
+	IsRange bool `json:"is_range,omitempty"`
+}
+
+// BrowseResponse is the body of a successful browse query.
+type BrowseResponse struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	// Distributions holds one posterior per segment, in address order —
+	// the rows of Figs. 1(b), 7(b), 9(b), 10(b).
+	Distributions []Distribution `json:"distributions"`
+}
+
+func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
+	var req BrowseRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	m, info, err := s.reg.GetVersion(r.PathValue("name"), req.Version)
+	if err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	dists, err := m.Browse(core.Evidence(req.Evidence))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := BrowseResponse{
+		Name:          info.Name,
+		Version:       info.Version,
+		Distributions: make([]Distribution, len(dists)),
+	}
+	for i, d := range dists {
+		entries := make([]DistributionEntry, len(d.Entries))
+		for k, e := range d.Entries {
+			entries[k] = DistributionEntry{
+				Code:    e.Code,
+				Display: e.Display,
+				Prob:    e.Prob,
+				IsRange: e.IsRange,
+			}
+		}
+		out.Distributions[i] = Distribution{Label: d.Label, Entries: entries}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// GenerateRequest is the body of POST /v1/models/{name}/generate.
+type GenerateRequest struct {
+	// Version selects a model version; 0 means latest.
+	Version int `json:"version,omitempty"`
+	// Count is the number of candidates to generate (the paper uses 1M).
+	Count int `json:"count"`
+	// Seed makes generation deterministic for a fixed model and options.
+	Seed int64 `json:"seed,omitempty"`
+	// Evidence optionally constrains generation to segment values.
+	Evidence map[string]string `json:"evidence,omitempty"`
+	// Prefixes switches from candidate addresses to candidate /64
+	// prefixes (§5.6).
+	Prefixes bool `json:"prefixes,omitempty"`
+	// MaxAttemptsFactor bounds the search for unique candidates; see
+	// core.GenerateOptions. Values above MaxAttemptsFactorLimit are
+	// rejected — the factor multiplies server CPU on low-support models.
+	MaxAttemptsFactor int `json:"max_attempts_factor,omitempty"`
+}
+
+// MaxAttemptsFactorLimit caps the per-request MaxAttemptsFactor.
+const MaxAttemptsFactorLimit = 1000
+
+// GenerateItem is one line of the NDJSON generate stream.
+type GenerateItem struct {
+	// Addr is a candidate address (empty in prefix mode).
+	Addr string `json:"addr,omitempty"`
+	// Prefix is a candidate /64 (empty in address mode).
+	Prefix string `json:"prefix,omitempty"`
+	// Error is set on a final trailer line when generation failed after
+	// the stream had started; a stream that simply ends short of count
+	// means the model's support was exhausted, not an error.
+	Error string `json:"error,omitempty"`
+}
+
+// handleGenerate streams candidates as NDJSON with bounded memory: each
+// candidate is encoded and written as it is drawn from the model, with
+// periodic flushes, so the response size never accumulates server-side.
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req GenerateRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Count <= 0 {
+		writeError(w, http.StatusBadRequest, "count must be positive")
+		return
+	}
+	if max := s.opts.maxGenerateCount(); req.Count > max {
+		writeError(w, http.StatusBadRequest, "count %d exceeds limit %d", req.Count, max)
+		return
+	}
+	if req.MaxAttemptsFactor < 0 || req.MaxAttemptsFactor > MaxAttemptsFactorLimit {
+		writeError(w, http.StatusBadRequest, "max_attempts_factor must be in 0..%d", MaxAttemptsFactorLimit)
+		return
+	}
+	m, info, err := s.reg.GetVersion(r.PathValue("name"), req.Version)
+	if err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	ctx := r.Context()
+	opts := core.GenerateOptions{
+		Count:             req.Count,
+		Seed:              req.Seed,
+		Evidence:          core.Evidence(req.Evidence),
+		MaxAttemptsFactor: req.MaxAttemptsFactor,
+		// Without Stop, a disconnected client would keep the generator
+		// spinning through duplicate draws until the attempt budget runs
+		// out; with it, cancellation is noticed even when nothing is
+		// being emitted.
+		Stop: func() bool { return ctx.Err() != nil },
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Model-Version", fmt.Sprint(info.Version))
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	flusher, _ := w.(http.Flusher)
+	flushEvery := s.opts.flushEvery()
+
+	lines := 0
+	emit := func(item GenerateItem) bool {
+		if ctx.Err() != nil {
+			return false // client went away: stop generating
+		}
+		if err := enc.Encode(item); err != nil {
+			return false
+		}
+		lines++
+		if lines%flushEvery == 0 {
+			if err := bw.Flush(); err != nil {
+				return false
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		return true
+	}
+
+	if req.Prefixes {
+		err = m.GeneratePrefixesStream(opts, func(p ip6.Prefix) bool {
+			return emit(GenerateItem{Prefix: p.String()})
+		})
+	} else {
+		err = m.GenerateStream(opts, func(a ip6.Addr) bool {
+			return emit(GenerateItem{Addr: a.String()})
+		})
+	}
+	if err != nil {
+		if lines == 0 {
+			// Nothing streamed yet: a clean JSON error is still possible.
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		// Mid-stream failure: the 200 status is already on the wire, so
+		// emit an error trailer line the client can distinguish from a
+		// legitimately short stream, and log it server-side.
+		log.Printf("serve: generate %s v%d failed after %d lines: %v", info.Name, info.Version, lines, err)
+		_ = enc.Encode(GenerateItem{Error: err.Error()})
+	}
+	_ = bw.Flush()
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status string `json:"status"`
+	// Registry summarizes the model store and its cache.
+	Registry registry.Stats `json:"registry"`
+	// Metrics summarizes request handling since startup.
+	Metrics MetricsSnapshot `json:"metrics"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		Registry: s.reg.Stats(),
+		Metrics:  s.metrics.Snapshot(),
+	})
+}
+
+// decodeBody decodes a JSON request body with a size cap, writing a 4xx
+// and returning false on failure. An empty body decodes to the zero value.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	body := http.MaxBytesReader(w, r.Body, s.opts.maxBodyBytes())
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(v); err != nil {
+		if err == io.EOF {
+			return true // empty body = all defaults
+		}
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return false
+	}
+	return true
+}
