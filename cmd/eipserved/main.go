@@ -39,14 +39,15 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		dir         = flag.String("dir", "models", "model registry directory")
-		cacheSize   = flag.Int("cache", registry.DefaultCacheSize, "decoded models kept in memory (LRU)")
-		workers     = flag.Int("workers", serve.DefaultWorkers, "concurrent model-training workers")
-		queueDepth  = flag.Int("queue", serve.DefaultQueueDepth, "training requests that may wait for a worker")
-		maxBodyMB   = flag.Int("max-body-mb", 64, "request body limit in MiB")
-		maxGenerate = flag.Int("max-generate", serve.DefaultMaxGenerateCount, "largest count one generate request may ask for")
-		drainWait   = flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
+		addr         = flag.String("addr", ":8080", "listen address")
+		dir          = flag.String("dir", "models", "model registry directory")
+		cacheSize    = flag.Int("cache", registry.DefaultCacheSize, "decoded models kept in memory (LRU)")
+		workers      = flag.Int("workers", serve.DefaultWorkers, "concurrent model-training workers")
+		queueDepth   = flag.Int("queue", serve.DefaultQueueDepth, "training requests that may wait for a worker")
+		trainWorkers = flag.Int("train-workers", 0, "goroutines each training job may use (0 = all cores; models are identical either way)")
+		maxBodyMB    = flag.Int("max-body-mb", 64, "request body limit in MiB")
+		maxGenerate  = flag.Int("max-generate", serve.DefaultMaxGenerateCount, "largest count one generate request may ask for")
+		drainWait    = flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
 	)
 	flag.Parse()
 
@@ -59,6 +60,7 @@ func main() {
 		QueueDepth:       *queueDepth,
 		MaxBodyBytes:     int64(*maxBodyMB) << 20,
 		MaxGenerateCount: *maxGenerate,
+		TrainWorkers:     *trainWorkers,
 	})
 
 	srv := &http.Server{

@@ -32,6 +32,7 @@ func main() {
 		dsName    = flag.String("dataset", "", "analyze a built-in synthetic dataset instead of a file")
 		trainSize = flag.Int("train", 1000, "number of training addresses sampled from the input (0 = all)")
 		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "goroutines used for training (0 = all cores; the model is identical either way)")
 		prefix64  = flag.Bool("prefix64", false, "model only the top 64 bits (network identifiers)")
 		condition = flag.String("condition", "", "conditional browsing evidence, e.g. \"J=J1,B=B2\"")
 		modelOut  = flag.String("model", "", "write the trained model as JSON to this file")
@@ -49,7 +50,7 @@ func main() {
 	if *trainSize > 0 && *trainSize < len(addrs) {
 		train, _ = stats.SplitTrainTest(stats.RNG(*seed), addrs, *trainSize)
 	}
-	model, err := core.Build(train, core.Options{Prefix64Only: *prefix64})
+	model, err := core.Build(train, core.Options{Prefix64Only: *prefix64, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

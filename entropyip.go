@@ -45,7 +45,8 @@ type Set = ip6.Set
 type Model = core.Model
 
 // Options configures model building; the zero value reproduces the paper's
-// configuration.
+// configuration. Options.Workers bounds training parallelism (0 = all
+// cores); the trained model is bit-identical for any worker count.
 type Options = core.Options
 
 // GenerateOptions controls candidate generation.

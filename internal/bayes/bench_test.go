@@ -1,0 +1,64 @@
+package bayes
+
+import (
+	"testing"
+
+	"entropyip/internal/entropy"
+	"entropyip/internal/mining"
+	"entropyip/internal/segment"
+	"entropyip/internal/synth"
+)
+
+// benchLearnData encodes a synthetic S1 population into the categorical
+// matrix Learn consumes, exactly as core.Build does.
+func benchLearnData(b *testing.B, n int) ([][]int, []Variable) {
+	b.Helper()
+	addrs, err := synth.Generate("S1", n, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	profile := entropy.NewProfile(addrs)
+	sg := segment.Segments(profile, segment.Config{})
+	models := mining.MineAll(addrs, sg, mining.Config{})
+	vars := make([]Variable, len(models))
+	for i, m := range models {
+		vars[i] = Variable{Name: m.Seg.Label, Arity: m.Arity()}
+	}
+	data := mining.NewEncoder(models).EncodeAll(addrs)
+	return data, vars
+}
+
+func benchmarkLearn(b *testing.B, n int) {
+	data, vars := benchLearnData(b, n)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net, err := Learn(data, vars, LearnConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if net.NumVars() != len(vars) {
+			b.Fatal("bad network")
+		}
+	}
+}
+
+func BenchmarkLearn10k(b *testing.B)  { benchmarkLearn(b, 10_000) }
+func BenchmarkLearn100k(b *testing.B) { benchmarkLearn(b, 100_000) }
+
+func BenchmarkLearnWorkers100k(b *testing.B) {
+	data, vars := benchLearnData(b, 100_000)
+	for _, w := range []int{1, 0} {
+		name := "workers=1"
+		if w == 0 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Learn(data, vars, LearnConfig{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

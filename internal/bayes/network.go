@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"entropyip/internal/parallel"
 )
 
 // Variable describes one categorical variable of the network (one address
@@ -95,6 +97,11 @@ type LearnConfig struct {
 	Structure Structure
 	// Score selects the structure score (default BDeu).
 	Score Score
+	// Workers bounds the number of goroutines used for candidate-family
+	// scoring and CPT counting (0 = GOMAXPROCS). The learned network is
+	// bit-identical regardless of the worker count, so Workers is a purely
+	// operational knob and is never persisted with a model.
+	Workers int
 }
 
 // Score selects the scoring function used for structure learning.
@@ -139,22 +146,39 @@ func (c LearnConfig) maxParentConfigs() int {
 // Learn learns a Bayesian network from complete categorical data. data is a
 // matrix with one row per observation and one column per variable; values
 // must lie in [0, arity). vars supplies names and arities in column order.
+//
+// Learning runs on up to cfg.Workers goroutines (0 = GOMAXPROCS): data
+// validation and CPT counting shard the rows, and structure search scores
+// candidate parent sets concurrently. The learned network is bit-identical
+// for any worker count — integer counts merge exactly, and the candidate
+// selection replays the sequential visitation order.
 func Learn(data [][]int, vars []Variable, cfg LearnConfig) (*Network, error) {
 	n := len(vars)
+	workers := parallel.Workers(cfg.Workers)
 	for _, v := range vars {
 		if v.Arity <= 0 {
 			return nil, fmt.Errorf("bayes: variable %q has non-positive arity", v.Name)
 		}
 	}
-	for r, row := range data {
-		if len(row) != n {
-			return nil, fmt.Errorf("bayes: row %d has %d columns, want %d", r, len(row), n)
-		}
-		for i, v := range row {
-			if v < 0 || v >= vars[i].Arity {
-				return nil, fmt.Errorf("bayes: row %d column %d value %d out of range [0,%d)", r, i, v, vars[i].Arity)
+	// Validate rows in contiguous shards; each shard reports its first bad
+	// row, and the lowest shard wins, so the error matches a sequential
+	// scan's.
+	err := parallel.ForEachShardErr(nil, workers, len(data), func(s parallel.Shard) error {
+		for r := s.Start; r < s.End; r++ {
+			row := data[r]
+			if len(row) != n {
+				return fmt.Errorf("bayes: row %d has %d columns, want %d", r, len(row), n)
+			}
+			for i, v := range row {
+				if v < 0 || v >= vars[i].Arity {
+					return fmt.Errorf("bayes: row %d column %d value %d out of range [0,%d)", r, i, v, vars[i].Arity)
+				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	net := &Network{
@@ -175,7 +199,7 @@ func Learn(data [][]int, vars []Variable, cfg LearnConfig) (*Network, error) {
 			parents = bestParents(data, vars, i, cfg)
 		}
 		net.Parents[i] = parents
-		net.CPTs[i] = fitCPT(data, vars, i, parents, cfg.pseudocount())
+		net.CPTs[i] = fitCPT(data, vars, i, parents, cfg.pseudocount(), workers)
 	}
 	return net, nil
 }
@@ -185,25 +209,24 @@ func Learn(data [][]int, vars []Variable, cfg LearnConfig) (*Network, error) {
 // ordering fixed, per-node searches are independent, so this is an exact
 // search over the constrained structure space (the same space BNFinder
 // searches for this problem).
+//
+// Candidate parent sets are enumerated first (cheap), scored concurrently
+// (each score is a full pass over the data — the hot loop of structure
+// search), and then selected sequentially in enumeration order, so the
+// chosen set matches the single-threaded search exactly, including its
+// epsilon tie-breaks against the running best.
 func bestParents(data [][]int, vars []Variable, node int, cfg LearnConfig) []int {
 	best := []int(nil)
 	bestScore := scoreFamily(data, vars, node, nil, cfg)
-	candidates := make([]int, node)
-	for i := range candidates {
-		candidates[i] = i
-	}
 	maxP := cfg.maxParents()
-	// Enumerate subsets of size 1..maxP.
+	// Enumerate subsets of size 1..maxP in the DFS order the sequential
+	// search visits them, keeping only those within the parent-config
+	// budget.
+	var cands [][]int
 	var rec func(start int, chosen []int)
 	rec = func(start int, chosen []int) {
-		if len(chosen) > 0 {
-			if parentConfigs(vars, chosen) <= cfg.maxParentConfigs() {
-				s := scoreFamily(data, vars, node, chosen, cfg)
-				if s > bestScore+1e-9 || (s > bestScore-1e-9 && less(chosen, best)) {
-					bestScore = s
-					best = append([]int(nil), chosen...)
-				}
-			}
+		if len(chosen) > 0 && parentConfigs(vars, chosen) <= cfg.maxParentConfigs() {
+			cands = append(cands, append([]int(nil), chosen...))
 		}
 		if len(chosen) >= maxP {
 			return
@@ -213,6 +236,17 @@ func bestParents(data [][]int, vars []Variable, node int, cfg LearnConfig) []int
 		}
 	}
 	rec(0, nil)
+
+	scores := parallel.Map(cfg.Workers, len(cands), func(k int) float64 {
+		return scoreFamily(data, vars, node, cands[k], cfg)
+	})
+	for k, chosen := range cands {
+		s := scores[k]
+		if s > bestScore+1e-9 || (s > bestScore-1e-9 && less(chosen, best)) {
+			bestScore = s
+			best = chosen
+		}
+	}
 	sort.Ints(best)
 	return best
 }
@@ -315,8 +349,12 @@ func lgamma(x float64) float64 {
 }
 
 // fitCPT estimates the node's conditional probability table from the data
-// using Dirichlet (add-pseudocount) smoothing.
-func fitCPT(data [][]int, vars []Variable, node int, parents []int, pseudocount float64) *CPT {
+// using Dirichlet (add-pseudocount) smoothing. Counting shards the rows
+// across workers into per-shard integer tensors merged in shard order;
+// integer counts merge exactly, and pseudocount + count is an exact
+// float64 for any realistic dataset, so the CPT is bit-identical for any
+// worker count.
+func fitCPT(data [][]int, vars []Variable, node int, parents []int, pseudocount float64, workers int) *CPT {
 	r := vars[node].Arity
 	parentCard := make([]int, len(parents))
 	for i, p := range parents {
@@ -324,29 +362,43 @@ func fitCPT(data [][]int, vars []Variable, node int, parents []int, pseudocount 
 	}
 	cpt := &CPT{ParentCard: parentCard, Arity: r}
 	q := cpt.NumRows()
+
+	counts := parallel.MapReduce(workers, len(data),
+		func(s parallel.Shard) []int {
+			c := make([]int, q*r)
+			for _, obs := range data[s.Start:s.End] {
+				j := 0
+				for _, p := range parents {
+					j = j*vars[p].Arity + obs[p]
+				}
+				c[j*r+obs[node]]++
+			}
+			return c
+		},
+		func(into, from []int) []int {
+			for i, v := range from {
+				into[i] += v
+			}
+			return into
+		})
+	if counts == nil {
+		counts = make([]int, q*r)
+	}
+
 	cpt.Rows = make([][]float64, q)
 	for j := range cpt.Rows {
 		row := make([]float64, r)
 		for k := range row {
-			row[k] = pseudocount
+			row[k] = pseudocount + float64(counts[j*r+k])
 		}
-		cpt.Rows[j] = row
-	}
-	for _, obs := range data {
-		j := 0
-		for _, p := range parents {
-			j = j*vars[p].Arity + obs[p]
-		}
-		cpt.Rows[j][obs[node]]++
-	}
-	for j := range cpt.Rows {
 		sum := 0.0
-		for _, v := range cpt.Rows[j] {
+		for _, v := range row {
 			sum += v
 		}
-		for k := range cpt.Rows[j] {
-			cpt.Rows[j][k] /= sum
+		for k := range row {
+			row[k] /= sum
 		}
+		cpt.Rows[j] = row
 	}
 	return cpt
 }

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"entropyip/internal/ip6"
+	"entropyip/internal/synth"
+)
+
+// benchBuildAddrs generates the synthetic S1 population used by the
+// CI-gated hot-path benchmarks (see bench_baseline.txt at the repo root).
+func benchBuildAddrs(b *testing.B, n int) []ip6.Addr {
+	b.Helper()
+	addrs, err := synth.Generate("S1", n, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return addrs
+}
+
+func benchmarkBuild(b *testing.B, n, workers int) {
+	addrs := benchBuildAddrs(b, n)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := Build(addrs, Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(m.Segments)), "segments")
+		}
+	}
+}
+
+func BenchmarkBuild10k(b *testing.B)  { benchmarkBuild(b, 10_000, 0) }
+func BenchmarkBuild100k(b *testing.B) { benchmarkBuild(b, 100_000, 0) }
+
+// BenchmarkBuildWorkers100k is the scaling benchmark behind the PR's
+// acceptance criterion: on a multi-core runner, workers=max must be at
+// least ~2x faster than workers=1 while (per the determinism tests)
+// producing a byte-identical model. Compare the two sub-benchmarks with
+// benchstat.
+func BenchmarkBuildWorkers100k(b *testing.B) {
+	addrs := benchBuildAddrs(b, 100_000)
+	for _, w := range []int{1, 0} {
+		name := "workers=1"
+		if w == 0 {
+			name = fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0))
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(addrs, Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

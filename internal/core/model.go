@@ -19,6 +19,7 @@ import (
 	"entropyip/internal/ip6"
 	"entropyip/internal/mining"
 	"entropyip/internal/mra"
+	"entropyip/internal/parallel"
 	"entropyip/internal/segment"
 )
 
@@ -36,6 +37,12 @@ type Options struct {
 	// (network identifiers), the configuration used for client /64-prefix
 	// prediction in §5.6 of the paper.
 	Prefix64Only bool
+	// Workers bounds the number of goroutines used while training
+	// (0 = runtime.GOMAXPROCS). Training is deterministic: the same input
+	// yields a bit-identical model — and bit-identical serialized JSON —
+	// for every worker count, so Workers is purely an operational knob.
+	// It is deliberately NOT persisted in model JSON.
+	Workers int
 }
 
 // Model is a trained Entropy/IP model.
@@ -86,13 +93,17 @@ func Build(addrs []ip6.Addr, opts Options) (*Model, error) {
 		}
 	}
 
-	profile := entropy.NewProfile(train)
-	acr := mra.New(train)
+	// One resolved worker count drives every stage, so Workers=1 is a
+	// genuinely sequential build and Workers=N bounds the whole pipeline.
+	workers := parallel.Workers(opts.Workers)
+
+	profile := entropy.NewProfileWorkers(train, workers)
+	acr := mra.NewWorkers(train, workers)
 	sg := segment.Segments(profile, segCfg)
 	if err := sg.Validate(); err != nil {
 		return nil, fmt.Errorf("core: segmentation: %w", err)
 	}
-	models := mining.MineAll(train, sg, opts.Mining)
+	models := mining.MineAllWorkers(train, sg, opts.Mining, workers)
 	enc := mining.NewEncoder(models)
 
 	vars := make([]bayes.Variable, len(models))
@@ -102,8 +113,12 @@ func Build(addrs []ip6.Addr, opts Options) (*Model, error) {
 		}
 		vars[i] = bayes.Variable{Name: m.Seg.Label, Arity: m.Arity()}
 	}
-	data := enc.EncodeAll(train)
-	net, err := bayes.Learn(data, vars, opts.Learn)
+	data := enc.EncodeAllWorkers(train, workers)
+	learnCfg := opts.Learn
+	if learnCfg.Workers == 0 {
+		learnCfg.Workers = workers
+	}
+	net, err := bayes.Learn(data, vars, learnCfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: learning Bayesian network: %w", err)
 	}

@@ -11,8 +11,10 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
 
 	"entropyip/internal/ip6"
+	"entropyip/internal/parallel"
 	"entropyip/internal/stats"
 )
 
@@ -49,13 +51,19 @@ func (d *Dataset) Prefixes(bits int) *ip6.PrefixSet {
 // Split partitions the dataset into a training sample of n addresses and
 // the remaining test set, using the given seed (the paper's methodology:
 // train on a random 1K sample, test on the rest).
+//
+// Every call derives a private *rand.Rand from the seed — never the
+// package-global math/rand state — so concurrent Split and
+// StratifiedSample calls (e.g. from eipserved's training worker pool) are
+// race-free and each seed reproduces its sample exactly.
 func (d *Dataset) Split(n int, seed int64) (train, test []ip6.Addr) {
 	return stats.SplitTrainTest(stats.RNG(seed), d.Addrs, n)
 }
 
 // StratifiedSample selects up to perPrefix addresses from every /32 prefix,
 // the paper's guard against over-representing large networks in aggregate
-// datasets.
+// datasets. Like Split, it uses a private seed-derived *rand.Rand, making
+// concurrent calls race-free.
 func (d *Dataset) StratifiedSample(perPrefix int, seed int64) []ip6.Addr {
 	return stats.StratifiedSample(stats.RNG(seed), d.Addrs, func(a ip6.Addr) string {
 		return ip6.Prefix32(a).String()
@@ -66,29 +74,176 @@ func (d *Dataset) StratifiedSample(perPrefix int, seed int64) []ip6.Addr {
 // starting with '#' are skipped. Lines may be in any form accepted by
 // ip6.ParseAddr, including the fixed-width 32-hex-character form.
 // Duplicates are removed.
+//
+// Reading streams: lines are scanned in chunks handed to parser workers
+// (all cores by default), so input I/O overlaps address decoding. The
+// resulting dataset — order, dedup, and the error reported for malformed
+// input — is identical to a sequential line-by-line parse; use
+// ReadWorkers to bound (or disable, with workers = 1) the concurrency.
 func Read(name string, r io.Reader) (*Dataset, error) {
+	return ReadWorkers(name, r, 0)
+}
+
+// readChunkLines is the number of input lines handed to a parser worker at
+// a time: large enough to amortize scheduling, small enough to keep all
+// workers busy on medium files.
+const readChunkLines = 4096
+
+// readChunk is a batch of raw input lines starting at 1-based line number
+// firstLine.
+type readChunk struct {
+	seq       int
+	firstLine int
+	lines     []string
+}
+
+// readResult is the parse of one chunk: its addresses in input order, or
+// the chunk's first error and the line it occurred on.
+type readResult struct {
+	addrs   []ip6.Addr
+	err     error
+	errLine int
+}
+
+// ReadWorkers is Read with bounded concurrency (<= 0 selects GOMAXPROCS;
+// 1 parses sequentially on the calling goroutine).
+func ReadWorkers(name string, r io.Reader, workers int) (*Dataset, error) {
+	workers = parallel.Workers(workers)
+	if workers <= 1 {
+		return readSequential(name, r)
+	}
+
+	chunks := make(chan readChunk, workers)
+	var (
+		mu      sync.Mutex
+		results []readResult
+		failed  bool // any chunk failed: the scanner may stop early
+		wg      sync.WaitGroup
+	)
+	store := func(seq int, res readResult) {
+		mu.Lock()
+		for len(results) <= seq {
+			results = append(results, readResult{})
+		}
+		results[seq] = res
+		if res.err != nil {
+			failed = true
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range chunks {
+				res := readResult{addrs: make([]ip6.Addr, 0, len(c.lines))}
+				for i, raw := range c.lines {
+					a, ok, err := parseLine(raw)
+					if err != nil {
+						res.err = err
+						res.errLine = c.firstLine + i
+						break
+					}
+					if ok {
+						res.addrs = append(res.addrs, a)
+					}
+				}
+				store(c.seq, res)
+			}
+		}()
+	}
+
+	// Scan lines into chunks on this goroutine while the workers decode.
+	// Chunks are produced in line order, so once any chunk has failed,
+	// every unproduced line is beyond the failure and scanning may stop:
+	// the earliest error among the produced chunks is exactly the error a
+	// sequential parse would have hit first.
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var (
+		buf       = make([]string, 0, readChunkLines)
+		seq       = 0
+		lineNo    = 0
+		chunkFrom = 1
+	)
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		chunks <- readChunk{seq: seq, firstLine: chunkFrom, lines: buf}
+		seq++
+		buf = make([]string, 0, readChunkLines)
+		chunkFrom = lineNo + 1
+	}
+	for scanner.Scan() {
+		lineNo++
+		buf = append(buf, scanner.Text())
+		if len(buf) >= readChunkLines {
+			flush()
+			mu.Lock()
+			stop := failed
+			mu.Unlock()
+			if stop {
+				break
+			}
+		}
+	}
+	flush()
+	close(chunks)
+	wg.Wait()
+
+	// Parse errors come from lines scanned before any I/O failure, so they
+	// take precedence over scanner.Err — the order a sequential parse
+	// would report them in.
+	var addrs []ip6.Addr
+	for _, res := range results {
+		if res.err != nil {
+			return nil, fmt.Errorf("dataset %s: line %d: %w", name, res.errLine, res.err)
+		}
+		addrs = append(addrs, res.addrs...)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("dataset %s: %w", name, err)
+	}
+	return New(name, addrs), nil
+}
+
+// parseLine normalizes and parses one input line. ok is false for blank
+// and comment lines.
+func parseLine(raw string) (a ip6.Addr, ok bool, err error) {
+	line := strings.TrimSpace(raw)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return ip6.Addr{}, false, nil
+	}
+	// Allow trailing comments and prefix notation (the /len is ignored).
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.IndexByte(line, '/'); i >= 0 {
+		line = line[:i]
+	}
+	a, err = ip6.ParseAddr(line)
+	if err != nil {
+		return ip6.Addr{}, false, err
+	}
+	return a, true, nil
+}
+
+// readSequential is the single-goroutine parse path.
+func readSequential(name string, r io.Reader) (*Dataset, error) {
 	scanner := bufio.NewScanner(r)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	var addrs []ip6.Addr
 	lineNo := 0
 	for scanner.Scan() {
 		lineNo++
-		line := strings.TrimSpace(scanner.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		// Allow trailing comments and prefix notation (the /len is ignored).
-		if i := strings.IndexAny(line, " \t"); i >= 0 {
-			line = line[:i]
-		}
-		if i := strings.IndexByte(line, '/'); i >= 0 {
-			line = line[:i]
-		}
-		a, err := ip6.ParseAddr(line)
+		a, ok, err := parseLine(scanner.Text())
 		if err != nil {
 			return nil, fmt.Errorf("dataset %s: line %d: %w", name, lineNo, err)
 		}
-		addrs = append(addrs, a)
+		if ok {
+			addrs = append(addrs, a)
+		}
 	}
 	if err := scanner.Err(); err != nil {
 		return nil, fmt.Errorf("dataset %s: %w", name, err)

@@ -1,0 +1,146 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"entropyip/internal/ip6"
+)
+
+// bigInput synthesizes a dataset file body with comments, blank lines,
+// trailing annotations, prefix notation and duplicates — every shape Read
+// accepts — spanning several parser chunks.
+func bigInput(lines int) string {
+	var sb strings.Builder
+	sb.WriteString("# synthetic dataset\n\n")
+	for i := 0; i < lines; i++ {
+		switch i % 5 {
+		case 0:
+			fmt.Fprintf(&sb, "2001:db8:%x::%x\n", i%0xffff, i)
+		case 1:
+			fmt.Fprintf(&sb, "2001:db8:%x::%x  # trailing comment\n", i%0xffff, i)
+		case 2:
+			fmt.Fprintf(&sb, "2001:db8:%x::%x/64\n", i%0xffff, i)
+		case 3:
+			sb.WriteString("2001:db8::dead:beef\n") // duplicate every 5 lines
+		default:
+			fmt.Fprintf(&sb, "20010db8%024x\n", i)
+		}
+	}
+	return sb.String()
+}
+
+// TestReadWorkersEquivalent asserts the parallel parser is observationally
+// identical to the sequential one: same addresses, same order, same dedup.
+func TestReadWorkersEquivalent(t *testing.T) {
+	input := bigInput(20_000) // ~5 chunks of 4096 lines
+	want, err := ReadWorkers("seq", strings.NewReader(input), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 0} {
+		got, err := ReadWorkers("par", strings.NewReader(input), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("workers=%d: %d addresses, want %d", workers, got.Len(), want.Len())
+		}
+		for i := range want.Addrs {
+			if got.Addrs[i] != want.Addrs[i] {
+				t.Fatalf("workers=%d: address %d = %v, want %v", workers, i, got.Addrs[i], want.Addrs[i])
+			}
+		}
+	}
+}
+
+// TestReadWorkersErrorLine asserts the parallel parser reports the same
+// first malformed line a sequential parse reports, even when the bad line
+// sits in a middle chunk and later chunks also contain errors.
+func TestReadWorkersErrorLine(t *testing.T) {
+	var sb strings.Builder
+	badLine := 0
+	lineNo := 0
+	for i := 0; i < 15_000; i++ {
+		lineNo++
+		if i == 9000 {
+			sb.WriteString("not-an-address\n")
+			badLine = lineNo
+			continue
+		}
+		if i == 14_000 {
+			sb.WriteString("also!bad\n")
+			continue
+		}
+		fmt.Fprintf(&sb, "2001:db8::%x\n", i)
+	}
+	wantFrag := fmt.Sprintf("line %d", badLine)
+	for _, workers := range []int{1, 2, 8, 0} {
+		_, err := ReadWorkers("bad", strings.NewReader(sb.String()), workers)
+		if err == nil || !strings.Contains(err.Error(), wantFrag) {
+			t.Fatalf("workers=%d: err = %v, want %s", workers, err, wantFrag)
+		}
+	}
+}
+
+func TestReadWorkersEmpty(t *testing.T) {
+	d, err := ReadWorkers("empty", strings.NewReader("# only comments\n\n"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", d.Len())
+	}
+}
+
+// TestSplitAndStratifiedSampleConcurrent is the race regression test for
+// the sampling entry points the serve training pool calls concurrently:
+// each call must derive its own rand state from the seed, never touching
+// shared state, and produce the same sample for the same seed.
+func TestSplitAndStratifiedSampleConcurrent(t *testing.T) {
+	addrs := make([]ip6.Addr, 0, 4000)
+	for i := 0; i < 4000; i++ {
+		addrs = append(addrs, ip6.MustParseAddr(fmt.Sprintf("2001:db8:%x::%x", i%7, i)))
+	}
+	d := New("conc", addrs)
+	wantTrain, _ := d.Split(1000, 42)
+	wantSample := d.StratifiedSample(100, 42)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			train, test := d.Split(1000, 42)
+			if len(train) != len(wantTrain) || len(test) != d.Len()-len(wantTrain) {
+				errs <- "Split sizes changed under concurrency"
+				return
+			}
+			for i := range train {
+				if train[i] != wantTrain[i] {
+					errs <- "Split sample not reproducible for a fixed seed"
+					return
+				}
+			}
+			sample := d.StratifiedSample(100, 42)
+			if len(sample) != len(wantSample) {
+				errs <- "StratifiedSample size changed under concurrency"
+				return
+			}
+			for i := range sample {
+				if sample[i] != wantSample[i] {
+					errs <- "StratifiedSample not reproducible for a fixed seed"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

@@ -34,15 +34,13 @@ func Cluster1DWeighted(points []WeightedPoint, eps float64, minPts int) Result {
 		sorted[i] = points[id]
 	}
 
-	// Sliding-window total weight within eps.
+	// Sliding-window total weight within eps. hi starts before the first
+	// point; the expansion loop always reaches at least i because the
+	// distance of a point to itself is 0 <= eps.
 	weightWithin := make([]int, n)
-	lo, hi := 0, 0
+	lo, hi := 0, -1
 	windowWeight := 0
 	for i := 0; i < n; i++ {
-		if i == 0 {
-			windowWeight = sorted[0].Weight
-			hi = 0
-		}
 		for hi+1 < n && sorted[hi+1].Value-sorted[i].Value <= eps {
 			hi++
 			windowWeight += sorted[hi].Weight
@@ -116,11 +114,6 @@ func WeightedIntervals(points []WeightedPoint, r Result) []WeightedInterval {
 		return nil
 	}
 	out := make([]WeightedInterval, r.NumClusters)
-	for i := range out {
-		out[i].Lo = 0
-		out[i].Hi = 0
-		out[i].Points = 0
-	}
 	init := make([]bool, r.NumClusters)
 	for i, lbl := range r.Labels {
 		if lbl == Noise {

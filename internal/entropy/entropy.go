@@ -6,8 +6,10 @@ package entropy
 
 import (
 	"math"
+	"sort"
 
 	"entropyip/internal/ip6"
+	"entropyip/internal/parallel"
 )
 
 // Shannon returns the Shannon entropy, in bits, of a discrete distribution
@@ -35,26 +37,20 @@ func Shannon(counts []int) float64 {
 }
 
 // ShannonMap returns the Shannon entropy, in bits, of a distribution
-// represented as a map from outcome to count.
+// represented as a map from outcome to count. Go map iteration is
+// randomized and floating-point addition is not associative, so the sum
+// runs over the counts in sorted order: the result is bit-identical
+// across runs (and across worker counts in NewWindowed), not merely equal
+// to rounding.
 func ShannonMap[K comparable](counts map[K]int) float64 {
-	total := 0
+	vals := make([]int, 0, len(counts))
 	for _, c := range counts {
 		if c > 0 {
-			total += c
+			vals = append(vals, c)
 		}
 	}
-	if total == 0 {
-		return 0
-	}
-	h := 0.0
-	for _, c := range counts {
-		if c <= 0 {
-			continue
-		}
-		p := float64(c) / float64(total)
-		h -= p * math.Log2(p)
-	}
-	return h
+	sort.Ints(vals)
+	return Shannon(vals)
 }
 
 // Normalized returns the entropy normalized by the maximum entropy log2(k)
@@ -81,13 +77,39 @@ type Profile struct {
 	N int
 }
 
-// NewProfile computes the per-nybble entropy profile of the addresses.
+// NewProfile computes the per-nybble entropy profile of the addresses,
+// using all available cores. The result is identical for any worker count;
+// use NewProfileWorkers to bound concurrency.
 func NewProfile(addrs []ip6.Addr) *Profile {
+	return NewProfileWorkers(addrs, 0)
+}
+
+// nybbleCounts is the per-nybble value histogram one shard of addresses
+// contributes to a profile.
+type nybbleCounts [ip6.NybbleCount][16]int
+
+// NewProfileWorkers is NewProfile with bounded concurrency: the address
+// slice is split into contiguous shards counted by at most `workers`
+// goroutines (<= 0 selects GOMAXPROCS), and the integer per-shard count
+// matrices are merged in shard order — so the profile is bit-identical
+// regardless of the worker count.
+func NewProfileWorkers(addrs []ip6.Addr, workers int) *Profile {
 	p := &Profile{N: len(addrs)}
-	for _, a := range addrs {
-		n := a.Nybbles()
+	parts := parallel.MapShards(workers, len(addrs), func(s parallel.Shard) *nybbleCounts {
+		var c nybbleCounts
+		for _, a := range addrs[s.Start:s.End] {
+			n := a.Nybbles()
+			for i := 0; i < ip6.NybbleCount; i++ {
+				c[i][n[i]]++
+			}
+		}
+		return &c
+	})
+	for _, c := range parts {
 		for i := 0; i < ip6.NybbleCount; i++ {
-			p.Counts[i][n[i]]++
+			for v := 0; v < 16; v++ {
+				p.Counts[i][v] += c[i][v]
+			}
 		}
 	}
 	for i := 0; i < ip6.NybbleCount; i++ {
@@ -154,17 +176,31 @@ func (p *Profile) MostCommon(i int) (value byte, prob float64) {
 // (unnormalized, as in the paper's figure).
 type Windowed [][]float64
 
-// NewWindowed computes the windowed entropy matrix for the addresses.
-// Cost is O(len(addrs) · 32 · 32 / 2) hash operations; for the sizes used
-// in this repository (≤ 100K addresses) this completes in seconds.
+// NewWindowed computes the windowed entropy matrix for the addresses,
+// using all available cores. Cost is O(len(addrs) · 32 · 32 / 2) hash
+// operations; for the sizes used in this repository (≤ 100K addresses)
+// this completes in seconds. The result is identical for any worker
+// count; use NewWindowedWorkers to bound concurrency.
 func NewWindowed(addrs []ip6.Addr) Windowed {
+	return NewWindowedWorkers(addrs, 0)
+}
+
+// NewWindowedWorkers is NewWindowed with bounded concurrency (<= 0 selects
+// GOMAXPROCS). Window positions are independent — each row of the matrix
+// is computed by exactly one goroutine — so the result is bit-identical
+// regardless of the worker count. Positions are dispatched dynamically
+// because the work per position is skewed (position 0 has 32 window
+// lengths, position 31 has one).
+func NewWindowedWorkers(addrs []ip6.Addr, workers int) Windowed {
 	w := make(Windowed, ip6.NybbleCount)
-	// Pre-expand nybbles once.
+	// Pre-expand nybbles once, sharded across workers.
 	nybs := make([]ip6.Nybbles, len(addrs))
-	for i, a := range addrs {
-		nybs[i] = a.Nybbles()
-	}
-	for pos := 0; pos < ip6.NybbleCount; pos++ {
+	parallel.ForEachShard(workers, len(addrs), func(s parallel.Shard) {
+		for i := s.Start; i < s.End; i++ {
+			nybs[i] = addrs[i].Nybbles()
+		}
+	})
+	parallel.ForEach(workers, ip6.NybbleCount, func(pos int) {
 		maxLen := ip6.NybbleCount - pos
 		w[pos] = make([]float64, maxLen)
 		for length := 1; length <= maxLen; length++ {
@@ -175,7 +211,7 @@ func NewWindowed(addrs []ip6.Addr) Windowed {
 			}
 			w[pos][length-1] = ShannonMap(counts)
 		}
-	}
+	})
 	return w
 }
 

@@ -289,19 +289,9 @@ func TestWordProfile(t *testing.T) {
 	}
 }
 
-func BenchmarkNewProfile10K(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	addrs := make([]ip6.Addr, 10000)
-	for i := range addrs {
-		var buf [16]byte
-		rng.Read(buf[:])
-		addrs[i] = ip6.AddrFrom16(buf)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = NewProfile(addrs)
-	}
-}
+// (The former BenchmarkNewProfile10K lives on as the CI-gated
+// BenchmarkNewProfile10k in bench_test.go, which uses the synthetic S1
+// population instead of uniform random addresses.)
 
 func BenchmarkNewWindowed1K(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))

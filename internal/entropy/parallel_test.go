@@ -1,0 +1,76 @@
+package entropy
+
+import (
+	"math/rand"
+	"testing"
+
+	"entropyip/internal/ip6"
+)
+
+// structuredAddrs synthesizes a population with constant, low-entropy and
+// high-entropy regions, so every code path of the profile (constant
+// nybbles, skewed counts, dense counts) is exercised.
+func structuredAddrs(n int, seed int64) []ip6.Addr {
+	rng := rand.New(rand.NewSource(seed))
+	base := ip6.MustParseAddr("2001:db8::")
+	addrs := make([]ip6.Addr, n)
+	for i := range addrs {
+		a := base
+		a = a.SetField(8, 2, uint64(rng.Intn(4)))      // low entropy
+		a = a.SetField(16, 4, uint64(rng.Intn(1<<16))) // high entropy
+		a = a.SetField(24, 8, rng.Uint64()&0xffffffff) // full-width IID
+		addrs[i] = a
+	}
+	return addrs
+}
+
+func TestNewProfileWorkersEquivalent(t *testing.T) {
+	addrs := structuredAddrs(5000, 1)
+	want := NewProfileWorkers(addrs, 1)
+	for _, workers := range []int{2, 3, 8, 0} {
+		got := NewProfileWorkers(addrs, workers)
+		if got.N != want.N {
+			t.Fatalf("workers=%d: N = %d, want %d", workers, got.N, want.N)
+		}
+		if got.Counts != want.Counts {
+			t.Fatalf("workers=%d: count matrices differ", workers)
+		}
+		// Entropies are computed from identical integer counts, so they
+		// must be bit-identical, not merely close.
+		if got.H != want.H || got.Raw != want.Raw {
+			t.Fatalf("workers=%d: entropy values differ", workers)
+		}
+	}
+}
+
+func TestNewProfileWorkersEmptyAndTiny(t *testing.T) {
+	for _, n := range []int{0, 1, 2} {
+		addrs := structuredAddrs(n, 2)
+		want := NewProfileWorkers(addrs, 1)
+		got := NewProfileWorkers(addrs, 16)
+		if got.N != want.N || got.Counts != want.Counts {
+			t.Fatalf("n=%d: profiles differ", n)
+		}
+	}
+}
+
+func TestNewWindowedWorkersEquivalent(t *testing.T) {
+	addrs := structuredAddrs(800, 3)
+	want := NewWindowedWorkers(addrs, 1)
+	for _, workers := range []int{2, 8, 0} {
+		got := NewWindowedWorkers(addrs, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d rows, want %d", workers, len(got), len(want))
+		}
+		for pos := range want {
+			if len(got[pos]) != len(want[pos]) {
+				t.Fatalf("workers=%d: row %d has %d entries, want %d", workers, pos, len(got[pos]), len(want[pos]))
+			}
+			for l := range want[pos] {
+				if got[pos][l] != want[pos][l] {
+					t.Fatalf("workers=%d: W[%d][%d] = %v, want %v", workers, pos, l, got[pos][l], want[pos][l])
+				}
+			}
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"entropyip/internal/dbscan"
 	"entropyip/internal/ip6"
+	"entropyip/internal/parallel"
 	"entropyip/internal/segment"
 	"entropyip/internal/stats"
 )
@@ -314,6 +315,55 @@ func mineDenseRanges(pool *stats.Freq, seg segment.Segment, cfg Config) []Value 
 	return rangesFromIntervals(pool, ivs, cfg, StepDense)
 }
 
+// histPoint is one input point of the step-(c) DBSCAN: a run of adjacent
+// histogram values with its total count. Below the coarsening limit every
+// point is a single distinct value (lo == hi, values == 1).
+type histPoint struct {
+	lo, hi uint64
+	count  int
+	values int // distinct values covered
+}
+
+// uniformDBSCANMaxPoints bounds the input size of the 2-D DBSCAN of step
+// (c). The textbook algorithm is quadratic, which is fine at the paper's
+// 1K-training scale but turns a wide high-entropy segment of a
+// 100K-address training set (tens of thousands of distinct values) into
+// minutes of clustering. Above the limit, the histogram is coarsened
+// first into fixed-size runs of adjacent distinct values (each run
+// covering the same number of entries, not the same total count): the
+// step looks for ranges that are uniformly distributed and relatively
+// continuous, a property that survives this coarsening. Segments under
+// the limit mine exactly as before.
+const uniformDBSCANMaxPoints = 4096
+
+// histPoints converts histogram entries (ascending value order) into
+// DBSCAN input points, coarsening adjacent values into at most max runs
+// when there are more entries than that.
+func histPoints(entries []stats.Entry, max int) []histPoint {
+	if len(entries) <= max {
+		out := make([]histPoint, len(entries))
+		for i, e := range entries {
+			out[i] = histPoint{lo: e.Value, hi: e.Value, count: e.Count, values: 1}
+		}
+		return out
+	}
+	stride := (len(entries) + max - 1) / max
+	out := make([]histPoint, 0, max)
+	for start := 0; start < len(entries); start += stride {
+		end := start + stride
+		if end > len(entries) {
+			end = len(entries)
+		}
+		hp := histPoint{lo: entries[start].Value, hi: entries[end-1].Value}
+		for _, e := range entries[start:end] {
+			hp.count += e.Count
+			hp.values++
+		}
+		out = append(out, hp)
+	}
+	return out
+}
+
 // mineUniformRanges implements step (c): DBSCAN over the histogram —
 // points are (value, count) pairs, normalized so that clusters are ranges
 // of contiguous values with similar counts (uniformly distributed,
@@ -323,25 +373,27 @@ func mineUniformRanges(pool *stats.Freq, seg segment.Segment, cfg Config) []Valu
 	if len(entries) < cfg.minRangePoints() {
 		return nil
 	}
+	hps := histPoints(entries, uniformDBSCANMaxPoints)
 	maxCount := 0
-	for _, e := range entries {
-		if e.Count > maxCount {
-			maxCount = e.Count
+	for _, hp := range hps {
+		if hp.count > maxCount {
+			maxCount = hp.count
 		}
 	}
 	span := float64(seg.MaxValue())
 	if span == 0 {
 		span = 1
 	}
-	points := make([][]float64, len(entries))
-	for i, e := range entries {
+	points := make([][]float64, len(hps))
+	for i, hp := range hps {
+		mid := hp.lo + (hp.hi-hp.lo)/2
 		points[i] = []float64{
 			// Value axis normalized to [0, 100]: continuity matters at the
 			// scale of the whole segment.
-			100 * float64(e.Value) / span,
+			100 * float64(mid) / span,
 			// Count axis normalized to [0, 100]: similar prevalence keeps
 			// points close.
-			100 * float64(e.Count) / float64(maxCount),
+			100 * float64(hp.count) / float64(maxCount),
 		}
 	}
 	res := dbscan.Cluster(points, 5, 4)
@@ -352,21 +404,21 @@ func mineUniformRanges(pool *stats.Freq, seg segment.Segment, cfg Config) []Valu
 		if lbl == dbscan.Noise {
 			continue
 		}
-		v := float64(entries[i].Value)
+		lo, hi := float64(hps[i].lo), float64(hps[i].hi)
 		iv := &ivs[lbl]
 		if !init[lbl] {
-			iv.Lo, iv.Hi = v, v
+			iv.Lo, iv.Hi = lo, hi
 			init[lbl] = true
 		} else {
-			if v < iv.Lo {
-				iv.Lo = v
+			if lo < iv.Lo {
+				iv.Lo = lo
 			}
-			if v > iv.Hi {
-				iv.Hi = v
+			if hi > iv.Hi {
+				iv.Hi = hi
 			}
 		}
-		iv.Weight += entries[i].Count
-		iv.Points++
+		iv.Weight += hps[i].count
+		iv.Points += hps[i].values
 	}
 	return rangesFromIntervals(pool, ivs, cfg, StepUniform)
 }
@@ -427,16 +479,29 @@ func rangeEps(seg segment.Segment) float64 {
 }
 
 // MineAll mines every segment of a segmentation from the training
-// addresses and returns the per-segment models in segment order.
+// addresses and returns the per-segment models in segment order, using all
+// available cores. The result is identical for any worker count; use
+// MineAllWorkers to bound concurrency.
 func MineAll(addrs []ip6.Addr, sg *segment.Segmentation, cfg Config) []*SegmentModel {
+	return MineAllWorkers(addrs, sg, cfg, 0)
+}
+
+// MineAllWorkers is MineAll with bounded concurrency (<= 0 selects
+// GOMAXPROCS). Segments are independent by construction — each mines its
+// own value multiset, including its weighted-DBSCAN passes — so they run
+// concurrently, dispatched dynamically because per-segment cost is skewed
+// (wide high-entropy segments dominate). Each result lands at its
+// segment's index, so the output is identical for any worker count.
+func MineAllWorkers(addrs []ip6.Addr, sg *segment.Segmentation, cfg Config, workers int) []*SegmentModel {
 	out := make([]*SegmentModel, len(sg.Segments))
-	values := make([]uint64, len(addrs))
-	for si, seg := range sg.Segments {
+	parallel.ForEach(workers, len(sg.Segments), func(si int) {
+		seg := sg.Segments[si]
+		values := make([]uint64, len(addrs))
 		for i, a := range addrs {
 			values[i] = seg.Value(a)
 		}
 		out[si] = Mine(seg, values, cfg)
-	}
+	})
 	return out
 }
 
@@ -569,13 +634,24 @@ func (e *Encoder) Encode(a ip6.Addr) ([]int, bool) {
 }
 
 // EncodeAll encodes a slice of addresses, dropping none; the returned
-// matrix has one row per address.
+// matrix has one row per address. It uses all available cores; the result
+// is identical for any worker count (use EncodeAllWorkers to bound
+// concurrency).
 func (e *Encoder) EncodeAll(addrs []ip6.Addr) [][]int {
+	return e.EncodeAllWorkers(addrs, 0)
+}
+
+// EncodeAllWorkers is EncodeAll with bounded concurrency (<= 0 selects
+// GOMAXPROCS). Rows are encoded shard by shard into their own indices, so
+// the matrix is identical for any worker count.
+func (e *Encoder) EncodeAllWorkers(addrs []ip6.Addr, workers int) [][]int {
 	out := make([][]int, len(addrs))
-	for i, a := range addrs {
-		vec, _ := e.Encode(a)
-		out[i] = vec
-	}
+	parallel.ForEachShard(workers, len(addrs), func(s parallel.Shard) {
+		for i := s.Start; i < s.End; i++ {
+			vec, _ := e.Encode(addrs[i])
+			out[i] = vec
+		}
+	})
 	return out
 }
 

@@ -61,6 +61,13 @@ type Options struct {
 	// FlushEvery is the number of NDJSON lines written between explicit
 	// flushes while streaming. Zero means DefaultFlushEvery.
 	FlushEvery int
+	// TrainWorkers is the default per-training-job parallelism (the
+	// core.Options.Workers each server-side build runs with) when a
+	// request does not ask for a specific value. Zero means all cores;
+	// deployments running several concurrent trainings (Workers > 1)
+	// typically set it to cores/Workers so jobs share the machine instead
+	// of oversubscribing it. The trained model is identical either way.
+	TrainWorkers int
 }
 
 func (o Options) workers() int {
@@ -270,12 +277,24 @@ type TrainOptions struct {
 	MaxNybble int `json:"max_nybble,omitempty"`
 	// MaxParents bounds the number of BN parents per segment.
 	MaxParents int `json:"max_parents,omitempty"`
+	// Workers bounds the goroutines this training job may use, capped at
+	// MaxTrainWorkers. Zero selects the server's default (Options.
+	// TrainWorkers); the resulting model is identical for any value.
+	Workers int `json:"workers,omitempty"`
 }
 
-func (t TrainOptions) coreOptions() core.Options {
+// MaxTrainWorkers caps the per-request training parallelism: requests are
+// untrusted and a worker count is a CPU multiplier.
+const MaxTrainWorkers = 256
+
+func (t TrainOptions) coreOptions(defaultWorkers int) core.Options {
 	opts := core.Options{Prefix64Only: t.Prefix64Only}
 	opts.Segmentation.MaxNybble = t.MaxNybble
 	opts.Learn.MaxParents = t.MaxParents
+	opts.Workers = t.Workers
+	if opts.Workers == 0 {
+		opts.Workers = defaultWorkers
+	}
 	return opts
 }
 
@@ -335,6 +354,10 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 // train parses the posted addresses and builds the model on the worker
 // pool, so that concurrent training requests queue instead of stampeding.
 func (s *Server) train(w http.ResponseWriter, r *http.Request, name string, req PutModelRequest) {
+	if req.Options.Workers < 0 || req.Options.Workers > MaxTrainWorkers {
+		writeError(w, http.StatusBadRequest, "options.workers must be in 0..%d", MaxTrainWorkers)
+		return
+	}
 	addrs := make([]ip6.Addr, 0, len(req.Addresses))
 	for i, line := range req.Addresses {
 		a, err := ip6.ParseAddr(line)
@@ -347,7 +370,7 @@ func (s *Server) train(w http.ResponseWriter, r *http.Request, name string, req 
 	var info registry.Info
 	var buildErr error
 	err := s.pool.Do(r.Context(), func() error {
-		m, err := core.Build(addrs, req.Options.coreOptions())
+		m, err := core.Build(addrs, req.Options.coreOptions(s.opts.TrainWorkers))
 		if err != nil {
 			buildErr = err
 			return err

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# check_bench.sh — the CI benchmark gate.
+#
+# Usage: check_bench.sh <baseline.txt> <new.txt>
+#
+# Both files are raw `go test -bench` output (ideally -count 3 of the
+# command in .github/workflows/ci.yml). The script prints a benchstat
+# comparison when benchstat is installed (informational), then compares
+# the mean ns/op of each NAMED hot benchmark and fails when any regresses
+# by more than 30% (override with BENCH_GATE_THRESHOLD, a ratio, e.g.
+# 1.30). Only the named benchmarks gate: worker-scaling sub-benchmarks and
+# exploratory benchmarks are reported but never fail the build.
+#
+# Absolute ns/op is only comparable on matching hardware, so the gate
+# ARMS ONLY when the `cpu:` lines of baseline and new run agree. On a
+# mismatch (e.g. the committed baseline came from a developer machine, or
+# GitHub swapped runner hardware) the comparison is printed for
+# information and the script exits 0 with a reminder to refresh the
+# baseline from CI hardware. Set BENCH_GATE_REQUIRE_MATCH=1 to turn that
+# mismatch into a failure instead (to catch a baseline gone permanently
+# stale).
+#
+# To refresh the committed baseline after an intentional change, download
+# the bench-results artifact from a CI run on main (so the numbers come
+# from CI hardware, not a laptop) and commit it as bench_baseline.txt.
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 <baseline.txt> <new.txt>" >&2
+    exit 2
+fi
+BASE="$1"
+NEW="$2"
+THRESHOLD="${BENCH_GATE_THRESHOLD:-1.30}"
+
+# The hot-path benchmarks the gate protects (top-level names only; the
+# regex below deliberately excludes /workers=... sub-benchmarks).
+BENCHES=(NewProfile10k NewProfile100k Learn10k Learn100k Build10k Build100k)
+
+if command -v benchstat >/dev/null 2>&1; then
+    echo "== benchstat baseline vs new (informational) =="
+    benchstat "$BASE" "$NEW" || true
+    echo
+fi
+
+# cpuline FILE -> the first `cpu:` line go test printed, if any.
+cpuline() {
+    awk -F': ' '$1 == "cpu" { print $2; exit }' "$1"
+}
+
+base_cpu=$(cpuline "$BASE")
+new_cpu=$(cpuline "$NEW")
+armed=1
+if [ -z "$base_cpu" ] || [ "$base_cpu" != "$new_cpu" ]; then
+    armed=0
+    echo "NOTE: baseline CPU (${base_cpu:-unknown}) != this run's CPU (${new_cpu:-unknown})."
+    echo "      Absolute ns/op is not comparable across hardware; reporting only,"
+    echo "      not gating. Refresh bench_baseline.txt from this environment's"
+    echo "      bench-results artifact to arm the gate."
+    echo
+fi
+
+# mean FILE NAME -> mean ns/op over all -count runs, empty if absent.
+mean() {
+    awk -v name="$2" '
+        $1 ~ ("^Benchmark" name "(-[0-9]+)?$") && $4 == "ns/op" { sum += $3; n++ }
+        END { if (n) printf "%.0f", sum / n }
+    ' "$1"
+}
+
+fail=0
+echo "== bench gate: fail on mean ns/op regression > ${THRESHOLD}x =="
+for b in "${BENCHES[@]}"; do
+    base=$(mean "$BASE" "$b")
+    new=$(mean "$NEW" "$b")
+    if [ -z "$base" ]; then
+        # Not in the baseline yet (newly added benchmark): report only.
+        echo "NEW          $b (no baseline entry; commit a refreshed baseline)"
+        continue
+    fi
+    if [ -z "$new" ]; then
+        # Gated benchmark disappeared — that hides regressions; fail.
+        echo "MISSING      $b (present in baseline, absent from this run)"
+        fail=1
+        continue
+    fi
+    ratio=$(awk -v a="$new" -v b="$base" 'BEGIN { printf "%.3f", a / b }')
+    verdict=ok
+    if awk -v r="$ratio" -v t="$THRESHOLD" 'BEGIN { exit !(r > t) }'; then
+        verdict=REGRESSION
+        fail=1
+    fi
+    printf '%-12s %-16s base=%sns/op new=%sns/op ratio=%s\n' "$verdict" "$b" "$base" "$new" "$ratio"
+done
+
+if [ "$armed" -eq 0 ]; then
+    if [ "${BENCH_GATE_REQUIRE_MATCH:-0}" = "1" ]; then
+        echo "CPU mismatch with BENCH_GATE_REQUIRE_MATCH=1: the baseline is stale; failing."
+        exit 1
+    fi
+    echo "gate disarmed (CPU mismatch): exit 0."
+    exit 0
+fi
+exit "$fail"
