@@ -2,11 +2,15 @@
 // HTTP server that holds trained models in a versioned registry (in-memory
 // LRU over a disk directory) and answers the paper's two application
 // workloads over the network — conditional-probability browsing (Figs. 1,
-// 7, 9–10) and candidate generation for scanning (§5.5–5.6).
+// 7, 9–10) and candidate generation for scanning (§5.5–5.6) — while
+// continuously ingesting observed addresses, scoring the live window for
+// drift against the active model, and (with -auto-refresh) retraining and
+// rotating models that have gone stale.
 //
 // Usage:
 //
 //	eipserved -addr :8080 -dir /var/lib/eipserved
+//	eipserved -auto-refresh -ingest-file /var/log/addrs.txt -ingest-model live
 //
 // Endpoints (see internal/serve for the full API):
 //
@@ -14,11 +18,14 @@
 //	PUT    /v1/models/{name}            upload or train a model
 //	POST   /v1/models/{name}/browse     conditional probabilities
 //	POST   /v1/models/{name}/generate   stream candidates (NDJSON)
-//	GET    /healthz                     liveness + metrics
+//	POST   /v1/models/{name}/observe    ingest observed addresses (NDJSON)
+//	GET    /v1/models/{name}/drift      drift status
+//	GET    /healthz (also /v1/healthz)  liveness + version + metrics
 //
-// Expensive training requests run on a bounded worker pool; the daemon
-// sheds load with 503 when the queue is full. SIGINT/SIGTERM trigger a
-// graceful shutdown that lets in-flight requests finish.
+// Expensive training requests (client-submitted and drift-triggered alike)
+// run on a bounded worker pool; the daemon sheds load with 503 when the
+// queue is full. SIGINT/SIGTERM trigger a graceful shutdown that lets
+// in-flight requests finish.
 package main
 
 import (
@@ -33,6 +40,10 @@ import (
 	"syscall"
 	"time"
 
+	"entropyip/internal/buildinfo"
+	"entropyip/internal/drift"
+	"entropyip/internal/ingest"
+	"entropyip/internal/ip6"
 	"entropyip/internal/registry"
 	"entropyip/internal/serve"
 )
@@ -48,8 +59,34 @@ func main() {
 		maxBodyMB    = flag.Int("max-body-mb", 64, "request body limit in MiB")
 		maxGenerate  = flag.Int("max-generate", serve.DefaultMaxGenerateCount, "largest count one generate request may ask for")
 		drainWait    = flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
+		version      = flag.Bool("version", false, "print the version and exit")
+
+		// Online ingest + drift + refresh.
+		autoRefresh   = flag.Bool("auto-refresh", false, "retrain and rotate models automatically when drift is detected")
+		observeWindow = flag.Int("observe-window", ingest.DefaultWindowSize, "observed addresses kept per model (sliding window)")
+		maxPer64      = flag.Int("observe-max-per64", 0, "window slots one /64 prefix may hold per model (0 = unlimited)")
+		evaluateEvery = flag.Int("evaluate-every", serve.DefaultEvaluateEvery, "accepted observations between drift evaluations")
+		driftEnter    = flag.Float64("drift-enter", drift.DefaultEnter, "drift score that (after -drift-consecutive evaluations) marks a model stale")
+		driftExit     = flag.Float64("drift-exit", 0, "drift score at which a stale model recovers (0 = enter/2)")
+		driftRuns     = flag.Int("drift-consecutive", drift.DefaultConsecutive, "consecutive evaluations above the enter threshold required")
+		driftWindow   = flag.Int("drift-min-window", drift.DefaultMinWindow, "smallest window drift evaluation will judge")
+		shadowMargin  = flag.Float64("shadow-margin", 0, "mean log-likelihood improvement (nats/address) a retrained candidate must show before rotation")
+
+		// File tail mode: feed a model's window from an append-only file.
+		ingestFile  = flag.String("ingest-file", "", "tail this address file (dataset format) into a model's observation window")
+		ingestModel = flag.String("ingest-model", "", "model name -ingest-file feeds (required with -ingest-file)")
+		ingestPoll  = flag.Duration("ingest-poll", ingest.DefaultTailPoll, "poll interval of the -ingest-file tail")
+		ingestStart = flag.Bool("ingest-from-start", false, "consume the file's existing contents before following appends")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("eipserved", buildinfo.Version())
+		return
+	}
+	if (*ingestFile == "") != (*ingestModel == "") {
+		log.Fatal("eipserved: -ingest-file and -ingest-model must be set together")
+	}
 
 	reg, err := registry.Open(*dir, *cacheSize)
 	if err != nil {
@@ -61,6 +98,24 @@ func main() {
 		MaxBodyBytes:     int64(*maxBodyMB) << 20,
 		MaxGenerateCount: *maxGenerate,
 		TrainWorkers:     *trainWorkers,
+		Refresh: serve.RefreshOptions{
+			AutoRefresh:   *autoRefresh,
+			EvaluateEvery: *evaluateEvery,
+			ShadowMargin:  *shadowMargin,
+			Ingest: ingest.Config{
+				WindowSize: *observeWindow,
+				MaxPer64:   *maxPer64,
+			},
+			Drift: drift.Config{
+				Enter:       *driftEnter,
+				Exit:        *driftExit,
+				Consecutive: *driftRuns,
+				MinWindow:   *driftWindow,
+			},
+			OnEvent: func(model, event, detail string) {
+				log.Printf("eipserved: refresh %s: %s (%s)", model, event, detail)
+			},
+		},
 	})
 
 	srv := &http.Server{
@@ -74,10 +129,18 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *ingestFile != "" {
+		go tailIntoModel(ctx, reg, handler.Refresher(), *ingestFile, *ingestModel, ingest.TailConfig{
+			Poll:      *ingestPoll,
+			FromStart: *ingestStart,
+		})
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		st := reg.Stats()
-		log.Printf("eipserved: listening on %s (%d models, %d versions in %s)", *addr, st.Models, st.Versions, *dir)
+		log.Printf("eipserved %s: listening on %s (%d models, %d versions in %s)",
+			buildinfo.Version(), *addr, st.Models, st.Versions, *dir)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -96,5 +159,51 @@ func main() {
 		}
 		st := reg.Stats()
 		fmt.Fprintf(os.Stderr, "eipserved: served %d cache hits / %d misses; bye\n", st.Hits, st.Misses)
+	}
+}
+
+// tailIntoModel follows an address file and feeds the parsed addresses
+// into the named model's observation window — the same path POST /observe
+// uses, so drift evaluation and auto-refresh behave identically for both
+// feeds. The tail does not start until the model exists in the registry:
+// starting earlier would advance the read offset past data the refresher
+// rejects, silently discarding the backlog a -ingest-from-start boot is
+// meant to consume. Observe errors (e.g. the model deleted later) are
+// logged at most once per second so a misconfigured tail cannot flood the
+// logs.
+func tailIntoModel(ctx context.Context, reg *registry.Registry, r *serve.Refresher, path, model string, cfg ingest.TailConfig) {
+	var lastErrLog time.Time
+	throttled := func(format string, args ...interface{}) {
+		if time.Since(lastErrLog) >= time.Second {
+			lastErrLog = time.Now()
+			log.Printf(format, args...)
+		}
+	}
+	cfg.OnError = func(line int, err error) {
+		throttled("eipserved: ingest %s line %d: %v", path, line, err)
+	}
+	poll := cfg.Poll
+	if poll <= 0 {
+		poll = ingest.DefaultTailPoll
+	}
+	for {
+		if _, err := reg.Versions(model); err == nil {
+			break
+		}
+		throttled("eipserved: ingest waiting for model %q to exist before tailing %s", model, path)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(poll):
+		}
+	}
+	log.Printf("eipserved: tailing %s into model %q", path, model)
+	err := ingest.TailFile(ctx, path, cfg, func(batch []ip6.Addr) {
+		if _, err := r.Observe(model, batch); err != nil {
+			throttled("eipserved: ingest into %q: %v", model, err)
+		}
+	})
+	if err != nil && ctx.Err() == nil {
+		log.Printf("eipserved: ingest tail stopped: %v", err)
 	}
 }

@@ -9,6 +9,14 @@
 //
 //	entropyip -in addresses.txt -train 1000 -model model.json -html report.html
 //	entropyip -dataset C1 -train 1000 -condition J=J1
+//
+// With -drift it runs offline drift scoring instead of training: the input
+// addresses are compared against an existing model (the offline twin of
+// eipserved's online drift detection), the per-segment divergence report
+// is printed, and the exit status is 2 when the score reaches the enter
+// threshold — so cron jobs can page on stale models.
+//
+//	entropyip -in today.txt -drift model.json
 package main
 
 import (
@@ -17,8 +25,10 @@ import (
 	"os"
 	"strings"
 
+	"entropyip/internal/buildinfo"
 	"entropyip/internal/core"
 	"entropyip/internal/dataset"
+	"entropyip/internal/drift"
 	"entropyip/internal/ip6"
 	"entropyip/internal/report"
 	"entropyip/internal/stats"
@@ -39,12 +49,24 @@ func main() {
 		htmlOut   = flag.String("html", "", "write the conditional probability browser as HTML to this file")
 		dotOut    = flag.String("dot", "", "write the Bayesian network structure as Graphviz DOT to this file")
 		quiet     = flag.Bool("q", false, "suppress the terminal report")
+		driftIn   = flag.String("drift", "", "score the input addresses for drift against this model file instead of training")
+		driftGate = flag.Float64("drift-enter", drift.DefaultEnter, "drift score at which -drift exits with status 2")
+		version   = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("entropyip", buildinfo.Version())
+		return
+	}
 
 	addrs, name, err := loadInput(*inPath, *dsName, *seed)
 	if err != nil {
 		fatal(err)
+	}
+	if *driftIn != "" {
+		runDrift(*driftIn, name, addrs, *driftGate, *quiet)
+		return
 	}
 	train := addrs
 	if *trainSize > 0 && *trainSize < len(addrs) {
@@ -79,6 +101,46 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// runDrift is the offline drift sub-mode: score the input addresses
+// against a saved model and report per-segment divergence.
+func runDrift(modelPath, name string, addrs []ip6.Addr, gate float64, quiet bool) {
+	f, err := os.Open(modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	model, err := core.Load(f)
+	f.Close()
+	if err != nil {
+		fatal(fmt.Errorf("loading model %s: %w", modelPath, err))
+	}
+	rep, err := drift.Score(model, addrs)
+	if err != nil {
+		fatal(err)
+	}
+	if !quiet {
+		fmt.Printf("Drift of %s (%d addresses) against %s (trained on %d):\n\n",
+			name, rep.Window, modelPath, model.TrainCount)
+		fmt.Printf("  %-8s %-12s %8s %8s %10s %8s\n", "segment", "nybbles", "codeJS", "codeKL", "nybbleJS", "clamped")
+		for _, s := range rep.Segments {
+			nyb := "n/a"
+			if s.HasNybble {
+				nyb = fmt.Sprintf("%.3f", s.NybbleJS)
+			}
+			fmt.Printf("  %-8s %3d..%-8d %8.3f %8.3f %10s %7.1f%%\n",
+				s.Label, s.Start, s.Start+s.Width, s.CodeJS, s.CodeKL, nyb, 100*s.Clamped)
+		}
+		fmt.Println()
+		fmt.Printf("  score (max segment divergence): %.3f\n", rep.Score)
+		fmt.Printf("  mean code JS:                   %.3f\n", rep.MeanCodeJS)
+		fmt.Printf("  mean log-likelihood per addr:   %.2f nats\n", rep.MeanLogLikelihood)
+	}
+	if rep.Score >= gate {
+		fmt.Printf("DRIFTED: score %.3f >= %.3f — the model is stale for this input\n", rep.Score, gate)
+		os.Exit(2)
+	}
+	fmt.Printf("OK: score %.3f < %.3f\n", rep.Score, gate)
 }
 
 func loadInput(inPath, dsName string, seed int64) ([]ip6.Addr, string, error) {

@@ -26,6 +26,8 @@ import (
 
 	"entropyip/internal/core"
 	"entropyip/internal/dataset"
+	"entropyip/internal/drift"
+	"entropyip/internal/ingest"
 	"entropyip/internal/ip6"
 	"entropyip/internal/registry"
 	"entropyip/internal/serve"
@@ -177,3 +179,54 @@ func NewServeHandler(reg *Registry, opts ServeOptions) http.Handler {
 // Prefix32 returns the /32 prefix containing the address, the smallest
 // block registries allocate to operators.
 func Prefix32(a Addr) Prefix { return ip6.Prefix32(a) }
+
+// Re-exports below this line belong to the online ingest + drift
+// subsystem: streaming observation buffers, divergence scoring between a
+// live address window and a served model, and the automatic refresh loop.
+
+// IngestConfig configures a streaming observation buffer (sliding window,
+// per-/64 cap, reservoir sample).
+type IngestConfig = ingest.Config
+
+// IngestBuffer is a bounded, concurrent buffer of observed addresses.
+type IngestBuffer = ingest.Buffer
+
+// IngestStats is a snapshot of an observation buffer's counters.
+type IngestStats = ingest.Stats
+
+// DriftConfig sets drift thresholds and hysteresis for a Detector.
+type DriftConfig = drift.Config
+
+// DriftReport is the divergence score of one observation window against
+// one model (per-segment Jensen–Shannon/KL plus mean log-likelihood).
+type DriftReport = drift.Report
+
+// DriftDetector folds a stream of drift reports into a drifting/healthy
+// state with hysteresis.
+type DriftDetector = drift.Detector
+
+// DriftVerdict is a detector's judgement of one evaluation.
+type DriftVerdict = drift.Verdict
+
+// RefreshOptions configures the serving daemon's observe → score →
+// retrain → shadow-evaluate → rotate loop (ServeOptions.Refresh).
+type RefreshOptions = serve.RefreshOptions
+
+// DriftStatus is the observable refresh-loop state of one served model
+// (the body of GET /v1/models/{name}/drift).
+type DriftStatus = serve.DriftStatus
+
+// ObserveResponse is the body of POST /v1/models/{name}/observe.
+type ObserveResponse = serve.ObserveResponse
+
+// NewIngestBuffer returns a bounded concurrent observation buffer.
+func NewIngestBuffer(cfg IngestConfig) *IngestBuffer { return ingest.New(cfg) }
+
+// DriftScore computes the drift report of a window of observed addresses
+// against a model; it is deterministic for a fixed window.
+func DriftScore(m *Model, window []Addr) (DriftReport, error) {
+	return drift.Score(m, window)
+}
+
+// NewDriftDetector returns a detector with the given thresholds.
+func NewDriftDetector(cfg DriftConfig) *DriftDetector { return drift.NewDetector(cfg) }

@@ -1,0 +1,56 @@
+// Package buildinfo derives a human-readable version string for the
+// binaries and the serving API from the build's embedded module and VCS
+// metadata (runtime/debug.ReadBuildInfo). No build-time ldflags are
+// needed: `go build` stamps VCS info automatically inside a git checkout.
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// Version returns "module-version (rev abcdef123456, 2026-07-28, dirty)"
+// with the pieces that are actually known; "devel" when built without
+// module or VCS metadata (e.g. plain `go run` of a file outside a
+// checkout).
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	version := bi.Main.Version
+	if version == "" || version == "(devel)" {
+		version = "devel"
+	}
+	var rev, at string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+		case "vcs.time":
+			at = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return version
+	}
+	var b strings.Builder
+	b.WriteString(version)
+	b.WriteString(" (rev ")
+	b.WriteString(rev)
+	if at != "" {
+		b.WriteString(", ")
+		b.WriteString(at)
+	}
+	if dirty {
+		b.WriteString(", dirty")
+	}
+	b.WriteString(")")
+	return b.String()
+}

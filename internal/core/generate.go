@@ -221,3 +221,118 @@ func (m *Model) LogLikelihood(addrs []ip6.Addr) float64 {
 	data := enc.EncodeAll(addrs)
 	return m.Net.LogLikelihood(data)
 }
+
+// outOfSupportPenalty is the extra log-probability (nats) charged, on top
+// of the segment's domain-wide uniform density, for a value outside every
+// mined element. LogLikelihood's clamped encoding assigns such values the
+// nearest code's full probability, which makes a stale model look like a
+// good fit for traffic it cannot generate; the floor makes staleness
+// visible instead.
+var outOfSupportPenalty = math.Log(1e-12)
+
+// outOfSupportLogProb is the log-density charged for an out-of-support
+// value of a segment covering `width` nybbles: the uniform density over
+// the segment's whole 16^width domain minus a fixed penalty. Anchoring at
+// the domain size (not a constant) keeps the ordering invariant that
+// matters for shadow evaluation: an out-of-support value always scores
+// strictly worse than a value inside ANY mined element, however wide —
+// with a constant floor, a range wider than the constant would score
+// below "cannot generate this at all" and invert the staleness signal.
+func outOfSupportLogProb(width int) float64 {
+	return -float64(4*width)*math.Ln2 + outOfSupportPenalty
+}
+
+// WindowEncoding is the shared per-window encoding summary behind drift
+// scoring and address-level likelihood, produced in one pass over the
+// addresses.
+type WindowEncoding struct {
+	// Vecs is each address's categorical vector (out-of-support values
+	// clamped to the nearest code, as in Encoder.Encode).
+	Vecs [][]int
+	// CodeCounts[i][k] is how many addresses took code k of segment i.
+	CodeCounts [][]int
+	// Clamped[i] is how many addresses had a value outside segment i's
+	// mined elements.
+	Clamped []int
+	// WithinLogDensity is the accumulated within-value log-density
+	// (nats): 0 per exact value, -log w per range of width w, and the
+	// out-of-support floor per clamped value.
+	WithinLogDensity float64
+}
+
+// EncodeWindow encodes a window of addresses once, collecting everything
+// drift scoring and AddressLogLikelihood need.
+func (m *Model) EncodeWindow(addrs []ip6.Addr) *WindowEncoding {
+	w := &WindowEncoding{
+		Vecs:       make([][]int, 0, len(addrs)),
+		CodeCounts: make([][]int, len(m.Segments)),
+		Clamped:    make([]int, len(m.Segments)),
+	}
+	for i, sm := range m.Segments {
+		w.CodeCounts[i] = make([]int, sm.Arity())
+	}
+	for _, a := range addrs {
+		vec := make([]int, len(m.Segments))
+		for i, sm := range m.Segments {
+			value := sm.Seg.Value(a)
+			idx, ok := sm.Encode(value)
+			if ok {
+				w.WithinLogDensity -= math.Log(float64(sm.Values[idx].Width()))
+			} else {
+				w.Clamped[i]++
+				w.WithinLogDensity += outOfSupportLogProb(sm.Seg.Width)
+				if idx, ok = sm.EncodeNearest(value); !ok {
+					idx = 0 // unreachable: mined segments have arity >= 1
+				}
+			}
+			vec[i] = idx
+			w.CodeCounts[i][idx]++
+		}
+		w.Vecs = append(w.Vecs, vec)
+	}
+	return w
+}
+
+// LogLikelihood returns the BN-plus-within-density log-likelihood (nats)
+// of the encoded window.
+func (w *WindowEncoding) LogLikelihood(m *Model) float64 {
+	return m.Net.LogLikelihood(w.Vecs) + w.WithinLogDensity
+}
+
+// AddressLogLikelihood returns the total log-likelihood (nats) of the
+// addresses at address level: the BN likelihood of each address's segment
+// codes, plus the within-value density of the concrete value inside each
+// mined element (exact values contribute log 1 = 0, a range of width w
+// contributes -log w — the uniform density Generate actually samples
+// from), with out-of-support values charged the outOfSupportLogProb floor
+// instead of being silently clamped.
+//
+// Unlike LogLikelihood, this is comparable across models with different
+// mined value sets, which is what shadow evaluation needs when judging a
+// retrained candidate against the model it would replace.
+func (m *Model) AddressLogLikelihood(addrs []ip6.Addr) float64 {
+	return m.EncodeWindow(addrs).LogLikelihood(m)
+}
+
+// MeanAddressLogLikelihood is AddressLogLikelihood per address — the
+// size-independent fit score drift detection reports and shadow
+// evaluation compares across model versions. It returns 0 for an empty
+// slice.
+func (m *Model) MeanAddressLogLikelihood(addrs []ip6.Addr) float64 {
+	if len(addrs) == 0 {
+		return 0
+	}
+	return m.AddressLogLikelihood(addrs) / float64(len(addrs))
+}
+
+// Marginals returns the unconditional distribution of every segment under
+// the Bayesian network, in segment order — the model's own belief about
+// how often each mined value code occurs, against which live observation
+// windows are compared for drift. The distributions are constant for a
+// model, so the variable-elimination pass runs once and is cached (drift
+// evaluation calls this on the ingest request path, like Encoder); the
+// result must be treated as read-only.
+func (m *Model) Marginals() ([][]float64, error) {
+	m.margOnce.Do(func() { m.marginals, m.margErr = m.Net.Posteriors(nil) })
+	return m.marginals, m.margErr
+}

@@ -378,3 +378,53 @@ func BenchmarkGenerate1K(b *testing.B) {
 		}
 	}
 }
+
+// TestAddressLogLikelihoodOrdering pins the invariants the drift/shadow
+// machinery depends on: in-distribution addresses score better than
+// out-of-support ones — even when the model mines very wide ranges whose
+// within-range density is itself low — and the mean form is per-address.
+func TestAddressLogLikelihoodOrdering(t *testing.T) {
+	// testNetwork mines a pseudo-random 64-bit-wide IID segment (width 16
+	// nybbles), the widest range the format allows, so a constant floor
+	// below its density would invert the comparison this test pins.
+	m, addrs := buildTestModel(t, 4000, 1, Options{})
+	inDist := addrs[:500]
+
+	// Same structure, different /32: every segment value covering the
+	// prefix falls outside the mined support.
+	shifted := make([]ip6.Addr, len(inDist))
+	for i, a := range inDist {
+		shifted[i] = a.SetField(0, 8, 0x20020000)
+	}
+
+	inLL := m.MeanAddressLogLikelihood(inDist)
+	outLL := m.MeanAddressLogLikelihood(shifted)
+	if inLL >= 0 {
+		t.Errorf("in-distribution mean LL = %v, want negative", inLL)
+	}
+	if outLL >= inLL {
+		t.Errorf("out-of-support mean LL %v not below in-distribution %v", outLL, inLL)
+	}
+
+	// Mean form is total/len, zero on empty.
+	if got := m.MeanAddressLogLikelihood(nil); got != 0 {
+		t.Errorf("empty mean LL = %v", got)
+	}
+	total := m.AddressLogLikelihood(inDist)
+	if diff := total/float64(len(inDist)) - inLL; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("mean %v != total/len %v", inLL, total/float64(len(inDist)))
+	}
+
+	// The single-pass window encoding agrees with the one-shot form.
+	enc := m.EncodeWindow(inDist)
+	if got := enc.LogLikelihood(m); got != total {
+		t.Errorf("EncodeWindow LL %v != AddressLogLikelihood %v", got, total)
+	}
+	counted := 0
+	for _, row := range enc.CodeCounts[0] {
+		counted += row
+	}
+	if counted != len(inDist) {
+		t.Errorf("segment 0 code counts sum to %d, want %d", counted, len(inDist))
+	}
+}

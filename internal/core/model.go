@@ -64,6 +64,10 @@ type Model struct {
 
 	encOnce sync.Once
 	encoder *mining.Encoder
+
+	margOnce  sync.Once
+	marginals [][]float64
+	margErr   error
 }
 
 // ErrNoData is returned when a model is built from an empty training set.

@@ -20,16 +20,21 @@ const modelVersion = 1
 // reconstruct the model is stored; derived structures (the encoder) are
 // rebuilt on load.
 type modelJSON struct {
-	Version      int            `json:"version"`
-	Prefix64Only bool           `json:"prefix64_only"`
-	TrainCount   int            `json:"train_count"`
-	EntropyH     []float64      `json:"entropy_h"`
-	EntropyRaw   []float64      `json:"entropy_raw"`
-	ACRCounts    []int          `json:"acr_counts"`
-	ACRAddrs     int            `json:"acr_addrs"`
-	Segments     []segmentJSON  `json:"segments"`
-	Net          *bayes.Network `json:"net"`
-	Options      *optionsJSON   `json:"options,omitempty"`
+	Version      int       `json:"version"`
+	Prefix64Only bool      `json:"prefix64_only"`
+	TrainCount   int       `json:"train_count"`
+	EntropyH     []float64 `json:"entropy_h"`
+	EntropyRaw   []float64 `json:"entropy_raw"`
+	// EntropyCounts is the per-nybble value histogram of the training set
+	// (32 rows of 16 counts). It is what online drift detection compares
+	// live windows against; files written before it existed load with nil
+	// counts and drift scoring falls back to code distributions only.
+	EntropyCounts [][]int        `json:"entropy_counts,omitempty"`
+	ACRCounts     []int          `json:"acr_counts"`
+	ACRAddrs      int            `json:"acr_addrs"`
+	Segments      []segmentJSON  `json:"segments"`
+	Net           *bayes.Network `json:"net"`
+	Options       *optionsJSON   `json:"options,omitempty"`
 }
 
 // optionsJSON is the serialized form of Options. Every field that changes
@@ -156,6 +161,10 @@ func (m *Model) MarshalJSON() ([]byte, error) {
 		Net:          m.Net,
 		Options:      optionsToJSON(m.Opts),
 	}
+	out.EntropyCounts = make([][]int, len(m.Profile.Counts))
+	for i := range m.Profile.Counts {
+		out.EntropyCounts[i] = append([]int(nil), m.Profile.Counts[i][:]...)
+	}
 	for _, sm := range m.Segments {
 		sj := segmentJSON{
 			Label: sm.Seg.Label,
@@ -192,6 +201,12 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 	profile := &entropy.Profile{N: in.TrainCount}
 	copy(profile.H[:], in.EntropyH)
 	copy(profile.Raw[:], in.EntropyRaw)
+	for i, row := range in.EntropyCounts {
+		if i >= len(profile.Counts) {
+			break
+		}
+		copy(profile.Counts[i][:], row)
+	}
 
 	acr := &mra.Series{N: in.ACRAddrs}
 	copy(acr.Counts[:], in.ACRCounts)
@@ -247,6 +262,9 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 	m.TrainCount = in.TrainCount
 	m.encOnce = sync.Once{}
 	m.encoder = nil
+	m.margOnce = sync.Once{}
+	m.marginals = nil
+	m.margErr = nil
 	return nil
 }
 

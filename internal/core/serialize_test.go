@@ -111,3 +111,45 @@ func TestLoadLegacyModelWithoutOptions(t *testing.T) {
 		t.Errorf("legacy options = %+v, want %+v", loaded.Opts, want)
 	}
 }
+
+// TestEntropyCountsRoundTrip verifies the per-nybble training histograms —
+// the reference side of online drift scoring — survive Save/Load, and that
+// files without them (written before the field existed) still load.
+func TestEntropyCountsRoundTrip(t *testing.T) {
+	m, _ := buildTestModel(t, 2000, 11, Options{})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Profile.Counts != m.Profile.Counts {
+		t.Error("entropy counts did not round-trip")
+	}
+
+	raw, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	delete(doc, "entropy_counts")
+	legacy, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := Load(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zero [16]int
+	for i := range old.Profile.Counts {
+		if old.Profile.Counts[i] != zero {
+			t.Fatalf("legacy model nybble %d counts = %v, want zero", i, old.Profile.Counts[i])
+		}
+	}
+}

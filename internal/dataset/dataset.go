@@ -138,7 +138,7 @@ func ReadWorkers(name string, r io.Reader, workers int) (*Dataset, error) {
 			for c := range chunks {
 				res := readResult{addrs: make([]ip6.Addr, 0, len(c.lines))}
 				for i, raw := range c.lines {
-					a, ok, err := parseLine(raw)
+					a, ok, err := ParseLine(raw)
 					if err != nil {
 						res.err = err
 						res.errLine = c.firstLine + i
@@ -208,9 +208,12 @@ func ReadWorkers(name string, r io.Reader, workers int) (*Dataset, error) {
 	return New(name, addrs), nil
 }
 
-// parseLine normalizes and parses one input line. ok is false for blank
-// and comment lines.
-func parseLine(raw string) (a ip6.Addr, ok bool, err error) {
+// ParseLine normalizes and parses one line of an address file: whitespace
+// is trimmed, trailing comments and /len prefix notation are dropped, and
+// the remainder is parsed with ip6.ParseAddr. ok is false for blank and
+// comment ('#') lines. It is the single line-format definition shared by
+// Read and by streaming ingest (tail mode).
+func ParseLine(raw string) (a ip6.Addr, ok bool, err error) {
 	line := strings.TrimSpace(raw)
 	if line == "" || strings.HasPrefix(line, "#") {
 		return ip6.Addr{}, false, nil
@@ -237,7 +240,7 @@ func readSequential(name string, r io.Reader) (*Dataset, error) {
 	lineNo := 0
 	for scanner.Scan() {
 		lineNo++
-		a, ok, err := parseLine(scanner.Text())
+		a, ok, err := ParseLine(scanner.Text())
 		if err != nil {
 			return nil, fmt.Errorf("dataset %s: line %d: %w", name, lineNo, err)
 		}

@@ -238,6 +238,110 @@ func (w Windowed) Max() float64 {
 	return max
 }
 
+// Distribution normalizes a count histogram into a probability
+// distribution. An all-zero (or empty) histogram yields a nil slice.
+func Distribution(counts []int) []float64 {
+	total := 0
+	for _, c := range counts {
+		if c > 0 {
+			total += c
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		if c > 0 {
+			out[i] = float64(c) / float64(total)
+		}
+	}
+	return out
+}
+
+// KLDivergence returns the Kullback–Leibler divergence D(p‖q) in bits.
+// Outcomes where q is zero but p is not would make the divergence infinite;
+// q is smoothed with eps (<= 0 selects 1e-9) so the result stays finite and
+// usable as a drift signal. p and q must be the same length; probabilities
+// need not be exactly normalized (each side is renormalized after
+// smoothing).
+func KLDivergence(p, q []float64, eps float64) float64 {
+	if len(p) != len(q) || len(p) == 0 {
+		return 0
+	}
+	if eps <= 0 {
+		eps = 1e-9
+	}
+	pt, qt := 0.0, 0.0
+	for i := range p {
+		pt += p[i]
+		qt += q[i] + eps
+	}
+	if pt <= 0 || qt <= 0 {
+		return 0
+	}
+	d := 0.0
+	for i := range p {
+		pi := p[i] / pt
+		if pi <= 0 {
+			continue
+		}
+		qi := (q[i] + eps) / qt
+		d += pi * math.Log2(pi/qi)
+	}
+	if d < 0 {
+		return 0 // numeric noise on (near-)identical distributions
+	}
+	return d
+}
+
+// JensenShannon returns the Jensen–Shannon divergence between p and q in
+// bits: JS(p,q) = H(m) − (H(p)+H(q))/2 with m the midpoint distribution.
+// It is symmetric, finite without smoothing, and bounded to [0, 1] for
+// base-2 logs — which makes it the natural drift score. Inputs need not be
+// exactly normalized; a nil or all-zero side contributes nothing.
+func JensenShannon(p, q []float64) float64 {
+	n := len(p)
+	if len(q) > n {
+		n = len(q)
+	}
+	if n == 0 {
+		return 0
+	}
+	at := func(s []float64, i int) float64 {
+		if i < len(s) && s[i] > 0 {
+			return s[i]
+		}
+		return 0
+	}
+	pt, qt := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		pt += at(p, i)
+		qt += at(q, i)
+	}
+	if pt <= 0 || qt <= 0 {
+		return 0
+	}
+	js := 0.0
+	for i := 0; i < n; i++ {
+		pi, qi := at(p, i)/pt, at(q, i)/qt
+		mi := (pi + qi) / 2
+		if pi > 0 {
+			js += pi / 2 * math.Log2(pi/mi)
+		}
+		if qi > 0 {
+			js += qi / 2 * math.Log2(qi/mi)
+		}
+	}
+	if js < 0 {
+		return 0
+	}
+	if js > 1 {
+		return 1
+	}
+	return js
+}
+
 // BitProfile computes a per-bit (1-bit granularity) normalized entropy
 // profile. The paper discusses 1-bit and 16-bit alternatives to the 4-bit
 // default (§4.5); this is provided for that ablation.

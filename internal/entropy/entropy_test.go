@@ -306,3 +306,66 @@ func BenchmarkNewWindowed1K(b *testing.B) {
 		_ = NewWindowed(addrs)
 	}
 }
+
+func TestDistribution(t *testing.T) {
+	if d := Distribution(nil); d != nil {
+		t.Errorf("Distribution(nil) = %v, want nil", d)
+	}
+	if d := Distribution([]int{0, 0}); d != nil {
+		t.Errorf("Distribution(zeros) = %v, want nil", d)
+	}
+	d := Distribution([]int{1, 3, 0})
+	want := []float64{0.25, 0.75, 0}
+	for i := range want {
+		if math.Abs(d[i]-want[i]) > 1e-12 {
+			t.Errorf("Distribution[%d] = %v, want %v", i, d[i], want[i])
+		}
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	if d := KLDivergence(p, p, 0); d != 0 {
+		t.Errorf("KL(p,p) = %v, want 0", d)
+	}
+	// KL([1,0],[0.5,0.5]) = 1*log2(1/0.5) = 1 bit (up to smoothing).
+	d := KLDivergence([]float64{1, 0}, []float64{0.5, 0.5}, 0)
+	if math.Abs(d-1) > 1e-6 {
+		t.Errorf("KL([1,0],[.5,.5]) = %v, want 1", d)
+	}
+	// Disjoint support stays finite thanks to smoothing.
+	d = KLDivergence([]float64{1, 0}, []float64{0, 1}, 0)
+	if math.IsInf(d, 1) || d <= 1 {
+		t.Errorf("KL disjoint = %v, want large but finite", d)
+	}
+	if d := KLDivergence([]float64{1}, []float64{0.5, 0.5}, 0); d != 0 {
+		t.Errorf("KL mismatched lengths = %v, want 0", d)
+	}
+}
+
+func TestJensenShannon(t *testing.T) {
+	p := []float64{0.25, 0.75}
+	if d := JensenShannon(p, p); d != 0 {
+		t.Errorf("JS(p,p) = %v, want 0", d)
+	}
+	// Disjoint support: exactly 1 bit.
+	if d := JensenShannon([]float64{1, 0}, []float64{0, 1}); math.Abs(d-1) > 1e-12 {
+		t.Errorf("JS disjoint = %v, want 1", d)
+	}
+	// Symmetric.
+	q := []float64{0.9, 0.1}
+	if d1, d2 := JensenShannon(p, q), JensenShannon(q, p); d1 != d2 {
+		t.Errorf("JS not symmetric: %v vs %v", d1, d2)
+	}
+	// Unnormalized counts behave like their normalization.
+	if d1, d2 := JensenShannon([]float64{1, 3}, []float64{9, 1}), JensenShannon(p, q); math.Abs(d1-d2) > 1e-12 {
+		t.Errorf("JS unnormalized = %v, want %v", d1, d2)
+	}
+	// Differing lengths treat missing entries as zero probability.
+	if d := JensenShannon([]float64{1}, []float64{0.5, 0.5}); d <= 0 || d > 1 {
+		t.Errorf("JS ragged = %v, want in (0,1]", d)
+	}
+	if d := JensenShannon(nil, nil); d != 0 {
+		t.Errorf("JS(nil,nil) = %v, want 0", d)
+	}
+}

@@ -1,0 +1,165 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"entropyip/internal/ip6"
+)
+
+func addr(t *testing.T, s string) ip6.Addr {
+	t.Helper()
+	a, err := ip6.ParseAddr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestBufferWindowSlides(t *testing.T) {
+	// One shard so ring order is fully deterministic.
+	b := New(Config{WindowSize: 4, Shards: 1, ReservoirSize: -1})
+	for i := 0; i < 10; i++ {
+		if !b.Add(addr(t, fmt.Sprintf("2001:db8::%d", i+1))) {
+			t.Fatalf("Add %d rejected", i)
+		}
+	}
+	snap := b.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("window = %d addresses, want 4", len(snap))
+	}
+	seen := ip6.SetOf(snap...)
+	for i := 7; i <= 10; i++ {
+		if !seen.Contains(addr(t, fmt.Sprintf("2001:db8::%d", i))) {
+			t.Errorf("window lost recent address ::%d", i)
+		}
+	}
+	st := b.Stats()
+	if st.Observed != 10 || st.Accepted != 10 || st.Evicted != 6 {
+		t.Errorf("stats = %+v, want observed=10 accepted=10 evicted=6", st)
+	}
+}
+
+func TestBufferPer64CapKeepsNewest(t *testing.T) {
+	b := New(Config{WindowSize: 100, MaxPer64: 2, Shards: 1, ReservoirSize: -1})
+	// 5 addresses in one /64: only 2 window slots, holding the NEWEST two
+	// (a capped prefix's slots must not freeze on its first addresses).
+	for i := 0; i < 5; i++ {
+		if !b.Add(addr(t, fmt.Sprintf("2001:db8:0:1::%d", i+1))) {
+			t.Fatalf("Add %d rejected", i)
+		}
+	}
+	// Another /64 is unaffected.
+	b.Add(addr(t, "2001:db8:0:2::1"))
+	st := b.Stats()
+	if st.Accepted != 6 || st.Deduped != 3 {
+		t.Errorf("stats = %+v, want accepted=6 deduped=3", st)
+	}
+	if st.Window != 3 {
+		t.Errorf("window = %d, want 3 (2 capped + 1 other)", st.Window)
+	}
+	if st.Prefixes64 != 2 {
+		t.Errorf("prefixes64 = %d, want 2", st.Prefixes64)
+	}
+	seen := ip6.SetOf(b.Snapshot()...)
+	for _, want := range []string{"2001:db8:0:1::4", "2001:db8:0:1::5", "2001:db8:0:2::1"} {
+		if !seen.Contains(addr(t, want)) {
+			t.Errorf("window lost %s", want)
+		}
+	}
+	if seen.Contains(addr(t, "2001:db8:0:1::1")) {
+		t.Error("capped prefix kept its oldest entry instead of the newest")
+	}
+}
+
+func TestBufferPer64CapSlotsReleasedOnEviction(t *testing.T) {
+	b := New(Config{WindowSize: 2, MaxPer64: 2, Shards: 1, ReservoirSize: -1})
+	b.Add(addr(t, "2001:db8:0:1::1"))
+	b.Add(addr(t, "2001:db8:0:1::2"))
+	// Capped: replaces ::1 in place.
+	if !b.Add(addr(t, "2001:db8:0:1::3")) {
+		t.Fatal("capped add should replace, not reject")
+	}
+	// Ring eviction by another /64 must release the first prefix's slot
+	// accounting so later adds of that prefix take normal slots again.
+	b.Add(addr(t, "2001:db8:0:2::1"))
+	b.Add(addr(t, "2001:db8:0:2::2"))
+	b.Add(addr(t, "2001:db8:0:1::4"))
+	st := b.Stats()
+	if st.Window != 2 {
+		t.Fatalf("window = %d, want 2", st.Window)
+	}
+	if st.Deduped != 1 {
+		t.Errorf("deduped = %d, want 1 (only the in-place replacement)", st.Deduped)
+	}
+	if !ip6.SetOf(b.Snapshot()...).Contains(addr(t, "2001:db8:0:1::4")) {
+		t.Error("window lost the newest address")
+	}
+}
+
+func TestBufferReservoirIsUniformSizeBounded(t *testing.T) {
+	b := New(Config{WindowSize: 8, Shards: 1, ReservoirSize: 16, Seed: 1})
+	for i := 0; i < 1000; i++ {
+		b.Add(addr(t, fmt.Sprintf("2001:db8::%x", i+1)))
+	}
+	res := b.Reservoir()
+	if len(res) != 16 {
+		t.Fatalf("reservoir = %d addresses, want 16", len(res))
+	}
+	// The reservoir spans all observations, not just the tiny window: with
+	// 1000 observed and a window of 8, at least one sampled address must
+	// predate the final window.
+	window := ip6.SetOf(b.Snapshot()...)
+	old := 0
+	for _, a := range res {
+		if !window.Contains(a) {
+			old++
+		}
+	}
+	if old == 0 {
+		t.Error("reservoir holds only the current window; should span history")
+	}
+}
+
+func TestBufferConcurrentAddSnapshot(t *testing.T) {
+	b := New(Config{WindowSize: 1024, MaxPer64: 4, Shards: 4, ReservoirSize: 64, Seed: 7})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				b.Add(addr(t, fmt.Sprintf("2001:db8:%x:%x::%x", w, i%32, i+1)))
+				if i%64 == 0 {
+					_ = b.Snapshot()
+					_ = b.Stats()
+					_ = b.Reservoir()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Observed != 16000 {
+		t.Errorf("observed = %d, want 16000", st.Observed)
+	}
+	if st.Window > 1024 {
+		t.Errorf("window = %d exceeds capacity 1024", st.Window)
+	}
+	if st.Accepted != st.Observed {
+		t.Errorf("accepted %d != observed %d (capped adds replace, never drop)", st.Accepted, st.Observed)
+	}
+}
+
+func TestBufferShardCapacityCoversWindowSize(t *testing.T) {
+	// WindowSize not divisible by shards must still add up exactly.
+	b := New(Config{WindowSize: 10, Shards: 3, ReservoirSize: -1})
+	total := 0
+	for _, s := range b.shards {
+		total += cap(s.ring)
+	}
+	if total != 10 {
+		t.Errorf("shard capacities sum to %d, want 10", total)
+	}
+}

@@ -1,0 +1,134 @@
+package ingest
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"entropyip/internal/dataset"
+	"entropyip/internal/ip6"
+)
+
+// DefaultTailPoll is the file-polling interval used when TailConfig.Poll
+// is zero.
+const DefaultTailPoll = time.Second
+
+// TailConfig configures TailFile.
+type TailConfig struct {
+	// Poll is how often the file is checked for appended data. Zero means
+	// DefaultTailPoll.
+	Poll time.Duration
+	// FromStart makes the tail consume the file's existing contents before
+	// following appends; by default only data appended after the tail
+	// starts is consumed (like `tail -f` vs `tail -c +0 -f`).
+	FromStart bool
+	// OnError, if non-nil, receives malformed-line errors (which do not
+	// stop the tail) so the caller can log them.
+	OnError func(line int, err error)
+}
+
+func (c TailConfig) poll() time.Duration {
+	if c.Poll <= 0 {
+		return DefaultTailPoll
+	}
+	return c.Poll
+}
+
+// tailBatchSize bounds how many parsed addresses accumulate before being
+// handed to emit, so a large backlog (FromStart over a big file) streams
+// through bounded memory instead of materializing at once.
+const tailBatchSize = 4096
+
+// TailFile follows an address file the way an operator feeds a live log:
+// it reads complete lines in dataset format (one address per line, '#'
+// comments allowed) and hands the parsed addresses to emit in batches —
+// at least one batch per poll cycle that saw data, at most tailBatchSize
+// addresses each, the slice owned by the callee — polling for newly
+// appended data. Batching matters: a consumer like serve.Refresher takes
+// per-call locks, and per-address calls at traffic rate would contend
+// where one call per poll cycle does not. Truncation (logrotate
+// copytruncate) resets the read position to the new end of file.
+// Malformed lines are reported to cfg.OnError and skipped — a streaming
+// ingest must not die on one bad line. TailFile returns when ctx is
+// cancelled (with nil error) or on an I/O failure.
+func TailFile(ctx context.Context, path string, cfg TailConfig, emit func([]ip6.Addr)) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("ingest: %w", err)
+	}
+	defer f.Close()
+
+	var offset int64
+	if !cfg.FromStart {
+		if offset, err = f.Seek(0, io.SeekEnd); err != nil {
+			return fmt.Errorf("ingest: %w", err)
+		}
+	}
+
+	// partial accumulates bytes of a line whose terminating newline has
+	// not been written yet; lineNo counts completed lines for OnError.
+	var partial []byte
+	lineNo := 0
+	ticker := time.NewTicker(cfg.poll())
+	defer ticker.Stop()
+
+	for {
+		st, err := f.Stat()
+		if err != nil {
+			return fmt.Errorf("ingest: %w", err)
+		}
+		if st.Size() < offset {
+			// Truncated under us: skip to the new end, dropping the
+			// partial line that can no longer complete.
+			if offset, err = f.Seek(0, io.SeekEnd); err != nil {
+				return fmt.Errorf("ingest: %w", err)
+			}
+			partial = partial[:0]
+		} else if st.Size() > offset {
+			if _, err := f.Seek(offset, io.SeekStart); err != nil {
+				return fmt.Errorf("ingest: %w", err)
+			}
+			r := bufio.NewReader(io.LimitReader(f, st.Size()-offset))
+			batch := make([]ip6.Addr, 0, tailBatchSize)
+			for {
+				chunk, err := r.ReadBytes('\n')
+				if len(chunk) > 0 && chunk[len(chunk)-1] == '\n' {
+					lineNo++
+					line := string(append(partial, chunk[:len(chunk)-1]...))
+					partial = partial[:0]
+					a, ok, perr := dataset.ParseLine(line)
+					switch {
+					case perr != nil:
+						if cfg.OnError != nil {
+							cfg.OnError(lineNo, perr)
+						}
+					case ok:
+						batch = append(batch, a)
+						if len(batch) >= tailBatchSize {
+							emit(batch)
+							batch = make([]ip6.Addr, 0, tailBatchSize)
+						}
+					}
+				} else {
+					partial = append(partial, chunk...)
+				}
+				if err != nil {
+					break // io.EOF: consumed everything available
+				}
+			}
+			if len(batch) > 0 {
+				emit(batch)
+			}
+			offset = st.Size()
+		}
+
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package ingest
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"entropyip/internal/ip6"
+)
+
+// collector gathers emitted addresses thread-safely and lets tests wait
+// for a count.
+type collector struct {
+	mu    sync.Mutex
+	addrs []ip6.Addr
+}
+
+func (c *collector) emit(batch []ip6.Addr) {
+	c.mu.Lock()
+	c.addrs = append(c.addrs, batch...)
+	c.mu.Unlock()
+}
+
+func (c *collector) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.addrs)
+}
+
+func (c *collector) waitFor(t *testing.T, n int) []ip6.Addr {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.len() >= n {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return append([]ip6.Addr(nil), c.addrs...)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %d addresses (have %d)", n, c.len())
+	return nil
+}
+
+func TestTailFileFollowsAppends(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "addrs.txt")
+	if err := os.WriteFile(path, []byte("2001:db8::dead\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var c collector
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- TailFile(ctx, path, TailConfig{Poll: 10 * time.Millisecond, FromStart: true}, c.emit)
+	}()
+
+	// Existing content (FromStart) arrives first.
+	got := c.waitFor(t, 1)
+	if got[0] != ip6.MustParseAddr("2001:db8::dead") {
+		t.Errorf("first address = %v", got[0])
+	}
+
+	// Appended lines, including comments, blanks, and a split write where
+	// the newline lands in a later chunk.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("# comment\n2001:db8::1\n2001:db8::"); err != nil {
+		t.Fatal(err)
+	}
+	got = c.waitFor(t, 2)
+	if got[1] != ip6.MustParseAddr("2001:db8::1") {
+		t.Errorf("second address = %v", got[1])
+	}
+	// Complete the partial line.
+	if _, err := f.WriteString("2\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got = c.waitFor(t, 3)
+	if got[2] != ip6.MustParseAddr("2001:db8::2") {
+		t.Errorf("third address = %v (partial-line handling)", got[2])
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("TailFile: %v", err)
+	}
+}
+
+func TestTailFileSkipsMalformedLinesAndReportsThem(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "addrs.txt")
+	if err := os.WriteFile(path, []byte("not-an-address\n2001:db8::1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var c collector
+	var mu sync.Mutex
+	badLines := 0
+	cfg := TailConfig{
+		Poll:      5 * time.Millisecond,
+		FromStart: true,
+		OnError: func(line int, err error) {
+			mu.Lock()
+			badLines++
+			mu.Unlock()
+		},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- TailFile(ctx, path, cfg, c.emit) }()
+	got := c.waitFor(t, 1)
+	if got[0] != ip6.MustParseAddr("2001:db8::1") {
+		t.Errorf("address = %v", got[0])
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if badLines != 1 {
+		t.Errorf("badLines = %d, want 1", badLines)
+	}
+}
+
+func TestTailFileHandlesTruncation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "addrs.txt")
+	if err := os.WriteFile(path, []byte("2001:db8::1\n2001:db8::2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var c collector
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- TailFile(ctx, path, TailConfig{Poll: 5 * time.Millisecond, FromStart: true}, c.emit)
+	}()
+	c.waitFor(t, 2)
+
+	// copytruncate-style rotation: truncate, then write fresh content.
+	if err := os.Truncate(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Give the tail a chance to notice the shrink before appending.
+	time.Sleep(30 * time.Millisecond)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("2001:db8::3\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got := c.waitFor(t, 3)
+	if got[2] != ip6.MustParseAddr("2001:db8::3") {
+		t.Errorf("post-truncate address = %v", got[2])
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTailFileMissingFile(t *testing.T) {
+	err := TailFile(context.Background(), filepath.Join(t.TempDir(), "nope"), TailConfig{}, func([]ip6.Addr) {})
+	if err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+// TestTailFileBatchesPerPollCycle checks addresses written in one burst
+// arrive in one emit call, not one call per address.
+func TestTailFileBatchesPerPollCycle(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "addrs.txt")
+	var lines []byte
+	for i := 0; i < 100; i++ {
+		lines = append(lines, []byte(ip6.MustParseAddr("2001:db8::1").String())...)
+		lines = append(lines, '\n')
+	}
+	if err := os.WriteFile(path, lines, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	calls, total := 0, 0
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- TailFile(ctx, path, TailConfig{Poll: 5 * time.Millisecond, FromStart: true}, func(b []ip6.Addr) {
+			mu.Lock()
+			calls++
+			total += len(b)
+			mu.Unlock()
+		})
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := total
+		mu.Unlock()
+		if n >= 100 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if total != 100 {
+		t.Fatalf("total = %d, want 100", total)
+	}
+	if calls != 1 {
+		t.Errorf("emit calls = %d, want 1 (one batch per poll cycle)", calls)
+	}
+}

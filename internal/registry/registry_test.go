@@ -357,3 +357,127 @@ func TestSingleFlight(t *testing.T) {
 		t.Errorf("lookups = %d, want >= %d", st.Hits+st.Misses, n)
 	}
 }
+
+// TestConcurrentPutGetDeleteWithEviction hammers one registry with
+// concurrent Put, Get, GetVersion, List, Versions and Delete over a
+// handful of model names, with a cache far smaller than the number of
+// live versions so the LRU constantly evicts and reloads from disk. The
+// invariant under test is atomic publication: a reader must never observe
+// a partially-published version — every Get either fails with ErrNotFound
+// (name deleted) or returns a fully valid, generation-capable model whose
+// Info matches a version that a Put completed. Run with -race.
+func TestConcurrentPutGetDeleteWithEviction(t *testing.T) {
+	r, err := Open(t.TempDir(), 2) // tiny LRU: force eviction + reload
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"alpha", "beta", "gamma"}
+	// Two distinct prebuilt models (training is too slow to do per-Put in
+	// the loop); which one a version holds is irrelevant to the invariant.
+	models := []*core.Model{testModel(t, 1), testModel(t, 2)}
+
+	const (
+		writers        = 3
+		readers        = 6
+		putsPerWriter  = 8
+		readsPerReader = 400
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*putsPerWriter+readers*readsPerReader)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < putsPerWriter; i++ {
+				name := names[(w+i)%len(names)]
+				if _, err := r.Put(name, models[(w+i)%len(models)]); err != nil {
+					errs <- err
+					return
+				}
+				if i%4 == 3 {
+					// Deleting concurrently with readers and writers: a
+					// NotFound race with another goroutine's delete is fine.
+					if err := r.Delete(name); err != nil && !errors.Is(err, ErrNotFound) {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < readsPerReader; i++ {
+				name := names[(g+i)%len(names)]
+				m, info, err := r.Get(name)
+				if err != nil {
+					if errors.Is(err, ErrNotFound) {
+						continue // deleted between resolve and now: legal
+					}
+					errs <- err
+					return
+				}
+				// A published model must be complete and usable: a torn or
+				// partially visible version would fail one of these.
+				if m == nil || m.Net == nil || len(m.Segments) == 0 {
+					errs <- errors.New("reader observed an incomplete model")
+					return
+				}
+				if info.Name != name || info.Version < 1 || info.Segments != len(m.Segments) {
+					errs <- errors.New("reader observed inconsistent info")
+					return
+				}
+				if m.TrainCount != info.TrainCount {
+					errs <- errors.New("info train count does not match model")
+					return
+				}
+				if _, err := m.Generate(core.GenerateOptions{Count: 2, Seed: int64(i)}); err != nil {
+					errs <- err
+					return
+				}
+				// Exercise the version index paths under the same churn.
+				if vs, err := r.Versions(name); err == nil {
+					if len(vs) == 0 {
+						errs <- errors.New("Versions returned empty without error")
+						return
+					}
+					if _, _, err := r.GetVersion(name, vs[len(vs)-1].Version); err != nil && !errors.Is(err, ErrNotFound) {
+						errs <- err
+						return
+					}
+				}
+				_ = r.List()
+				_ = r.Stats()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Eviction must actually have happened for the test to mean anything.
+	if st := r.Stats(); st.Evictions == 0 {
+		t.Errorf("no LRU evictions under churn: stats = %+v", st)
+	}
+	// Version numbers never regress: whatever survives, each name's
+	// versions are strictly increasing and unique.
+	for _, name := range names {
+		vs, err := r.Versions(name)
+		if errors.Is(err, ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(vs); i++ {
+			if vs[i].Version <= vs[i-1].Version {
+				t.Errorf("%s versions not strictly increasing: %v then %v", name, vs[i-1].Version, vs[i].Version)
+			}
+		}
+	}
+}

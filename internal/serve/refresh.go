@@ -1,0 +1,401 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"entropyip/internal/core"
+	"entropyip/internal/drift"
+	"entropyip/internal/ingest"
+	"entropyip/internal/ip6"
+	"entropyip/internal/registry"
+)
+
+// DefaultEvaluateEvery is how many accepted observations pass between
+// drift evaluations when RefreshOptions.EvaluateEvery is zero.
+const DefaultEvaluateEvery = 1024
+
+// RefreshOptions configures the online ingest → drift → retrain loop.
+type RefreshOptions struct {
+	// Ingest configures each model's observation buffer.
+	Ingest ingest.Config
+	// Drift configures divergence thresholds and hysteresis.
+	Drift drift.Config
+	// EvaluateEvery is how many accepted observations pass between drift
+	// evaluations of a model. Zero means DefaultEvaluateEvery.
+	EvaluateEvery int
+	// AutoRefresh enables the full loop: when the detector says a model
+	// drifted, retrain it on the live window, shadow-evaluate the
+	// candidate and rotate. With it off, drift is scored and reported but
+	// models are only rotated by hand.
+	AutoRefresh bool
+	// ShadowMargin is how much the candidate model's mean per-address
+	// log-likelihood on the live window must exceed the active model's
+	// before it may be published. Zero means any improvement.
+	ShadowMargin float64
+	// TrainWorkers bounds each retraining job's parallelism (0 = all
+	// cores), like Options.TrainWorkers for client-requested training.
+	TrainWorkers int
+	// OnEvent, if non-nil, receives loop events (evaluations that trip or
+	// clear the detector, rotations, shadow rejections) for logging.
+	OnEvent func(model, event, detail string)
+}
+
+func (o RefreshOptions) evaluateEvery() int {
+	if o.EvaluateEvery <= 0 {
+		return DefaultEvaluateEvery
+	}
+	return o.EvaluateEvery
+}
+
+// RotationInfo describes one automatic model rotation.
+type RotationInfo struct {
+	// Version is the registry version the rotation published.
+	Version int `json:"version"`
+	// At is when the rotation happened.
+	At time.Time `json:"at"`
+	// StaleMeanLL and FreshMeanLL are the mean per-address log-likelihoods
+	// of the replaced and published models on the shadow window.
+	StaleMeanLL float64 `json:"stale_mean_ll"`
+	FreshMeanLL float64 `json:"fresh_mean_ll"`
+	// Window is the number of addresses the candidate was judged on.
+	Window int `json:"window"`
+}
+
+// DriftStatus is the observable state of one model's ingest/drift loop.
+type DriftStatus struct {
+	// Model is the registry model name.
+	Model string `json:"model"`
+	// Ingest summarizes the observation buffer.
+	Ingest ingest.Stats `json:"ingest"`
+	// Evaluations counts drift evaluations so far.
+	Evaluations int `json:"evaluations"`
+	// Drifting is the detector's current state.
+	Drifting bool `json:"drifting"`
+	// Retraining is true while a retrain triggered by drift is running.
+	Retraining bool `json:"retraining"`
+	// Rotations counts models published by the refresh loop.
+	Rotations int `json:"rotations"`
+	// ShadowRejects counts candidates that failed shadow evaluation.
+	ShadowRejects int `json:"shadow_rejects"`
+	// LastVerdict is the most recent detector verdict (with its report).
+	LastVerdict *drift.Verdict `json:"last_verdict,omitempty"`
+	// LastRotation describes the most recent rotation.
+	LastRotation *RotationInfo `json:"last_rotation,omitempty"`
+	// LastError is the most recent retrain failure, if any.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// RefreshSummary is the aggregate ingest/drift view exposed in healthz.
+type RefreshSummary struct {
+	// Models is the number of models receiving observations.
+	Models int `json:"models"`
+	// Drifting is how many of them are currently flagged as drifted.
+	Drifting int `json:"drifting"`
+	// Rotations and ShadowRejects sum the per-model counters.
+	Rotations     int `json:"rotations"`
+	ShadowRejects int `json:"shadow_rejects"`
+	// Observed sums every address offered across all models.
+	Observed uint64 `json:"observed"`
+}
+
+// modelStream is the per-model state of the refresh loop.
+type modelStream struct {
+	name string
+	buf  *ingest.Buffer
+	det  *drift.Detector
+
+	mu            sync.Mutex
+	sinceEval     int
+	retraining    bool
+	evaluations   int
+	rotations     int
+	shadowRejects int
+	lastVerdict   *drift.Verdict
+	lastRotation  *RotationInfo
+	lastError     string
+}
+
+// Refresher ties ingest buffers, drift detection and the training pool
+// into the model-refresh feedback loop: observations stream in per model,
+// every EvaluateEvery accepted addresses the live window is scored against
+// the active model, and — when the detector trips and AutoRefresh is on —
+// a background retrain on the live window is shadow-evaluated and
+// published as a new registry version. Rotation is atomic from the
+// client's point of view: in-flight requests keep the *core.Model they
+// resolved, new requests resolve the fresh version.
+type Refresher struct {
+	reg  *registry.Registry
+	pool *Pool
+	opts RefreshOptions
+
+	mu      sync.Mutex
+	streams map[string]*modelStream
+}
+
+// NewRefresher returns a Refresher publishing through reg and running
+// retrains on pool (the same bounded pool client-requested training uses,
+// so refresh work and client work share the machine instead of
+// oversubscribing it).
+func NewRefresher(reg *registry.Registry, pool *Pool, opts RefreshOptions) *Refresher {
+	return &Refresher{
+		reg:     reg,
+		pool:    pool,
+		opts:    opts,
+		streams: make(map[string]*modelStream),
+	}
+}
+
+func (r *Refresher) event(model, event, detail string) {
+	if r.opts.OnEvent != nil {
+		r.opts.OnEvent(model, event, detail)
+	}
+}
+
+// stream returns (creating if needed) the per-model stream. The model must
+// exist in the registry — observations for unknown models are an error,
+// not a silent buffer.
+func (r *Refresher) stream(name string) (*modelStream, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.streams[name]; ok {
+		return s, nil
+	}
+	if _, err := r.reg.Versions(name); err != nil {
+		return nil, err
+	}
+	s := &modelStream{
+		name: name,
+		buf:  ingest.New(r.opts.Ingest),
+		det:  drift.NewDetector(r.opts.Drift),
+	}
+	r.streams[name] = s
+	return s, nil
+}
+
+// ObserveResult summarizes one Observe call.
+type ObserveResult struct {
+	// Accepted is how many addresses entered the window (always the
+	// batch size: the per-/64 cap replaces a prefix's oldest entry
+	// rather than rejecting; displacements appear in ingest.Stats.Deduped).
+	Accepted int
+	// Evaluated is true when this batch crossed the evaluation interval
+	// and drift was scored.
+	Evaluated bool
+	// Verdict is the evaluation's outcome when Evaluated.
+	Verdict *drift.Verdict
+}
+
+// Observe feeds observed addresses into the named model's window and runs
+// a drift evaluation whenever EvaluateEvery accepted observations have
+// accumulated since the last one.
+func (r *Refresher) Observe(name string, addrs []ip6.Addr) (ObserveResult, error) {
+	s, err := r.stream(name)
+	if err != nil {
+		return ObserveResult{}, err
+	}
+	res := ObserveResult{Accepted: s.buf.AddBatch(addrs)}
+
+	s.mu.Lock()
+	s.sinceEval += res.Accepted
+	due := s.sinceEval >= r.opts.evaluateEvery()
+	if due {
+		s.sinceEval = 0
+	}
+	s.mu.Unlock()
+	if !due {
+		return res, nil
+	}
+
+	v, err := r.Evaluate(name)
+	if err != nil {
+		return res, err
+	}
+	res.Evaluated = true
+	res.Verdict = &v
+	return res, nil
+}
+
+// Evaluate scores the named model's current window against its active
+// version, feeds the detector, and — when drifted and AutoRefresh is on —
+// kicks a background retrain. It is also the hook for operators to force
+// an evaluation regardless of the observation counter.
+func (r *Refresher) Evaluate(name string) (drift.Verdict, error) {
+	s, err := r.stream(name)
+	if err != nil {
+		return drift.Verdict{}, err
+	}
+	m, _, err := r.reg.Get(name)
+	if err != nil {
+		return drift.Verdict{}, err
+	}
+	rep, err := drift.Score(m, s.buf.Snapshot())
+	if err != nil {
+		return drift.Verdict{}, err
+	}
+	v := s.det.Observe(rep)
+
+	s.mu.Lock()
+	if !v.Skipped {
+		s.evaluations++
+	}
+	s.lastVerdict = &v
+	shouldRetrain := v.Drifting && r.opts.AutoRefresh && !s.retraining
+	if shouldRetrain {
+		s.retraining = true
+	}
+	s.mu.Unlock()
+
+	switch {
+	case v.Entered:
+		r.event(name, "drift-entered", v.Reason)
+	case v.Exited:
+		r.event(name, "drift-exited", v.Reason)
+	}
+	if shouldRetrain {
+		go r.retrain(s)
+	}
+	return v, nil
+}
+
+// retrain rebuilds the model on the live window, shadow-evaluates the
+// candidate against the active version, and publishes it when it wins.
+// Runs on the shared training pool; the stream's retraining flag is held
+// for the duration so only one refresh per model is in flight.
+func (r *Refresher) retrain(s *modelStream) {
+	var rejected string
+	err := r.pool.Do(context.Background(), func() error {
+		active, _, err := r.reg.Get(s.name)
+		if err != nil {
+			return err // model deleted since the evaluation
+		}
+		window := s.buf.Snapshot()
+		if len(window) == 0 {
+			return errors.New("empty observation window")
+		}
+		opts := active.Opts
+		opts.Workers = r.opts.TrainWorkers
+		candidate, err := core.Build(window, opts)
+		if err != nil {
+			return fmt.Errorf("retraining: %w", err)
+		}
+
+		// Shadow evaluation on a fresh window: the candidate must fit the
+		// live distribution better than the model it would replace. The
+		// snapshot is re-taken so observations that arrived during the
+		// (potentially long) build count against the candidate too.
+		// drift.MeanLogLikelihood applies the same Prefix64Only masking as
+		// Score, so the freshLL recorded as the detector baseline is on
+		// the same scale as every later evaluation's.
+		shadow := s.buf.Snapshot()
+		staleLL := drift.MeanLogLikelihood(active, shadow)
+		freshLL := drift.MeanLogLikelihood(candidate, shadow)
+		if freshLL <= staleLL+r.opts.ShadowMargin {
+			rejected = fmt.Sprintf("candidate mean LL %.3f <= active %.3f + margin %.3f",
+				freshLL, staleLL, r.opts.ShadowMargin)
+			return nil
+		}
+
+		info, err := r.reg.Put(s.name, candidate)
+		if err != nil {
+			return fmt.Errorf("publishing: %w", err)
+		}
+		rot := &RotationInfo{
+			Version:     info.Version,
+			At:          info.Created,
+			StaleMeanLL: staleLL,
+			FreshMeanLL: freshLL,
+			Window:      len(shadow),
+		}
+		s.det.Reset(freshLL)
+		s.mu.Lock()
+		s.rotations++
+		s.lastRotation = rot
+		s.lastError = ""
+		s.mu.Unlock()
+		r.event(s.name, "rotated", fmt.Sprintf("v%d: mean LL %.3f -> %.3f on %d addresses",
+			info.Version, staleLL, freshLL, len(shadow)))
+		return nil
+	})
+
+	s.mu.Lock()
+	s.retraining = false
+	if rejected != "" {
+		s.shadowRejects++
+		s.lastError = ""
+	}
+	if err != nil {
+		s.lastError = err.Error()
+	}
+	s.mu.Unlock()
+	switch {
+	case errors.Is(err, ErrBusy):
+		// Pool saturated by client trainings: the next drifting
+		// evaluation retries.
+		r.event(s.name, "retrain-deferred", "training pool busy")
+	case err != nil:
+		r.event(s.name, "retrain-failed", err.Error())
+	case rejected != "":
+		r.event(s.name, "shadow-rejected", rejected)
+	}
+}
+
+// Status returns the named model's drift status; ok is false when the
+// model has received no observations.
+func (r *Refresher) Status(name string) (DriftStatus, bool) {
+	r.mu.Lock()
+	s, ok := r.streams[name]
+	r.mu.Unlock()
+	if !ok {
+		return DriftStatus{}, false
+	}
+	drifting, _ := s.det.State()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return DriftStatus{
+		Model:         s.name,
+		Ingest:        s.buf.Stats(),
+		Evaluations:   s.evaluations,
+		Drifting:      drifting,
+		Retraining:    s.retraining,
+		Rotations:     s.rotations,
+		ShadowRejects: s.shadowRejects,
+		LastVerdict:   s.lastVerdict,
+		LastRotation:  s.lastRotation,
+		LastError:     s.lastError,
+	}, true
+}
+
+// Summary aggregates all streams for healthz.
+func (r *Refresher) Summary() RefreshSummary {
+	r.mu.Lock()
+	streams := make([]*modelStream, 0, len(r.streams))
+	for _, s := range r.streams {
+		streams = append(streams, s)
+	}
+	r.mu.Unlock()
+	out := RefreshSummary{Models: len(streams)}
+	for _, s := range streams {
+		drifting, _ := s.det.State()
+		if drifting {
+			out.Drifting++
+		}
+		st := s.buf.Stats()
+		out.Observed += st.Observed
+		s.mu.Lock()
+		out.Rotations += s.rotations
+		out.ShadowRejects += s.shadowRejects
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Forget drops the named model's stream (after a registry delete).
+func (r *Refresher) Forget(name string) {
+	r.mu.Lock()
+	delete(r.streams, name)
+	r.mu.Unlock()
+}

@@ -14,7 +14,9 @@
 //	DELETE /v1/models/{name}              delete all versions
 //	POST   /v1/models/{name}/browse       conditional probability query
 //	POST   /v1/models/{name}/generate     stream candidates as NDJSON
-//	GET    /healthz                       liveness + request metrics
+//	POST   /v1/models/{name}/observe      ingest observed addresses (NDJSON)
+//	GET    /v1/models/{name}/drift        drift status of the model
+//	GET    /healthz (alias /v1/healthz)   liveness + version + metrics
 package serve
 
 import (
@@ -27,9 +29,12 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
+	"entropyip/internal/buildinfo"
 	"entropyip/internal/core"
+	"entropyip/internal/dataset"
 	"entropyip/internal/ip6"
 	"entropyip/internal/registry"
 )
@@ -68,6 +73,11 @@ type Options struct {
 	// typically set it to cores/Workers so jobs share the machine instead
 	// of oversubscribing it. The trained model is identical either way.
 	TrainWorkers int
+	// Refresh configures the online ingest + drift detection + automatic
+	// model refresh loop behind POST /v1/models/{name}/observe. The zero
+	// value scores drift with default thresholds but does not retrain;
+	// set Refresh.AutoRefresh to close the loop.
+	Refresh RefreshOptions
 }
 
 func (o Options) workers() int {
@@ -111,21 +121,28 @@ func (o Options) flushEvery() int {
 // Server is the HTTP front end over a model registry. It implements
 // http.Handler.
 type Server struct {
-	reg     *registry.Registry
-	opts    Options
-	pool    *Pool
-	metrics *Metrics
-	mux     *http.ServeMux
+	reg       *registry.Registry
+	opts      Options
+	pool      *Pool
+	metrics   *Metrics
+	refresher *Refresher
+	mux       *http.ServeMux
 }
 
 // New returns a Server over the given registry.
 func New(reg *registry.Registry, opts Options) *Server {
+	pool := NewPool(opts.workers(), opts.queueDepth())
+	refreshOpts := opts.Refresh
+	if refreshOpts.TrainWorkers == 0 {
+		refreshOpts.TrainWorkers = opts.TrainWorkers
+	}
 	s := &Server{
-		reg:     reg,
-		opts:    opts,
-		pool:    NewPool(opts.workers(), opts.queueDepth()),
-		metrics: newMetrics(),
-		mux:     http.NewServeMux(),
+		reg:       reg,
+		opts:      opts,
+		pool:      pool,
+		metrics:   newMetrics(),
+		refresher: NewRefresher(reg, pool, refreshOpts),
+		mux:       http.NewServeMux(),
 	}
 	s.handle("GET /v1/models", s.handleList)
 	s.handle("GET /v1/models/{name}", s.handleModelInfo)
@@ -134,9 +151,16 @@ func New(reg *registry.Registry, opts Options) *Server {
 	s.handle("DELETE /v1/models/{name}", s.handleDelete)
 	s.handle("POST /v1/models/{name}/browse", s.handleBrowse)
 	s.handle("POST /v1/models/{name}/generate", s.handleGenerate)
+	s.handle("POST /v1/models/{name}/observe", s.handleObserve)
+	s.handle("GET /v1/models/{name}/drift", s.handleDriftStatus)
 	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /v1/healthz", s.handleHealthz)
 	return s
 }
+
+// Refresher exposes the ingest/drift/refresh loop (for the daemon's tail
+// mode and for tests).
+func (s *Server) Refresher() *Refresher { return s.refresher }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -400,6 +424,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeRegistryError(w, err)
 		return
 	}
+	s.refresher.Forget(r.PathValue("name"))
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -599,20 +624,170 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	_ = bw.Flush()
 }
 
+// observeLine is one NDJSON line of POST /v1/models/{name}/observe.
+type observeLine struct {
+	Addr string `json:"addr"`
+}
+
+// ObserveResponse is the body of a successful observe request.
+type ObserveResponse struct {
+	// Accepted is how many addresses entered the model's window (per-/64
+	// cap displacements are visible in Drift.Ingest.Deduped, not here:
+	// a capped observation replaces its prefix's oldest entry rather
+	// than being dropped).
+	Accepted int `json:"accepted"`
+	// Invalid is how many lines failed to parse (they are skipped, not
+	// fatal: one bad line must not void a traffic batch).
+	Invalid int `json:"invalid"`
+	// Evaluated is true when this batch triggered a drift evaluation.
+	Evaluated bool `json:"evaluated"`
+	// Drift is the model's drift status after the batch.
+	Drift DriftStatus `json:"drift"`
+}
+
+// observeBatchSize bounds how many parsed addresses accumulate before
+// being pushed into the buffer, so arbitrarily large NDJSON bodies stream
+// through bounded memory.
+const observeBatchSize = 4096
+
+// handleObserve ingests observed addresses for a model. The body is
+// NDJSON: each line either an {"addr": "..."} object, a JSON string, or a
+// bare textual address (dataset file format) — so both API clients and
+// `curl --data-binary @addrs.txt` work. Lines are streamed into the
+// model's observation window in bounded batches; the response reports
+// accept/drop counts and the drift status after the batch.
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	// Existence up front: a typoed model name must 404 whatever the body
+	// holds (a delete racing the request still surfaces through the
+	// refresher's own lookup below).
+	if _, err := s.reg.Versions(name); err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.maxBodyBytes())
+	scanner := bufio.NewScanner(body)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	var out ObserveResponse
+	batch := make([]ip6.Addr, 0, observeBatchSize)
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		res, err := s.refresher.Observe(name, batch)
+		batch = batch[:0]
+		if err != nil {
+			writeRegistryError(w, err)
+			return false
+		}
+		out.Accepted += res.Accepted
+		out.Evaluated = out.Evaluated || res.Evaluated
+		return true
+	}
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var a ip6.Addr
+		switch line[0] {
+		case '{':
+			var ol observeLine
+			if err := json.Unmarshal([]byte(line), &ol); err != nil || ol.Addr == "" {
+				out.Invalid++
+				continue
+			}
+			addr, err := ip6.ParseAddr(ol.Addr)
+			if err != nil {
+				out.Invalid++
+				continue
+			}
+			a = addr
+		case '"':
+			var raw string
+			if err := json.Unmarshal([]byte(line), &raw); err != nil {
+				out.Invalid++
+				continue
+			}
+			addr, err := ip6.ParseAddr(raw)
+			if err != nil {
+				out.Invalid++
+				continue
+			}
+			a = addr
+		default:
+			// Bare lines take the dataset file format — the same parser
+			// -ingest-file uses — so trailing comments and /len prefix
+			// notation work identically over both feeds.
+			addr, ok, err := dataset.ParseLine(line)
+			if err != nil {
+				out.Invalid++
+				continue
+			}
+			if !ok {
+				continue
+			}
+			a = addr
+		}
+		batch = append(batch, a)
+		if len(batch) >= observeBatchSize {
+			if !flush() {
+				return
+			}
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if !flush() {
+		return
+	}
+	out.Drift, _ = s.refresher.Status(name)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleDriftStatus reports the drift state of one model.
+func (s *Server) handleDriftStatus(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	st, ok := s.refresher.Status(name)
+	if !ok {
+		// Distinguish "no observations yet" from "no such model".
+		if _, err := s.reg.Versions(name); err != nil {
+			writeRegistryError(w, err)
+			return
+		}
+		st = DriftStatus{Model: name}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
 // HealthResponse is the body of GET /healthz.
 type HealthResponse struct {
 	Status string `json:"status"`
+	// Version identifies the build (module version + VCS revision).
+	Version string `json:"version"`
 	// Registry summarizes the model store and its cache.
 	Registry registry.Stats `json:"registry"`
 	// Metrics summarizes request handling since startup.
 	Metrics MetricsSnapshot `json:"metrics"`
+	// Refresh summarizes the online ingest/drift/refresh loop.
+	Refresh RefreshSummary `json:"refresh"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:   "ok",
+		Version:  buildinfo.Version(),
 		Registry: s.reg.Stats(),
 		Metrics:  s.metrics.Snapshot(),
+		Refresh:  s.refresher.Summary(),
 	})
 }
 
