@@ -6,6 +6,10 @@
 //
 //	eipgen -model model.json -n 100000 -o candidates.txt
 //	eipgen -model model.json -n 100000 -prefixes -condition B=B2
+//
+// Generation draws on all cores by default (-workers bounds it); the
+// emitted sequence is identical for any worker count unless -unordered
+// trades the deterministic order for throughput.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 
 	"entropyip/internal/core"
 	"entropyip/internal/dataset"
+	"entropyip/internal/ip6"
 )
 
 func main() {
@@ -27,6 +32,8 @@ func main() {
 		prefixes  = flag.Bool("prefixes", false, "generate /64 prefixes instead of full addresses")
 		condition = flag.String("condition", "", "evidence constraining generation, e.g. \"B=B2,C=C1\"")
 		exclude   = flag.String("exclude", "", "file of addresses never to emit (e.g. the training set)")
+		workers   = flag.Int("workers", 0, "goroutines drawing candidates (0 = all cores; output is identical either way)")
+		unordered = flag.Bool("unordered", false, "emit candidates in arrival order instead of the deterministic order (faster)")
 		outPath   = flag.String("o", "-", "output file ('-' for stdout)")
 	)
 	flag.Parse()
@@ -44,7 +51,7 @@ func main() {
 		fatal(err)
 	}
 
-	opts := core.GenerateOptions{Count: *n, Seed: *seed}
+	opts := core.GenerateOptions{Count: *n, Seed: *seed, Workers: *workers, Unordered: *unordered}
 	if *condition != "" {
 		opts.Evidence = core.Evidence{}
 		for _, part := range strings.Split(*condition, ",") {
@@ -72,27 +79,36 @@ func main() {
 		defer out.Close()
 	}
 	w := bufio.NewWriter(out)
-	defer w.Flush()
 
+	// Stream instead of materializing: memory stays bounded by the
+	// generator's dedup set however large -n is. Flush before reporting a
+	// mid-stream error — fatal's os.Exit skips deferred flushes, and an
+	// unflushed buffer could truncate the output file mid-line.
+	count := 0
 	if *prefixes {
-		ps, err := model.GeneratePrefixes(opts)
-		if err != nil {
-			fatal(err)
-		}
-		for _, p := range ps {
+		err = model.GeneratePrefixesStream(opts, func(p ip6.Prefix) bool {
 			fmt.Fprintln(w, p)
-		}
-		fmt.Fprintf(os.Stderr, "eipgen: generated %d candidate /64 prefixes\n", len(ps))
-		return
+			count++
+			return true
+		})
+	} else {
+		err = model.GenerateStream(opts, func(a ip6.Addr) bool {
+			fmt.Fprintln(w, a)
+			count++
+			return true
+		})
 	}
-	addrs, err := model.Generate(opts)
+	if ferr := w.Flush(); err == nil {
+		err = ferr
+	}
 	if err != nil {
 		fatal(err)
 	}
-	for _, a := range addrs {
-		fmt.Fprintln(w, a)
+	kind := "addresses"
+	if *prefixes {
+		kind = "/64 prefixes"
 	}
-	fmt.Fprintf(os.Stderr, "eipgen: generated %d candidate addresses\n", len(addrs))
+	fmt.Fprintf(os.Stderr, "eipgen: generated %d candidate %s\n", count, kind)
 }
 
 func fatal(err error) {

@@ -56,6 +56,7 @@ func main() {
 		workers      = flag.Int("workers", serve.DefaultWorkers, "concurrent model-training workers")
 		queueDepth   = flag.Int("queue", serve.DefaultQueueDepth, "training requests that may wait for a worker")
 		trainWorkers = flag.Int("train-workers", 0, "goroutines each training job may use (0 = all cores; models are identical either way)")
+		genWorkers   = flag.Int("gen-workers", 0, "goroutines each generate request may use by default (0 = all cores; the candidate stream is identical either way)")
 		maxBodyMB    = flag.Int("max-body-mb", 64, "request body limit in MiB")
 		maxGenerate  = flag.Int("max-generate", serve.DefaultMaxGenerateCount, "largest count one generate request may ask for")
 		drainWait    = flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
@@ -98,6 +99,7 @@ func main() {
 		MaxBodyBytes:     int64(*maxBodyMB) << 20,
 		MaxGenerateCount: *maxGenerate,
 		TrainWorkers:     *trainWorkers,
+		GenerateWorkers:  *genWorkers,
 		Refresh: serve.RefreshOptions{
 			AutoRefresh:   *autoRefresh,
 			EvaluateEvery: *evaluateEvery,

@@ -10,6 +10,12 @@
 //	entropyip -in addresses.txt -train 1000 -model model.json -html report.html
 //	entropyip -dataset C1 -train 1000 -condition J=J1
 //
+// With -gen N it additionally generates N candidate addresses from the
+// freshly trained model (conditioned on -condition, parallelized with
+// -gen-workers), streaming them to -gen-out:
+//
+//	entropyip -in addresses.txt -train 1000 -q -gen 100000 -gen-out cands.txt
+//
 // With -drift it runs offline drift scoring instead of training: the input
 // addresses are compared against an existing model (the offline twin of
 // eipserved's online drift detection), the per-segment divergence report
@@ -20,6 +26,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -46,6 +53,9 @@ func main() {
 		prefix64  = flag.Bool("prefix64", false, "model only the top 64 bits (network identifiers)")
 		condition = flag.String("condition", "", "conditional browsing evidence, e.g. \"J=J1,B=B2\"")
 		modelOut  = flag.String("model", "", "write the trained model as JSON to this file")
+		genCount  = flag.Int("gen", 0, "generate this many candidate addresses from the trained model (conditioned on -condition)")
+		genOut    = flag.String("gen-out", "-", "file the -gen candidates are written to ('-' for stdout)")
+		genWork   = flag.Int("gen-workers", 0, "goroutines used for -gen (0 = all cores; the candidate stream is identical either way)")
 		htmlOut   = flag.String("html", "", "write the conditional probability browser as HTML to this file")
 		dotOut    = flag.String("dot", "", "write the Bayesian network structure as Graphviz DOT to this file")
 		quiet     = flag.Bool("q", false, "suppress the terminal report")
@@ -101,6 +111,45 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *genCount > 0 {
+		if err := generateCandidates(model, *genCount, *seed, *genWork, evidence, *genOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// generateCandidates streams candidates drawn from the trained model —
+// the §5.5 generation step without a separate eipgen invocation. The
+// training addresses are not excluded here; use eipgen -exclude for the
+// paper's "new targets only" workflow.
+func generateCandidates(model *core.Model, n int, seed int64, workers int, evidence core.Evidence, outPath string) error {
+	out := os.Stdout
+	if outPath != "-" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	opts := core.GenerateOptions{Count: n, Seed: seed, Workers: workers, Evidence: evidence}
+	count := 0
+	err := model.GenerateStream(opts, func(a ip6.Addr) bool {
+		fmt.Fprintln(w, a)
+		count++
+		return true
+	})
+	// Flush even on a mid-stream error so the output file is not left
+	// truncated mid-line.
+	if ferr := w.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "entropyip: generated %d candidate addresses\n", count)
+	return nil
 }
 
 // runDrift is the offline drift sub-mode: score the input addresses

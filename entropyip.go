@@ -51,7 +51,10 @@ type Model = core.Model
 // cores); the trained model is bit-identical for any worker count.
 type Options = core.Options
 
-// GenerateOptions controls candidate generation.
+// GenerateOptions controls candidate generation. Workers bounds the
+// goroutines drawing candidates (0 = all cores); the emitted candidate
+// sequence is byte-identical for any worker count unless Unordered
+// trades the deterministic order for throughput.
 type GenerateOptions = core.GenerateOptions
 
 // Evidence conditions the model on segment values by code, e.g.
@@ -153,7 +156,10 @@ type BrowseRequest = serve.BrowseRequest
 type BrowseResponse = serve.BrowseResponse
 
 // GenerateRequest asks a served model for candidate addresses or /64
-// prefixes, streamed back as NDJSON.
+// prefixes, streamed back as NDJSON. Omitting Seed (nil) makes the
+// server derive a random one and echo it in the X-Seed response header;
+// Workers bounds the request's generation parallelism (capped
+// server-side).
 type GenerateRequest = serve.GenerateRequest
 
 // GenerateItem is one line of the NDJSON candidate stream.

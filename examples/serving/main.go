@@ -111,7 +111,10 @@ func main() {
 	fmt.Println()
 
 	// --- 4. Stream 10k candidates as NDJSON. ---
-	genReq, _ := json.Marshal(entropyip.GenerateRequest{Count: 10000, Seed: 42, Version: 1})
+	// An explicit seed makes the stream reproducible; omit it (nil) to let
+	// the server derive one and echo it in the X-Seed response header.
+	seed := int64(42)
+	genReq, _ := json.Marshal(entropyip.GenerateRequest{Count: 10000, Seed: &seed, Version: 1})
 	resp, err := http.Post(base+"/v1/models/s5/generate", "application/json", bytes.NewReader(genReq))
 	if err != nil {
 		log.Fatal(err)

@@ -184,33 +184,22 @@ func (n *Network) ProbEvidence(evidence map[int]int) (float64, error) {
 }
 
 // SampleConditional draws one complete assignment from the posterior
-// distribution P(X | evidence) by sequentially sampling each unobserved
-// variable from its exact conditional given the evidence and the values
-// sampled so far. This is exact (not importance-weighted) and is how the
-// model generates candidate addresses constrained to particular segment
-// values (§4.4, §5.5).
+// distribution P(X | evidence): each unobserved variable is sampled from
+// its exact conditional given the evidence and the values sampled so
+// far. This is exact (not importance-weighted) and is how the model
+// generates candidate addresses constrained to particular segment values
+// (§4.4, §5.5).
+//
+// It compiles a CondSampler per call; callers drawing many samples under
+// the same evidence should build the sampler once with NewCondSampler —
+// the variable elimination the conditioning requires then runs once per
+// evidence set instead of once per variable per draw.
 func (n *Network) SampleConditional(rng *rand.Rand, evidence map[int]int) ([]int, error) {
-	assignment := make(map[int]int, len(n.Vars))
-	for v, ev := range evidence {
-		if v < 0 || v >= len(n.Vars) || ev < 0 || ev >= n.Vars[v].Arity {
-			return nil, fmt.Errorf("bayes: invalid evidence %d=%d", v, ev)
-		}
-		assignment[v] = ev
+	cs, err := n.NewCondSampler(evidence)
+	if err != nil {
+		return nil, err
 	}
-	out := make([]int, len(n.Vars))
-	for i := range n.Vars {
-		if v, ok := assignment[i]; ok {
-			out[i] = v
-			continue
-		}
-		dist, err := n.Query(i, assignment)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = sampleRow(rng, dist)
-		assignment[i] = out[i]
-	}
-	return out, nil
+	return cs.SampleInto(rng, make([]int, len(n.Vars))), nil
 }
 
 // MutualInformation computes the mutual information (in bits) between two

@@ -448,8 +448,52 @@ func (n *Network) Validate() error {
 				}
 				sum += v
 			}
+			if sum == 0 {
+				// Distinguish the all-zero case: it cannot be renormalized
+				// and sampling from it would be undefined.
+				return fmt.Errorf("bayes: node %d CPT row %d is all zero", i, j)
+			}
 			if math.Abs(sum-1) > 1e-6 {
 				return fmt.Errorf("bayes: node %d CPT row %d sums to %v", i, j, sum)
+			}
+		}
+	}
+	return nil
+}
+
+// renormalizeTolerance is the |sum-1| beyond which Renormalize rescales
+// a row. It sits far above the few-ULP drift our own learn/encode/decode
+// cycle produces — rows within it are left bit-untouched, so a
+// save→load→save round trip stays byte-identical — and far below any
+// drift a truncating writer or hand edit introduces.
+const renormalizeTolerance = 1e-9
+
+// Renormalize rescales CPT rows that do not sum to one (beyond
+// renormalizeTolerance). Learned networks are normalized by
+// construction; rows written by truncating tools or edited by hand may
+// be arbitrarily far off, and renormalizing them at load time keeps
+// sampling unbiased without per-draw correction. All-zero and invalid
+// rows are rejected — there is no distribution to recover.
+func (n *Network) Renormalize() error {
+	for i, cpt := range n.CPTs {
+		if cpt == nil {
+			return fmt.Errorf("bayes: node %d has no CPT", i)
+		}
+		for j, row := range cpt.Rows {
+			sum := 0.0
+			for _, v := range row {
+				if v < 0 || math.IsNaN(v) {
+					return fmt.Errorf("bayes: node %d CPT row %d has invalid probability", i, j)
+				}
+				sum += v
+			}
+			if sum <= 0 {
+				return fmt.Errorf("bayes: node %d CPT row %d is all zero", i, j)
+			}
+			if math.Abs(sum-1) > renormalizeTolerance {
+				for k := range row {
+					row[k] /= sum
+				}
 			}
 		}
 	}
@@ -493,22 +537,33 @@ func (n *Network) LogLikelihood(data [][]int) float64 {
 }
 
 // Sample draws one complete assignment by forward (ancestral) sampling.
+// Hot paths should prefer SampleInto with a reused buffer, or compile the
+// network once with NewSampler.
 func (n *Network) Sample(rng *rand.Rand) []int {
-	out := make([]int, len(n.Vars))
-	values := make(map[int]int, len(n.Vars))
-	for i := range n.Vars {
-		cpt := n.CPTs[i]
-		pv := make([]int, len(n.Parents[i]))
-		for k, p := range n.Parents[i] {
-			pv[k] = values[p]
-		}
-		row := cpt.Rows[cpt.RowIndex(pv)]
-		out[i] = sampleRow(rng, row)
-		values[i] = out[i]
-	}
-	return out
+	return n.SampleInto(rng, make([]int, len(n.Vars)))
 }
 
+// SampleInto draws one complete assignment by forward (ancestral)
+// sampling into buf, which must have length >= NumVars, and returns
+// buf[:NumVars]. Parents precede their children, so the already-sampled
+// prefix of buf supplies every parent value — no per-draw map or scratch
+// slices are needed.
+func (n *Network) SampleInto(rng *rand.Rand, buf []int) []int {
+	for i := range n.Vars {
+		cpt := n.CPTs[i]
+		j := 0
+		for k, p := range n.Parents[i] {
+			j = j*cpt.ParentCard[k] + buf[p]
+		}
+		buf[i] = sampleRow(rng, cpt.Rows[j])
+	}
+	return buf[:len(n.Vars)]
+}
+
+// sampleRow draws a category from a probability row. A degenerate row —
+// all zero, or summing below the drawn point from float drift — falls
+// back to a uniform draw instead of silently returning the last
+// category, which would bias generation toward high-index codes.
 func sampleRow(rng *rand.Rand, probs []float64) int {
 	x := rng.Float64()
 	cum := 0.0
@@ -518,7 +573,7 @@ func sampleRow(rng *rand.Rand, probs []float64) int {
 			return k
 		}
 	}
-	return len(probs) - 1
+	return rng.Intn(len(probs))
 }
 
 // Edges returns all directed edges (parent, child) of the network.

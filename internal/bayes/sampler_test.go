@@ -1,0 +1,244 @@
+package bayes
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSamplerMatchesNetworkSample pins that the compiled sampler draws
+// the exact sequence Network.SampleInto draws for the same rng: both
+// consume one uniform per node from normalized rows.
+func TestSamplerMatchesNetworkSample(t *testing.T) {
+	net := sprinklerNetwork()
+	s := net.NewSampler()
+	r1 := rand.New(rand.NewSource(7))
+	r2 := rand.New(rand.NewSource(7))
+	buf1 := make([]int, net.NumVars())
+	buf2 := make([]int, net.NumVars())
+	for i := 0; i < 2000; i++ {
+		a := net.SampleInto(r1, buf1)
+		b := s.SampleInto(r2, buf2)
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("draw %d differs at var %d: %v vs %v", i, k, a, b)
+			}
+		}
+	}
+}
+
+// TestSamplerMarginals checks the compiled sampler reproduces the
+// network's marginals empirically.
+func TestSamplerMarginals(t *testing.T) {
+	net := sprinklerNetwork()
+	s := net.NewSampler()
+	rng := rand.New(rand.NewSource(3))
+	const n = 20000
+	wet := 0
+	buf := make([]int, s.NumVars())
+	for i := 0; i < n; i++ {
+		s.SampleInto(rng, buf)
+		if buf[2] == 1 {
+			wet++
+		}
+	}
+	want := 0.8*(0.6*0+0.4*0.9) + 0.2*(0.99*0.8+0.01*0.99)
+	if got := float64(wet) / n; math.Abs(got-want) > 0.02 {
+		t.Errorf("P(Wet=1) sampled %v, want %v", got, want)
+	}
+}
+
+// TestCondSamplerMatchesQueryPosterior checks the compiled conditional
+// sampler draws from the exact posterior: the empirical P(Rain | Wet=1)
+// must match variable elimination's answer, for evidence on a DOWNSTREAM
+// variable (influence flowing backwards).
+func TestCondSamplerMatchesQueryPosterior(t *testing.T) {
+	net := sprinklerNetwork()
+	cs, err := net.NewCondSampler(map[int]int{2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	const n = 20000
+	rain := 0
+	buf := make([]int, cs.NumVars())
+	for i := 0; i < n; i++ {
+		cs.SampleInto(rng, buf)
+		if buf[2] != 1 {
+			t.Fatal("evidence not respected")
+		}
+		if buf[0] == 1 {
+			rain++
+		}
+	}
+	want, err := net.Query(0, map[int]int{2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(rain) / n; math.Abs(got-want[1]) > 0.02 {
+		t.Errorf("P(Rain=1|Wet=1) sampled %v, want %v", got, want[1])
+	}
+}
+
+// TestCondSamplerJointPosterior cross-checks a full joint configuration
+// probability under evidence against hand-computed values, so the
+// chain-factorized tables compose correctly rather than just matching
+// per-variable marginals.
+func TestCondSamplerJointPosterior(t *testing.T) {
+	net := sprinklerNetwork()
+	cs, err := net.NewCondSampler(map[int]int{2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(R, S | W=1) for all four (R, S) configurations.
+	joint := func(r, s int) float64 {
+		pr := []float64{0.8, 0.2}[r]
+		ps := net.CPTs[1].Rows[r][s]
+		pw := net.CPTs[2].Rows[r*2+s][1]
+		return pr * ps * pw
+	}
+	den := 0.0
+	for r := 0; r < 2; r++ {
+		for s := 0; s < 2; s++ {
+			den += joint(r, s)
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	const n = 40000
+	counts := map[[2]int]int{}
+	buf := make([]int, cs.NumVars())
+	for i := 0; i < n; i++ {
+		cs.SampleInto(rng, buf)
+		counts[[2]int{buf[0], buf[1]}]++
+	}
+	for r := 0; r < 2; r++ {
+		for s := 0; s < 2; s++ {
+			want := joint(r, s) / den
+			got := float64(counts[[2]int{r, s}]) / n
+			if math.Abs(got-want) > 0.02 {
+				t.Errorf("P(R=%d,S=%d|W=1) sampled %v, want %v", r, s, got, want)
+			}
+		}
+	}
+}
+
+// TestCondSamplerErrors pins construction-time rejection of invalid and
+// impossible evidence.
+func TestCondSamplerErrors(t *testing.T) {
+	net := sprinklerNetwork()
+	if _, err := net.NewCondSampler(map[int]int{0: 9}); err == nil {
+		t.Error("expected error for out-of-range evidence value")
+	}
+	if _, err := net.NewCondSampler(map[int]int{-1: 0}); err == nil {
+		t.Error("expected error for out-of-range evidence variable")
+	}
+	// Wet=1 with Rain=0, Sprinkler=0 has probability zero.
+	if _, err := net.NewCondSampler(map[int]int{0: 0, 1: 0, 2: 1}); err == nil {
+		t.Error("expected zero-probability-evidence error")
+	}
+}
+
+// TestCondSamplerAllObserved covers the degenerate case of every
+// variable observed: sampling just copies the evidence.
+func TestCondSamplerAllObserved(t *testing.T) {
+	net := sprinklerNetwork()
+	cs, err := net.NewCondSampler(map[int]int{0: 1, 1: 0, 2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cs.SampleInto(rand.New(rand.NewSource(1)), make([]int, 3))
+	if got[0] != 1 || got[1] != 0 || got[2] != 1 {
+		t.Errorf("all-observed sample = %v", got)
+	}
+}
+
+// TestSampleRowDegenerateUniform is the bias regression test: a row
+// whose probabilities under-sum (all-zero, or float drift) must fall
+// back to a UNIFORM draw over the categories, not silently return the
+// last category. The old behaviour gave the last code all the missing
+// mass: a {0.25, 0.25} row sampled category 1 75% of the time.
+func TestSampleRowDegenerateUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 40000
+	cases := []struct {
+		name string
+		row  []float64
+	}{
+		{"under-summing", []float64{0.25, 0.25}},
+		{"all-zero", []float64{0, 0}},
+	}
+	for _, tc := range cases {
+		last := 0
+		for i := 0; i < n; i++ {
+			if sampleRow(rng, tc.row) == 1 {
+				last++
+			}
+		}
+		if got := float64(last) / n; math.Abs(got-0.5) > 0.02 {
+			t.Errorf("%s row: P(last category) = %v, want ~0.5 (uniform fallback)", tc.name, got)
+		}
+	}
+	// Healthy rows are untouched by the fallback.
+	zero := 0
+	row := []float64{0.9, 0.1}
+	for i := 0; i < n; i++ {
+		if sampleRow(rng, row) == 0 {
+			zero++
+		}
+	}
+	if got := float64(zero) / n; math.Abs(got-0.9) > 0.02 {
+		t.Errorf("healthy row: P(0) = %v, want ~0.9", got)
+	}
+}
+
+// TestValidateRejectsAllZeroRow pins the Validate error for rows with no
+// probability mass.
+func TestValidateRejectsAllZeroRow(t *testing.T) {
+	net := sprinklerNetwork()
+	net.CPTs[1].Rows[1] = []float64{0, 0}
+	err := net.Validate()
+	if err == nil {
+		t.Fatal("expected Validate to reject an all-zero CPT row")
+	}
+	if want := "all zero"; !contains(err.Error(), want) {
+		t.Errorf("error %q does not mention %q", err, want)
+	}
+}
+
+// TestRenormalize pins the load-time healing path: drifted rows are
+// rescaled to sum to one, already-normalized rows are left bit-identical,
+// and all-zero rows are rejected.
+func TestRenormalize(t *testing.T) {
+	net := sprinklerNetwork()
+	net.CPTs[1].Rows[0] = []float64{0.3, 0.3} // sums to 0.6
+	keep := append([]float64(nil), net.CPTs[0].Rows[0]...)
+	if err := net.Renormalize(); err != nil {
+		t.Fatal(err)
+	}
+	row := net.CPTs[1].Rows[0]
+	if math.Abs(row[0]-0.5) > 1e-12 || math.Abs(row[1]-0.5) > 1e-12 {
+		t.Errorf("renormalized row = %v, want {0.5, 0.5}", row)
+	}
+	for k, v := range net.CPTs[0].Rows[0] {
+		if v != keep[k] {
+			t.Errorf("already-normalized row changed: %v vs %v", net.CPTs[0].Rows[0], keep)
+		}
+	}
+	if err := net.Validate(); err != nil {
+		t.Errorf("renormalized network fails Validate: %v", err)
+	}
+
+	net.CPTs[2].Rows[3] = []float64{0, 0}
+	if err := net.Renormalize(); err == nil {
+		t.Error("expected Renormalize to reject an all-zero row")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

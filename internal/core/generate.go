@@ -4,8 +4,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"entropyip/internal/ip6"
+	"entropyip/internal/parallel"
+	"entropyip/internal/stats"
 )
 
 // GenerateOptions controls candidate generation.
@@ -13,7 +17,8 @@ type GenerateOptions struct {
 	// Count is the number of candidates to generate (the paper uses 1M).
 	Count int
 	// Seed seeds the generator's randomness; generation is deterministic
-	// for a fixed model, seed and options.
+	// for a fixed model, seed and options (see Unordered for the one
+	// exception).
 	Seed int64
 	// Evidence optionally constrains generation to particular segment
 	// values (e.g. only addresses within one mined /32 code).
@@ -29,12 +34,47 @@ type GenerateOptions struct {
 	// Stop, if non-nil, is polled periodically (including during runs of
 	// duplicate or excluded draws that emit nothing); generation halts
 	// when it returns true. Servers use it to abandon work for
-	// disconnected clients.
+	// disconnected clients. With evidence set it is polled on every
+	// attempt, without evidence every stopPollInterval draws. It must be
+	// safe for concurrent use when Workers != 1.
 	Stop func() bool
+	// Workers bounds the number of goroutines drawing candidates
+	// (0 = GOMAXPROCS, 1 = fully sequential). The candidate sequence is
+	// identical for every worker count unless Unordered is set: draws
+	// come from a fixed number of logical substreams that are merged in
+	// a worker-independent round-robin order.
+	Workers int
+	// Unordered trades the deterministic candidate order for throughput:
+	// workers emit candidates as soon as they are drawn instead of
+	// waiting for the ordered merge. The candidate SET for a fixed seed
+	// is still drawn from the same distribution, but order and (under
+	// races between duplicate draws) membership may vary run to run.
+	Unordered bool
 }
 
-// stopPollInterval is how many draws pass between Stop polls.
+// stopPollInterval is how many draws pass between Stop polls when no
+// evidence is set (evidence makes each attempt expensive enough that
+// Stop is polled on every one).
 const stopPollInterval = 1024
+
+// genSubstreams is the fixed number of logical generator substreams. It
+// is a constant — not the worker count — so that the ordered candidate
+// sequence depends only on the model, seed and options, never on how
+// many workers happened to run: substream i draws from
+// stats.Split(seed, i), and the merged sequence interleaves substreams
+// round-robin per attempt.
+const genSubstreams = 64
+
+// MaxGenerateWorkers is the largest worker count the engine can put to
+// use: one per logical substream. Larger requested values behave
+// identically, so callers exposing the knob (the serve API) cap at this.
+const MaxGenerateWorkers = genSubstreams
+
+// genParallelCutoff is the Count below which generation always runs
+// sequentially: the parallel setup (one producer goroutine per
+// substream, each eagerly filling batches) costs more draws than a
+// small request needs. The emitted candidates are identical either way.
+const genParallelCutoff = 1024
 
 func (o GenerateOptions) maxAttempts() int {
 	f := o.MaxAttemptsFactor
@@ -59,65 +99,397 @@ func setCapacity(count int) int {
 	return count
 }
 
-// GenerateStream draws unique candidate IPv6 addresses from the model's
-// joint distribution (§5.5 of the paper) and hands each one to yield as
-// soon as it is produced, without accumulating them. Generation stops when
-// Count candidates have been emitted, the attempt budget is exhausted, or
-// yield returns false. Memory use is bounded by the deduplication set (16
-// bytes per emitted candidate), not by the candidates themselves, which
-// makes it suitable for streaming very large candidate lists over a
-// network connection.
-//
-// The candidate sequence is identical to Generate's for the same model,
-// seed and options.
-func (m *Model) GenerateStream(opts GenerateOptions, yield func(ip6.Addr) bool) error {
-	if opts.Count <= 0 {
-		return fmt.Errorf("core: GenerateStream needs a positive Count")
-	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-	enc := m.Encoder()
+// drawFunc draws one candidate address using a stream-local rng and
+// assignment buffer. Implementations are safe for concurrent use as long
+// as each goroutine owns its rng and buf.
+type drawFunc func(rng *rand.Rand, buf []int) (ip6.Addr, error)
 
+// newDraw compiles the model into a draw function: an unconditional
+// forward sampler, or — when evidence is set — a conditional sampler
+// whose variable-elimination work runs once here instead of once per
+// variable per draw. mask64 truncates drawn addresses to their /64.
+func (m *Model) newDraw(evidence map[int]int, mask64 bool) (drawFunc, error) {
+	enc := m.Encoder()
+	if len(evidence) == 0 {
+		s := m.Net.NewSampler()
+		return func(rng *rand.Rand, buf []int) (ip6.Addr, error) {
+			a, err := enc.Decode(s.SampleInto(rng, buf), rng)
+			if err == nil && mask64 {
+				a = ip6.Mask(a, 64)
+			}
+			return a, err
+		}, nil
+	}
+	cs, err := m.Net.NewCondSampler(evidence)
+	if err != nil {
+		return nil, err
+	}
+	return func(rng *rand.Rand, buf []int) (ip6.Addr, error) {
+		a, err := enc.Decode(cs.SampleInto(rng, buf), rng)
+		if err == nil && mask64 {
+			a = ip6.Mask(a, 64)
+		}
+		return a, err
+	}, nil
+}
+
+// genRun is one generation run: the compiled draw function plus the
+// limits and sinks shared by the sequential, ordered-parallel and
+// unordered-parallel executions.
+type genRun struct {
+	count          int
+	maxAttempts    int
+	stop           func() bool
+	perAttemptStop bool
+	draw           drawFunc
+	excluded       func(ip6.Addr) bool
+	yield          func(ip6.Addr) bool
+	seed           int64
+	workers        int
+	bufLen         int
+}
+
+// generate is the engine shared by address and prefix generation: yield
+// receives unique, non-excluded candidate addresses (masked to /64 when
+// mask64 is set) until Count candidates were emitted, the attempt budget
+// is exhausted, Stop reports true, or yield returns false.
+func (m *Model) generate(opts GenerateOptions, mask64 bool, excluded func(ip6.Addr) bool, yield func(ip6.Addr) bool) error {
 	evidence, err := m.evidenceIndices(opts.Evidence)
 	if err != nil {
 		return err
 	}
+	draw, err := m.newDraw(evidence, mask64)
+	if err != nil {
+		return err
+	}
+	r := &genRun{
+		count:       opts.Count,
+		maxAttempts: opts.maxAttempts(),
+		stop:        opts.Stop,
+		// With evidence every attempt is comparatively expensive, and a
+		// disconnected client must not keep cores pinned: poll per
+		// attempt instead of per stopPollInterval.
+		perAttemptStop: len(evidence) > 0,
+		draw:           draw,
+		excluded:       excluded,
+		yield:          yield,
+		seed:           opts.Seed,
+		workers:        parallel.Workers(opts.Workers),
+		bufLen:         m.Net.NumVars(),
+	}
+	if r.workers > genSubstreams {
+		r.workers = genSubstreams
+	}
+	switch {
+	case r.workers <= 1 || r.count < genParallelCutoff:
+		return r.runSequential()
+	case opts.Unordered:
+		return r.runUnordered()
+	default:
+		return r.runOrdered()
+	}
+}
 
-	emitted := 0
-	seen := ip6.NewSet(setCapacity(opts.Count))
-	attempts := 0
-	maxAttempts := opts.maxAttempts()
-	for emitted < opts.Count && attempts < maxAttempts {
+// pollStop reports whether generation should halt at this attempt.
+func (r *genRun) pollStop(attempts int) bool {
+	if r.stop == nil {
+		return false
+	}
+	if r.perAttemptStop || attempts%stopPollInterval == 0 {
+		return r.stop()
+	}
+	return false
+}
+
+// runSequential is the single-goroutine execution; it defines the
+// canonical candidate order the ordered-parallel execution reproduces:
+// attempt k consumes the next draw of substream k % genSubstreams.
+func (r *genRun) runSequential() error {
+	rngs := make([]*rand.Rand, genSubstreams)
+	bufs := make([][]int, genSubstreams)
+	flat := make([]int, genSubstreams*r.bufLen)
+	for i := range rngs {
+		rngs[i] = stats.Split(r.seed, int64(i))
+		bufs[i] = flat[i*r.bufLen : (i+1)*r.bufLen]
+	}
+	seen := ip6.NewSet(setCapacity(r.count))
+	emitted, attempts := 0, 0
+	for emitted < r.count && attempts < r.maxAttempts {
+		s := attempts % genSubstreams
 		attempts++
-		if opts.Stop != nil && attempts%stopPollInterval == 0 && opts.Stop() {
+		if r.pollStop(attempts) {
 			return nil
 		}
-		var vec []int
-		if len(evidence) == 0 {
-			vec = m.Net.Sample(rng)
-		} else {
-			vec, err = m.Net.SampleConditional(rng, evidence)
-			if err != nil {
-				return err
-			}
-		}
-		addr, err := enc.Decode(vec, rng)
+		a, err := r.draw(rngs[s], bufs[s])
 		if err != nil {
 			return err
 		}
-		if m.Opts.Prefix64Only {
-			addr = ip6.Mask(addr, 64)
-		}
-		if opts.Exclude != nil && opts.Exclude.Contains(addr) {
+		if r.excluded(a) {
 			continue
 		}
-		if seen.Add(addr) {
+		if seen.Add(a) {
 			emitted++
-			if !yield(addr) {
+			if !r.yield(a) {
 				return nil
 			}
 		}
 	}
 	return nil
+}
+
+// drawBatch is a run of consecutive draws of one substream, in draw
+// order. err terminates the substream after the accumulated draws.
+type drawBatch struct {
+	addrs []ip6.Addr
+	err   error
+}
+
+// batchSize picks how many draws producers hand over at once: large
+// enough to amortize channel traffic on big requests, small enough that
+// tiny requests do not overdraw by much.
+func (r *genRun) batchSize() int {
+	b := r.count / (2 * genSubstreams)
+	if b < 16 {
+		b = 16
+	}
+	if b > 512 {
+		b = 512
+	}
+	return b
+}
+
+// runOrdered is the deterministic parallel execution: every substream
+// produces its draws concurrently (at most workers of them computing at
+// a time), and the consuming goroutine merges them in the same
+// round-robin order runSequential uses, applying dedup, exclusion, the
+// attempt budget and Stop on the merged sequence — so the emitted
+// candidates are byte-identical to the sequential ones.
+func (r *genRun) runOrdered() error {
+	done := make(chan struct{})
+	defer close(done)
+	sem := make(chan struct{}, r.workers)
+	chans := make([]chan drawBatch, genSubstreams)
+	batch := r.batchSize()
+	for i := range chans {
+		chans[i] = make(chan drawBatch, 2)
+		go r.produce(i, chans[i], sem, done, batch)
+	}
+	seen := ip6.NewSet(setCapacity(r.count))
+	var cur [genSubstreams]drawBatch
+	var idx [genSubstreams]int
+	emitted, attempts := 0, 0
+	for emitted < r.count && attempts < r.maxAttempts {
+		s := attempts % genSubstreams
+		attempts++
+		if r.pollStop(attempts) {
+			return nil
+		}
+		if idx[s] == len(cur[s].addrs) {
+			if err := cur[s].err; err != nil {
+				return err
+			}
+			cur[s] = <-chans[s]
+			idx[s] = 0
+			if len(cur[s].addrs) == 0 {
+				if cur[s].err != nil {
+					return cur[s].err
+				}
+				continue // defensive: empty errorless batch
+			}
+		}
+		a := cur[s].addrs[idx[s]]
+		idx[s]++
+		if r.excluded(a) {
+			continue
+		}
+		if seen.Add(a) {
+			emitted++
+			if !r.yield(a) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// produce draws batches for one substream until done closes. The
+// semaphore bounds how many substreams compute simultaneously (the
+// Workers option); while blocked on a full output buffer a producer
+// holds no semaphore slot.
+func (r *genRun) produce(stream int, out chan<- drawBatch, sem chan struct{}, done <-chan struct{}, batch int) {
+	rng := stats.Split(r.seed, int64(stream))
+	buf := make([]int, r.bufLen)
+	for {
+		select {
+		case sem <- struct{}{}:
+		case <-done:
+			return
+		}
+		b := drawBatch{addrs: make([]ip6.Addr, 0, batch)}
+		for len(b.addrs) < batch {
+			if r.perAttemptStop {
+				// Expensive draws: notice cancellation mid-batch instead
+				// of finishing it.
+				select {
+				case <-done:
+					<-sem
+					return
+				default:
+				}
+			}
+			a, err := r.draw(rng, buf)
+			if err != nil {
+				b.err = err
+				break
+			}
+			b.addrs = append(b.addrs, a)
+		}
+		<-sem
+		select {
+		case out <- b:
+		case <-done:
+			return
+		}
+		if b.err != nil {
+			return
+		}
+	}
+}
+
+// dedupShards is the number of independently locked dedup sets the
+// unordered execution hashes candidates across. Power of two.
+const dedupShards = 64
+
+// shardedSet is an address set sharded by hash so concurrent workers
+// rarely contend on the same lock.
+type shardedSet struct {
+	shards [dedupShards]struct {
+		mu  sync.Mutex
+		set *ip6.Set
+		_   [40]byte // keep neighboring locks off one cache line
+	}
+}
+
+func newShardedSet(count int) *shardedSet {
+	s := &shardedSet{}
+	per := setCapacity(count)/dedupShards + 1
+	for i := range s.shards {
+		s.shards[i].set = ip6.NewSet(per)
+	}
+	return s
+}
+
+// add inserts the address and reports whether it was not already present.
+func (s *shardedSet) add(a ip6.Addr) bool {
+	hi, lo := a.Uint64s()
+	// SplitMix64-style finalizer over the address words.
+	z := hi ^ (lo * 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z ^= z >> 31
+	sh := &s.shards[z&(dedupShards-1)]
+	sh.mu.Lock()
+	fresh := sh.set.Add(a)
+	sh.mu.Unlock()
+	return fresh
+}
+
+// runUnordered is the throughput-first parallel execution: each worker
+// owns one substream and emits candidates as soon as they clear the
+// sharded dedup set, with a shared atomic attempt budget. The consuming
+// goroutine only forwards to yield, so candidate order depends on
+// scheduling.
+func (r *genRun) runUnordered() error {
+	done := make(chan struct{})
+	var once sync.Once
+	finish := func() { once.Do(func() { close(done) }) }
+	defer finish()
+
+	out := make(chan ip6.Addr, 64*r.workers)
+	errc := make(chan error, r.workers)
+	var attempts atomic.Int64
+	seen := newShardedSet(r.count)
+	var wg sync.WaitGroup
+	for w := 0; w < r.workers; w++ {
+		wg.Add(1)
+		go func(stream int) {
+			defer wg.Done()
+			rng := stats.Split(r.seed, int64(stream))
+			buf := make([]int, r.bufLen)
+			for n := 1; ; n++ {
+				if attempts.Add(1) > int64(r.maxAttempts) {
+					return
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if r.stop != nil && (r.perAttemptStop || n%stopPollInterval == 0) && r.stop() {
+					finish()
+					return
+				}
+				a, err := r.draw(rng, buf)
+				if err != nil {
+					errc <- err
+					finish()
+					return
+				}
+				if r.excluded(a) || !seen.add(a) {
+					continue
+				}
+				select {
+				case out <- a:
+				case <-done:
+					return
+				}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	emitted := 0
+	for a := range out {
+		emitted++
+		ok := r.yield(a)
+		if !ok || emitted == r.count {
+			finish()
+			break
+		}
+	}
+	if emitted < r.count {
+		select {
+		case err := <-errc:
+			return err
+		default:
+		}
+	}
+	return nil
+}
+
+// GenerateStream draws unique candidate IPv6 addresses from the model's
+// joint distribution (§5.5 of the paper) and hands each one to yield as
+// soon as it is produced, without accumulating them. Generation stops when
+// Count candidates have been emitted, the attempt budget is exhausted, or
+// yield returns false. Memory use is bounded by the deduplication set (16
+// bytes per emitted candidate) plus a constant number of in-flight draw
+// batches, which makes it suitable for streaming very large candidate
+// lists over a network connection.
+//
+// The candidate sequence is identical to Generate's for the same model,
+// seed and options, and — unless Unordered is set — identical for every
+// Workers value.
+func (m *Model) GenerateStream(opts GenerateOptions, yield func(ip6.Addr) bool) error {
+	if opts.Count <= 0 {
+		return fmt.Errorf("core: GenerateStream needs a positive Count")
+	}
+	excluded := func(ip6.Addr) bool { return false }
+	if opts.Exclude != nil {
+		excluded = opts.Exclude.Contains
+	}
+	return m.generate(opts, m.Opts.Prefix64Only, excluded, yield)
 }
 
 // Generate produces unique candidate IPv6 addresses drawn from the model's
@@ -144,55 +516,21 @@ func (m *Model) Generate(opts GenerateOptions) ([]ip6.Addr, error) {
 // paper) and hands each one to yield as soon as it is produced. It works
 // for both full models and Prefix64Only models: full models have their
 // generated addresses truncated to /64 before deduplication. Stops under
-// the same conditions as GenerateStream.
+// the same conditions as GenerateStream and shares its engine: drawn
+// addresses are masked to their /64 and deduplicated as addresses, which
+// is equivalent to deduplicating the /64 prefixes themselves.
 func (m *Model) GeneratePrefixesStream(opts GenerateOptions, yield func(ip6.Prefix) bool) error {
 	if opts.Count <= 0 {
 		return fmt.Errorf("core: GeneratePrefixesStream needs a positive Count")
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
-	enc := m.Encoder()
-	evidence, err := m.evidenceIndices(opts.Evidence)
-	if err != nil {
-		return err
-	}
-	emitted := 0
-	seen := ip6.NewPrefixSet(setCapacity(opts.Count))
-	var excludePrefixes *ip6.PrefixSet
+	excluded := func(ip6.Addr) bool { return false }
 	if opts.Exclude != nil {
-		excludePrefixes = opts.Exclude.Prefixes(64)
+		ex := opts.Exclude.Prefixes(64)
+		excluded = func(a ip6.Addr) bool { return ex.Contains(ip6.Prefix64(a)) }
 	}
-	attempts := 0
-	maxAttempts := opts.maxAttempts()
-	for emitted < opts.Count && attempts < maxAttempts {
-		attempts++
-		if opts.Stop != nil && attempts%stopPollInterval == 0 && opts.Stop() {
-			return nil
-		}
-		var vec []int
-		if len(evidence) == 0 {
-			vec = m.Net.Sample(rng)
-		} else {
-			vec, err = m.Net.SampleConditional(rng, evidence)
-			if err != nil {
-				return err
-			}
-		}
-		addr, err := enc.Decode(vec, rng)
-		if err != nil {
-			return err
-		}
-		p := ip6.Prefix64(addr)
-		if excludePrefixes != nil && excludePrefixes.Contains(p) {
-			continue
-		}
-		if seen.Add(p) {
-			emitted++
-			if !yield(p) {
-				return nil
-			}
-		}
-	}
-	return nil
+	return m.generate(opts, true, excluded, func(a ip6.Addr) bool {
+		return yield(ip6.Prefix64(a))
+	})
 }
 
 // GeneratePrefixes produces unique candidate /64 prefixes (§5.6 of the

@@ -236,6 +236,12 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 	if err := sg.Validate(); err != nil {
 		return fmt.Errorf("core: invalid segmentation in model file: %w", err)
 	}
+	// Renormalize before validating: CPT rows read from JSON carry float
+	// drift (every cell was independently rounded on encode), and sampling
+	// must never inherit that bias. All-zero rows are rejected here.
+	if err := in.Net.Renormalize(); err != nil {
+		return fmt.Errorf("core: invalid network in model file: %w", err)
+	}
 	if err := in.Net.Validate(); err != nil {
 		return fmt.Errorf("core: invalid network in model file: %w", err)
 	}

@@ -54,6 +54,9 @@ func newTestServer(t *testing.T, opts Options) (*Server, *registry.Registry) {
 	return New(reg, opts), reg
 }
 
+// seedPtr builds the optional seed field of a GenerateRequest.
+func seedPtr(v int64) *int64 { return &v }
+
 // do issues a JSON request against the handler and returns the recorder.
 func do(t *testing.T, s *Server, method, path string, body interface{}) *httptest.ResponseRecorder {
 	t.Helper()
@@ -302,7 +305,7 @@ func TestGenerateStreamsNDJSON(t *testing.T) {
 	}
 
 	const count = 2000
-	w := do(t, s, "POST", "/v1/models/web/generate", GenerateRequest{Count: count, Seed: 7})
+	w := do(t, s, "POST", "/v1/models/web/generate", GenerateRequest{Count: count, Seed: seedPtr(7)})
 	if w.Code != http.StatusOK {
 		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
 	}
@@ -344,7 +347,7 @@ func TestGeneratePrefixesMode(t *testing.T) {
 	if _, err := reg.Put("web", m); err != nil {
 		t.Fatal(err)
 	}
-	w := do(t, s, "POST", "/v1/models/web/generate", GenerateRequest{Count: 50, Seed: 7, Prefixes: true})
+	w := do(t, s, "POST", "/v1/models/web/generate", GenerateRequest{Count: 50, Seed: seedPtr(7), Prefixes: true})
 	if w.Code != http.StatusOK {
 		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
 	}
@@ -373,6 +376,98 @@ func TestGeneratePrefixesMode(t *testing.T) {
 		if got[i] != want[i].String() {
 			t.Fatalf("prefix %d = %s, want %s", i, got[i], want[i])
 		}
+	}
+}
+
+// TestGenerateSeedlessStreamsDiffer is the seed-default regression test:
+// two requests that omit the seed must receive DIFFERENT candidate
+// streams (the old behaviour defaulted to seed 0, handing every seedless
+// client the identical "random" candidates), and each response must echo
+// the derived seed in X-Seed so the stream can be replayed.
+func TestGenerateSeedlessStreamsDiffer(t *testing.T) {
+	s, reg := newTestServer(t, Options{})
+	m := testModel(t, 1)
+	if _, err := reg.Put("web", m); err != nil {
+		t.Fatal(err)
+	}
+	req := GenerateRequest{Count: 200} // no seed
+	w1 := do(t, s, "POST", "/v1/models/web/generate", req)
+	w2 := do(t, s, "POST", "/v1/models/web/generate", req)
+	if w1.Code != http.StatusOK || w2.Code != http.StatusOK {
+		t.Fatalf("status = %d, %d", w1.Code, w2.Code)
+	}
+	seed1 := w1.Header().Get("X-Seed")
+	seed2 := w2.Header().Get("X-Seed")
+	if seed1 == "" || seed2 == "" {
+		t.Fatalf("missing X-Seed headers: %q, %q", seed1, seed2)
+	}
+	if seed1 == seed2 {
+		t.Errorf("two seedless requests derived the same seed %s", seed1)
+	}
+	if bytes.Equal(w1.Body.Bytes(), w2.Body.Bytes()) {
+		t.Error("two seedless requests received the identical candidate stream")
+	}
+
+	// Replaying the echoed seed reproduces the stream exactly.
+	var echoed int64
+	if _, err := fmt.Sscan(seed1, &echoed); err != nil {
+		t.Fatalf("X-Seed %q is not an integer: %v", seed1, err)
+	}
+	w3 := do(t, s, "POST", "/v1/models/web/generate", GenerateRequest{Count: 200, Seed: seedPtr(echoed)})
+	if w3.Code != http.StatusOK {
+		t.Fatalf("replay status = %d", w3.Code)
+	}
+	if w3.Header().Get("X-Seed") != seed1 {
+		t.Errorf("explicit seed not echoed: %q vs %q", w3.Header().Get("X-Seed"), seed1)
+	}
+	if !bytes.Equal(w3.Body.Bytes(), w1.Body.Bytes()) {
+		t.Error("replaying the echoed seed did not reproduce the stream")
+	}
+
+	// An explicit zero seed is honored, not treated as absent.
+	z1 := do(t, s, "POST", "/v1/models/web/generate", GenerateRequest{Count: 200, Seed: seedPtr(0)})
+	z2 := do(t, s, "POST", "/v1/models/web/generate", GenerateRequest{Count: 200, Seed: seedPtr(0)})
+	if z1.Header().Get("X-Seed") != "0" {
+		t.Errorf("X-Seed = %q for explicit zero seed", z1.Header().Get("X-Seed"))
+	}
+	if !bytes.Equal(z1.Body.Bytes(), z2.Body.Bytes()) {
+		t.Error("explicit zero seed is not deterministic")
+	}
+}
+
+// TestGenerateWorkersParam checks request-level generation parallelism:
+// any accepted workers value yields the same stream, and out-of-range
+// values are rejected.
+func TestGenerateWorkersParam(t *testing.T) {
+	s, reg := newTestServer(t, Options{})
+	m := testModel(t, 1)
+	if _, err := reg.Put("web", m); err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for _, workers := range []int{1, 2, 8} {
+		w := do(t, s, "POST", "/v1/models/web/generate",
+			GenerateRequest{Count: 2000, Seed: seedPtr(11), Workers: workers})
+		if w.Code != http.StatusOK {
+			t.Fatalf("workers=%d: status %d: %s", workers, w.Code, w.Body.String())
+		}
+		if want == nil {
+			want = w.Body.Bytes()
+			continue
+		}
+		if !bytes.Equal(w.Body.Bytes(), want) {
+			t.Errorf("workers=%d: stream differs from workers=1", workers)
+		}
+	}
+	w := do(t, s, "POST", "/v1/models/web/generate",
+		GenerateRequest{Count: 10, Workers: MaxGenerateWorkers + 1})
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("over-limit workers: status %d, want 400", w.Code)
+	}
+	w = do(t, s, "POST", "/v1/models/web/generate",
+		GenerateRequest{Count: 10, Workers: -1})
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("negative workers: status %d, want 400", w.Code)
 	}
 }
 

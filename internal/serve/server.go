@@ -22,6 +22,8 @@ package serve
 import (
 	"bufio"
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -73,6 +75,12 @@ type Options struct {
 	// typically set it to cores/Workers so jobs share the machine instead
 	// of oversubscribing it. The trained model is identical either way.
 	TrainWorkers int
+	// GenerateWorkers is the default per-request generation parallelism
+	// (core.GenerateOptions.Workers) when a generate request does not ask
+	// for a specific value. Zero means all cores. The emitted candidate
+	// stream is identical for any value (generation is deterministic
+	// across worker counts unless the request sets unordered).
+	GenerateWorkers int
 	// Refresh configures the online ingest + drift detection + automatic
 	// model refresh loop behind POST /v1/models/{name}/observe. The zero
 	// value scores drift with default thresholds but does not retrain;
@@ -508,7 +516,11 @@ type GenerateRequest struct {
 	// Count is the number of candidates to generate (the paper uses 1M).
 	Count int `json:"count"`
 	// Seed makes generation deterministic for a fixed model and options.
-	Seed int64 `json:"seed,omitempty"`
+	// When omitted (null), the server derives a random seed — so clients
+	// that do not care about reproducibility get independent streams
+	// instead of everyone receiving the identical "random" candidates —
+	// and echoes it in the X-Seed response header.
+	Seed *int64 `json:"seed,omitempty"`
 	// Evidence optionally constrains generation to segment values.
 	Evidence map[string]string `json:"evidence,omitempty"`
 	// Prefixes switches from candidate addresses to candidate /64
@@ -518,10 +530,25 @@ type GenerateRequest struct {
 	// core.GenerateOptions. Values above MaxAttemptsFactorLimit are
 	// rejected — the factor multiplies server CPU on low-support models.
 	MaxAttemptsFactor int `json:"max_attempts_factor,omitempty"`
+	// Workers bounds the goroutines drawing candidates for this request,
+	// capped at MaxGenerateWorkers (requests are untrusted and a worker
+	// count is a CPU multiplier). Zero selects the server's default
+	// (Options.GenerateWorkers). The candidate stream is identical for
+	// any value unless Unordered is set.
+	Workers int `json:"workers,omitempty"`
+	// Unordered trades the deterministic candidate order for throughput;
+	// see core.GenerateOptions.Unordered.
+	Unordered bool `json:"unordered,omitempty"`
 }
 
 // MaxAttemptsFactorLimit caps the per-request MaxAttemptsFactor.
 const MaxAttemptsFactorLimit = 1000
+
+// MaxGenerateWorkers caps the per-request generation parallelism at
+// what the engine can actually use (one worker per logical substream);
+// accepting more would advertise parallelism that silently never
+// materializes.
+const MaxGenerateWorkers = core.MaxGenerateWorkers
 
 // GenerateItem is one line of the NDJSON generate stream.
 type GenerateItem struct {
@@ -555,17 +582,31 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "max_attempts_factor must be in 0..%d", MaxAttemptsFactorLimit)
 		return
 	}
+	if req.Workers < 0 || req.Workers > MaxGenerateWorkers {
+		writeError(w, http.StatusBadRequest, "workers must be in 0..%d", MaxGenerateWorkers)
+		return
+	}
 	m, info, err := s.reg.GetVersion(r.PathValue("name"), req.Version)
 	if err != nil {
 		writeRegistryError(w, err)
 		return
 	}
+	seed := randomSeed()
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = s.opts.GenerateWorkers
+	}
 	ctx := r.Context()
 	opts := core.GenerateOptions{
 		Count:             req.Count,
-		Seed:              req.Seed,
+		Seed:              seed,
 		Evidence:          core.Evidence(req.Evidence),
 		MaxAttemptsFactor: req.MaxAttemptsFactor,
+		Workers:           workers,
+		Unordered:         req.Unordered,
 		// Without Stop, a disconnected client would keep the generator
 		// spinning through duplicate draws until the attempt budget runs
 		// out; with it, cancellation is noticed even when nothing is
@@ -575,6 +616,9 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Model-Version", fmt.Sprint(info.Version))
+	// Always echo the seed in force, so a seedless request can be replayed
+	// exactly by passing the header's value back as "seed".
+	w.Header().Set("X-Seed", strconv.FormatInt(seed, 10))
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	flusher, _ := w.(http.Flusher)
@@ -622,6 +666,18 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		_ = enc.Encode(GenerateItem{Error: err.Error()})
 	}
 	_ = bw.Flush()
+}
+
+// randomSeed derives a fresh generation seed for requests that omit one.
+// It reads the OS entropy source, falling back to the clock if that ever
+// fails — seed quality only has to make concurrent clients' streams
+// distinct, not be cryptographic.
+func randomSeed() int64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		return int64(binary.LittleEndian.Uint64(b[:]))
+	}
+	return time.Now().UnixNano()
 }
 
 // observeLine is one NDJSON line of POST /v1/models/{name}/observe.

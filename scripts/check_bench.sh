@@ -48,7 +48,7 @@ THRESHOLD="${BENCH_GATE_THRESHOLD:-1.30}"
 
 # The hot-path benchmarks the gate protects (top-level names only; the
 # regex below deliberately excludes /workers=... sub-benchmarks).
-BENCHES=(NewProfile10k NewProfile100k Learn10k Learn100k Build10k Build100k)
+BENCHES=(NewProfile10k NewProfile100k Learn10k Learn100k Build10k Build100k Generate10k Generate100k)
 
 if command -v benchstat >/dev/null 2>&1; then
     echo "== benchstat baseline vs new (informational) =="
