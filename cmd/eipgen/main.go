@@ -81,21 +81,29 @@ func main() {
 	w := bufio.NewWriter(out)
 
 	// Stream instead of materializing: memory stays bounded by the
-	// generator's dedup set however large -n is. Flush before reporting a
-	// mid-stream error — fatal's os.Exit skips deferred flushes, and an
-	// unflushed buffer could truncate the output file mid-line.
+	// generator's dedup set however large -n is. Each candidate is
+	// append-formatted into one reused line buffer (no fmt, no per-line
+	// String allocation), so output cost is the buffered write itself.
+	// Flush before reporting a mid-stream error — fatal's os.Exit skips
+	// deferred flushes, and an unflushed buffer could truncate the output
+	// file mid-line.
 	count := 0
+	line := make([]byte, 0, 64)
 	if *prefixes {
 		err = model.GeneratePrefixesStream(opts, func(p ip6.Prefix) bool {
-			fmt.Fprintln(w, p)
+			line = p.AppendString(line[:0])
+			line = append(line, '\n')
+			_, werr := w.Write(line)
 			count++
-			return true
+			return werr == nil
 		})
 	} else {
 		err = model.GenerateStream(opts, func(a ip6.Addr) bool {
-			fmt.Fprintln(w, a)
+			line = a.AppendString(line[:0])
+			line = append(line, '\n')
+			_, werr := w.Write(line)
 			count++
-			return true
+			return werr == nil
 		})
 	}
 	if ferr := w.Flush(); err == nil {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -35,16 +36,29 @@ func main() {
 	if *quick {
 		sizes = report.Sizes{TrainSize: 300, Candidates: 5000, UniverseSize: 6000, Seed: *seed}
 	}
+	// All exhibit output flows through one buffered writer: the tables are
+	// hundreds of lines, and unbuffered per-line prints cost a syscall
+	// each. The buffer is flushed (with the error checked) after every
+	// exhibit and before any error exit, so partial output is never lost.
+	out := bufio.NewWriter(os.Stdout)
+	flush := func() {
+		if err := out.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "eipreport: writing output: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	run := func(name string, fn func() error) {
 		if *only != "" && *only != name {
 			return
 		}
 		start := time.Now()
 		if err := fn(); err != nil {
+			flush()
 			fmt.Fprintf(os.Stderr, "eipreport: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(out, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		flush()
 	}
 
 	run("table1", func() error {
@@ -52,7 +66,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(t)
+		fmt.Fprintln(out, t)
 		return nil
 	})
 	run("table2", func() error {
@@ -64,7 +78,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(t)
+		fmt.Fprintln(out, t)
 		return nil
 	})
 	run("table3", func() error {
@@ -72,7 +86,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(report.Table3(a))
+		fmt.Fprintln(out, report.Table3(a))
 		return nil
 	})
 	run("table4", func() error {
@@ -80,7 +94,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(t)
+		fmt.Fprintln(out, t)
 		return nil
 	})
 	run("table5", func() error {
@@ -92,7 +106,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(t)
+		fmt.Fprintln(out, t)
 		return nil
 	})
 	run("table6", func() error {
@@ -100,7 +114,7 @@ func main() {
 		if err != nil {
 			return err
 		}
-		fmt.Println(t)
+		fmt.Fprintln(out, t)
 		return nil
 	})
 	run("figure6", func() error {
@@ -113,7 +127,7 @@ func main() {
 		for _, s := range series {
 			t.Add(s.Dataset, fmt.Sprintf("%.1f", s.Total), fmt.Sprintf("%.2f", mean(s.H[:16])), fmt.Sprintf("%.2f", mean(s.H[16:])))
 		}
-		fmt.Println(t)
+		fmt.Fprintln(out, t)
 		return nil
 	})
 	run("figure8", func() error {
@@ -126,7 +140,7 @@ func main() {
 		for _, s := range series {
 			t.Add(s.Dataset, fmt.Sprintf("%.1f", s.Total), fmt.Sprintf("%.2f", mean(s.ACR[8:16])), fmt.Sprintf("%.2f", mean(s.H[16:])))
 		}
-		fmt.Println(t)
+		fmt.Fprintln(out, t)
 		return nil
 	})
 	run("baselines", func() error {
@@ -139,7 +153,7 @@ func main() {
 		for _, r := range rows {
 			t.Add(r.Generator, r.Overall, report.Percent(r.SuccessRate), r.NewPrefixes)
 		}
-		fmt.Println(t)
+		fmt.Fprintln(out, t)
 		return nil
 	})
 }

@@ -34,7 +34,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -60,6 +62,7 @@ func main() {
 		maxBodyMB    = flag.Int("max-body-mb", 64, "request body limit in MiB")
 		maxGenerate  = flag.Int("max-generate", serve.DefaultMaxGenerateCount, "largest count one generate request may ask for")
 		drainWait    = flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060); empty disables profiling")
 		version      = flag.Bool("version", false, "print the version and exit")
 
 		// Online ingest + drift + refresh.
@@ -131,6 +134,31 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Profiling is opt-in and deliberately a SEPARATE listener from the
+	// API: pprof must never ride the public address, and a loopback bind
+	// keeps heap/CPU profiles reachable only from the box — enforced, not
+	// just documented: a non-loopback -pprof host is a startup error. The
+	// default mux is avoided so importing net/http/pprof cannot leak
+	// handlers into the API server either.
+	if *pprofAddr != "" {
+		if err := requireLoopback(*pprofAddr); err != nil {
+			log.Fatalf("eipserved: -pprof %s: %v", *pprofAddr, err)
+		}
+		go func() {
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			log.Printf("eipserved: pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			srv := &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("eipserved: pprof server: %v", err)
+			}
+		}()
+	}
+
 	if *ingestFile != "" {
 		go tailIntoModel(ctx, reg, handler.Refresher(), *ingestFile, *ingestModel, ingest.TailConfig{
 			Poll:      *ingestPoll,
@@ -162,6 +190,25 @@ func main() {
 		st := reg.Stats()
 		fmt.Fprintf(os.Stderr, "eipserved: served %d cache hits / %d misses; bye\n", st.Hits, st.Misses)
 	}
+}
+
+// requireLoopback rejects a listen address whose host is not a loopback
+// IP or "localhost": the pprof listener serves heap contents and accepts
+// CPU-profile work from anyone who can connect, so it must never bind a
+// public interface.
+func requireLoopback(addr string) error {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("invalid listen address: %v", err)
+	}
+	if host == "localhost" {
+		return nil
+	}
+	ip := net.ParseIP(host)
+	if ip == nil || !ip.IsLoopback() {
+		return fmt.Errorf("host %q is not a loopback address (use 127.0.0.1:PORT or [::1]:PORT)", host)
+	}
+	return nil
 }
 
 // tailIntoModel follows an address file and feeds the parsed addresses

@@ -135,10 +135,13 @@ func generateCandidates(model *core.Model, n int, seed int64, workers int, evide
 	w := bufio.NewWriter(out)
 	opts := core.GenerateOptions{Count: n, Seed: seed, Workers: workers, Evidence: evidence}
 	count := 0
+	line := make([]byte, 0, 64)
 	err := model.GenerateStream(opts, func(a ip6.Addr) bool {
-		fmt.Fprintln(w, a)
+		line = a.AppendString(line[:0])
+		line = append(line, '\n')
+		_, werr := w.Write(line)
 		count++
-		return true
+		return werr == nil
 	})
 	// Flush even on a mid-stream error so the output file is not left
 	// truncated mid-line.
@@ -169,21 +172,25 @@ func runDrift(modelPath, name string, addrs []ip6.Addr, gate float64, quiet bool
 		fatal(err)
 	}
 	if !quiet {
-		fmt.Printf("Drift of %s (%d addresses) against %s (trained on %d):\n\n",
+		w := bufio.NewWriter(os.Stdout)
+		fmt.Fprintf(w, "Drift of %s (%d addresses) against %s (trained on %d):\n\n",
 			name, rep.Window, modelPath, model.TrainCount)
-		fmt.Printf("  %-8s %-12s %8s %8s %10s %8s\n", "segment", "nybbles", "codeJS", "codeKL", "nybbleJS", "clamped")
+		fmt.Fprintf(w, "  %-8s %-12s %8s %8s %10s %8s\n", "segment", "nybbles", "codeJS", "codeKL", "nybbleJS", "clamped")
 		for _, s := range rep.Segments {
 			nyb := "n/a"
 			if s.HasNybble {
 				nyb = fmt.Sprintf("%.3f", s.NybbleJS)
 			}
-			fmt.Printf("  %-8s %3d..%-8d %8.3f %8.3f %10s %7.1f%%\n",
+			fmt.Fprintf(w, "  %-8s %3d..%-8d %8.3f %8.3f %10s %7.1f%%\n",
 				s.Label, s.Start, s.Start+s.Width, s.CodeJS, s.CodeKL, nyb, 100*s.Clamped)
 		}
-		fmt.Println()
-		fmt.Printf("  score (max segment divergence): %.3f\n", rep.Score)
-		fmt.Printf("  mean code JS:                   %.3f\n", rep.MeanCodeJS)
-		fmt.Printf("  mean log-likelihood per addr:   %.2f nats\n", rep.MeanLogLikelihood)
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "  score (max segment divergence): %.3f\n", rep.Score)
+		fmt.Fprintf(w, "  mean code JS:                   %.3f\n", rep.MeanCodeJS)
+		fmt.Fprintf(w, "  mean log-likelihood per addr:   %.2f nats\n", rep.MeanLogLikelihood)
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
 	}
 	if rep.Score >= gate {
 		fmt.Printf("DRIFTED: score %.3f >= %.3f — the model is stale for this input\n", rep.Score, gate)
@@ -225,35 +232,44 @@ func parseEvidence(s string) (core.Evidence, error) {
 	return ev, nil
 }
 
+// printReport renders the terminal report through one buffered writer —
+// the report is dozens of lines, and unbuffered per-line Printf costs one
+// syscall each — with an explicit final flush whose error is checked (a
+// full pipe or closed stdout must not pass silently).
 func printReport(name string, model *core.Model, evidence core.Evidence) {
-	fmt.Printf("Entropy/IP analysis of %s (%d training addresses)\n", name, model.TrainCount)
-	fmt.Printf("total entropy H_S = %.1f\n\n", model.TotalEntropy())
+	w := bufio.NewWriter(os.Stdout)
+	fmt.Fprintf(w, "Entropy/IP analysis of %s (%d training addresses)\n", name, model.TrainCount)
+	fmt.Fprintf(w, "total entropy H_S = %.1f\n\n", model.TotalEntropy())
 	segments := make([]string, 32)
 	for _, sm := range model.Segments {
 		if sm.Seg.Start < len(segments) {
 			segments[sm.Seg.Start] = sm.Seg.Label
 		}
 	}
-	fmt.Println(viz.ASCIIEntropy(model.Profile.H[:], model.ACR.ACR[:], segments))
-	fmt.Println("Segmentation:", model.Segmentation.String())
-	fmt.Println()
+	fmt.Fprintln(w, viz.ASCIIEntropy(model.Profile.H[:], model.ACR.ACR[:], segments))
+	fmt.Fprintln(w, "Segmentation:", model.Segmentation.String())
+	fmt.Fprintln(w)
 	a := &report.Analysis{Dataset: name, Model: model}
-	fmt.Println(report.Table3(a).String())
-	fmt.Println("Bayesian network dependencies (by mutual information):")
+	fmt.Fprintln(w, report.Table3(a).String())
+	fmt.Fprintln(w, "Bayesian network dependencies (by mutual information):")
 	for _, d := range model.Dependencies() {
-		fmt.Printf("  %s -> %s  (MI %.2f bits)\n", d.Parent, d.Child, d.MI)
+		fmt.Fprintf(w, "  %s -> %s  (MI %.2f bits)\n", d.Parent, d.Child, d.MI)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	dists, err := model.Browse(evidence)
 	if err != nil {
+		_ = w.Flush()
 		fatal(err)
 	}
 	if len(evidence) > 0 {
-		fmt.Printf("Conditional probability browser (evidence: %v):\n", evidence)
+		fmt.Fprintf(w, "Conditional probability browser (evidence: %v):\n", evidence)
 	} else {
-		fmt.Println("Conditional probability browser (no evidence):")
+		fmt.Fprintln(w, "Conditional probability browser (no evidence):")
 	}
-	fmt.Println(viz.ASCIIBrowser(dists))
+	fmt.Fprintln(w, viz.ASCIIBrowser(dists))
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
 }
 
 func writeFile(path string, write func(*os.File) error) error {

@@ -71,6 +71,20 @@ type Dataset = dataset.Dataset
 // fixed-width 32-hex-character form.
 func ParseAddr(s string) (Addr, error) { return ip6.ParseAddr(s) }
 
+// ParseAddrBytes is ParseAddr over a byte slice, for line-oriented
+// readers that should not convert each line to a string; it does not
+// allocate and does not retain b. Addr's append-style formatters
+// (AppendString, AppendHex, AppendExpanded) are the matching output
+// primitives.
+func ParseAddrBytes(b []byte) (Addr, error) { return ip6.ParseAddrBytes(b) }
+
+// ParseDatasetLine parses one line of an address file (whitespace,
+// '#' comments and /len prefix notation handled) from a byte slice
+// without allocating; ok is false for blank and comment lines.
+func ParseDatasetLine(line []byte) (a Addr, ok bool, err error) {
+	return dataset.ParseLineBytes(line)
+}
+
 // MustParseAddr is like ParseAddr but panics on error.
 func MustParseAddr(s string) Addr { return ip6.MustParseAddr(s) }
 

@@ -38,6 +38,42 @@ func benchmarkBuild(b *testing.B, n, workers int) {
 func BenchmarkBuild10k(b *testing.B)  { benchmarkBuild(b, 10_000, 0) }
 func BenchmarkBuild100k(b *testing.B) { benchmarkBuild(b, 100_000, 0) }
 
+// BenchmarkEncode100k is the CI-gated encode hot loop: 100k addresses per
+// op through the compiled flat-table encoder into a reused vector — the
+// path ingest drift scoring and likelihood evaluation run per observation
+// window. Steady state must be 0 allocs/op (gated strictly by
+// scripts/check_bench.sh); the ≥2x claim over the uncompiled scan is
+// measured against BenchmarkEncodeReference100k.
+func BenchmarkEncode100k(b *testing.B) {
+	addrs := benchBuildAddrs(b, 100_000)
+	m := benchGenerateModel(b)
+	c := m.Encoder().Compiled()
+	vec := make([]int, len(m.Segments))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range addrs {
+			c.EncodeInto(vec, a)
+		}
+	}
+}
+
+// BenchmarkEncodeReference100k is the uncompiled per-element scan
+// (mining.Encoder.Encode) over the same 100k addresses — the informational
+// baseline BenchmarkEncode100k's speedup is quoted against in DESIGN.md.
+func BenchmarkEncodeReference100k(b *testing.B) {
+	addrs := benchBuildAddrs(b, 100_000)
+	m := benchGenerateModel(b)
+	enc := m.Encoder()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range addrs {
+			enc.Encode(a)
+		}
+	}
+}
+
 // benchGenerateModel trains the model the generation benchmarks draw
 // from: the S1 population at 10k addresses, enough support to emit 100k
 // unique candidates.

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"entropyip/internal/ip6"
+	"entropyip/internal/synth"
+)
+
+// refEncodeWindow is the pre-compiled-encoder EncodeWindow, kept verbatim
+// as the reference: the rewiring onto mining.CompiledEncoder must produce
+// bit-identical vectors, counts AND likelihood terms (the acceptance
+// criterion that drift scores and shadow evaluations cannot move).
+func refEncodeWindow(m *Model, addrs []ip6.Addr) *WindowEncoding {
+	w := &WindowEncoding{
+		Vecs:       make([][]int, 0, len(addrs)),
+		CodeCounts: make([][]int, len(m.Segments)),
+		Clamped:    make([]int, len(m.Segments)),
+	}
+	for i, sm := range m.Segments {
+		w.CodeCounts[i] = make([]int, sm.Arity())
+	}
+	for _, a := range addrs {
+		vec := make([]int, len(m.Segments))
+		for i, sm := range m.Segments {
+			value := sm.Seg.Value(a)
+			idx, ok := sm.Encode(value)
+			if ok {
+				w.WithinLogDensity -= math.Log(float64(sm.Values[idx].Width()))
+			} else {
+				w.Clamped[i]++
+				w.WithinLogDensity += outOfSupportLogProb(sm.Seg.Width)
+				if idx, ok = sm.EncodeNearest(value); !ok {
+					idx = 0
+				}
+			}
+			vec[i] = idx
+			w.CodeCounts[i][idx]++
+		}
+		w.Vecs = append(w.Vecs, vec)
+	}
+	return w
+}
+
+func TestEncodeWindowMatchesReference(t *testing.T) {
+	addrs, err := synth.Generate("S1", 4000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Build(addrs[:1000], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window: in-distribution addresses plus out-of-support ones (random
+	// and shifted), so both the covered and the clamped paths execute.
+	window := append([]ip6.Addr{}, addrs[1000:3000]...)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		var a ip6.Addr
+		rng.Read(a[:])
+		window = append(window, a)
+	}
+
+	got := m.EncodeWindow(window)
+	want := refEncodeWindow(m, window)
+
+	if len(got.Vecs) != len(want.Vecs) {
+		t.Fatalf("Vecs len %d != %d", len(got.Vecs), len(want.Vecs))
+	}
+	for i := range want.Vecs {
+		for k := range want.Vecs[i] {
+			if got.Vecs[i][k] != want.Vecs[i][k] {
+				t.Fatalf("Vecs[%d][%d] = %d, reference %d", i, k, got.Vecs[i][k], want.Vecs[i][k])
+			}
+		}
+	}
+	for i := range want.CodeCounts {
+		if got.Clamped[i] != want.Clamped[i] {
+			t.Fatalf("Clamped[%d] = %d, reference %d", i, got.Clamped[i], want.Clamped[i])
+		}
+		for k := range want.CodeCounts[i] {
+			if got.CodeCounts[i][k] != want.CodeCounts[i][k] {
+				t.Fatalf("CodeCounts[%d][%d] = %d, reference %d", i, k, got.CodeCounts[i][k], want.CodeCounts[i][k])
+			}
+		}
+	}
+	// Bit-identical, not approximately equal: the same math.Log inputs
+	// accumulate in the same order.
+	if got.WithinLogDensity != want.WithinLogDensity {
+		t.Fatalf("WithinLogDensity = %v, reference %v", got.WithinLogDensity, want.WithinLogDensity)
+	}
+	if gll, wll := got.LogLikelihood(m), want.LogLikelihood(m); gll != wll {
+		t.Fatalf("LogLikelihood = %v, reference %v", gll, wll)
+	}
+}

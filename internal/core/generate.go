@@ -599,34 +599,45 @@ type WindowEncoding struct {
 }
 
 // EncodeWindow encodes a window of addresses once, collecting everything
-// drift scoring and AddressLogLikelihood need.
+// drift scoring and AddressLogLikelihood need. It runs on the compiled
+// flat-table encoder — drift scoring calls this per evaluation on the
+// ingest request path, so the per-address cost is a handful of table
+// lookups into two flat allocations, not a re-scan of every segment's
+// mined ranges (the answers are identical; see mining.CompiledEncoder).
 func (m *Model) EncodeWindow(addrs []ip6.Addr) *WindowEncoding {
+	c := m.Encoder().Compiled()
+	cols := len(m.Segments)
 	w := &WindowEncoding{
-		Vecs:       make([][]int, 0, len(addrs)),
-		CodeCounts: make([][]int, len(m.Segments)),
-		Clamped:    make([]int, len(m.Segments)),
+		Vecs:       make([][]int, len(addrs)),
+		CodeCounts: make([][]int, cols),
+		Clamped:    make([]int, cols),
 	}
 	for i, sm := range m.Segments {
 		w.CodeCounts[i] = make([]int, sm.Arity())
 	}
-	for _, a := range addrs {
-		vec := make([]int, len(m.Segments))
+	outOfSupport := make([]float64, cols)
+	for i, sm := range m.Segments {
+		outOfSupport[i] = outOfSupportLogProb(sm.Seg.Width)
+	}
+	flat := make([]int, len(addrs)*cols)
+	for ai, a := range addrs {
+		vec := flat[ai*cols : (ai+1)*cols : (ai+1)*cols]
+		n := a.Nybbles()
 		for i, sm := range m.Segments {
-			value := sm.Seg.Value(a)
-			idx, ok := sm.Encode(value)
-			if ok {
-				w.WithinLogDensity -= math.Log(float64(sm.Values[idx].Width()))
+			idx, covered := c.EncodeValue(i, n.Field(sm.Seg.Start, sm.Seg.Width))
+			if covered {
+				w.WithinLogDensity -= c.LogWidth(i, idx)
 			} else {
 				w.Clamped[i]++
-				w.WithinLogDensity += outOfSupportLogProb(sm.Seg.Width)
-				if idx, ok = sm.EncodeNearest(value); !ok {
+				w.WithinLogDensity += outOfSupport[i]
+				if idx < 0 {
 					idx = 0 // unreachable: mined segments have arity >= 1
 				}
 			}
 			vec[i] = idx
 			w.CodeCounts[i][idx]++
 		}
-		w.Vecs = append(w.Vecs, vec)
+		w.Vecs[ai] = vec
 	}
 	return w
 }

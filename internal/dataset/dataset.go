@@ -7,10 +7,10 @@ package dataset
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"os"
-	"strings"
 	"sync"
 
 	"entropyip/internal/ip6"
@@ -89,12 +89,21 @@ func Read(name string, r io.Reader) (*Dataset, error) {
 // workers busy on medium files.
 const readChunkLines = 4096
 
+// MaxLineBytes bounds the length of one input line everywhere NDJSON and
+// dataset text flows into the system (dataset.Read, ingest.TailFile, the
+// /observe handler): longer lines are an input error, never an unbounded
+// buffer. It matches the historical bufio.Scanner cap.
+const MaxLineBytes = 1 << 20
+
 // readChunk is a batch of raw input lines starting at 1-based line number
-// firstLine.
+// firstLine. The lines live concatenated in one chunk-owned buffer (line i
+// is data[offs[i]:offs[i+1]]), so handing a chunk to a worker costs one
+// buffer, not one string per line.
 type readChunk struct {
 	seq       int
 	firstLine int
-	lines     []string
+	data      []byte
+	offs      []int
 }
 
 // readResult is the parse of one chunk: its addresses in input order, or
@@ -136,9 +145,9 @@ func ReadWorkers(name string, r io.Reader, workers int) (*Dataset, error) {
 		go func() {
 			defer wg.Done()
 			for c := range chunks {
-				res := readResult{addrs: make([]ip6.Addr, 0, len(c.lines))}
-				for i, raw := range c.lines {
-					a, ok, err := ParseLine(raw)
+				res := readResult{addrs: make([]ip6.Addr, 0, len(c.offs)-1)}
+				for i := 0; i+1 < len(c.offs); i++ {
+					a, ok, err := ParseLineBytes(c.data[c.offs[i]:c.offs[i+1]])
 					if err != nil {
 						res.err = err
 						res.errLine = c.firstLine + i
@@ -154,31 +163,37 @@ func ReadWorkers(name string, r io.Reader, workers int) (*Dataset, error) {
 	}
 
 	// Scan lines into chunks on this goroutine while the workers decode.
-	// Chunks are produced in line order, so once any chunk has failed,
-	// every unproduced line is beyond the failure and scanning may stop:
-	// the earliest error among the produced chunks is exactly the error a
-	// sequential parse would have hit first.
+	// The scanner's token buffer is reused per line, so each line is
+	// copied once into the chunk's own buffer — one allocation per chunk
+	// instead of one string per line. Chunks are produced in line order,
+	// so once any chunk has failed, every unproduced line is beyond the
+	// failure and scanning may stop: the earliest error among the
+	// produced chunks is exactly the error a sequential parse would have
+	// hit first.
 	scanner := bufio.NewScanner(r)
-	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	scanner.Buffer(make([]byte, 0, 64*1024), MaxLineBytes)
 	var (
-		buf       = make([]string, 0, readChunkLines)
+		data      = make([]byte, 0, 64*1024)
+		offs      = make([]int, 1, readChunkLines+1)
 		seq       = 0
 		lineNo    = 0
 		chunkFrom = 1
 	)
 	flush := func() {
-		if len(buf) == 0 {
+		if len(offs) <= 1 {
 			return
 		}
-		chunks <- readChunk{seq: seq, firstLine: chunkFrom, lines: buf}
+		chunks <- readChunk{seq: seq, firstLine: chunkFrom, data: data, offs: offs}
 		seq++
-		buf = make([]string, 0, readChunkLines)
+		data = make([]byte, 0, cap(data))
+		offs = make([]int, 1, readChunkLines+1)
 		chunkFrom = lineNo + 1
 	}
 	for scanner.Scan() {
 		lineNo++
-		buf = append(buf, scanner.Text())
-		if len(buf) >= readChunkLines {
+		data = append(data, scanner.Bytes()...)
+		offs = append(offs, len(data))
+		if len(offs) > readChunkLines {
 			flush()
 			mu.Lock()
 			stop := failed
@@ -208,39 +223,50 @@ func ReadWorkers(name string, r io.Reader, workers int) (*Dataset, error) {
 	return New(name, addrs), nil
 }
 
-// ParseLine normalizes and parses one line of an address file: whitespace
-// is trimmed, trailing comments and /len prefix notation are dropped, and
-// the remainder is parsed with ip6.ParseAddr. ok is false for blank and
-// comment ('#') lines. It is the single line-format definition shared by
-// Read and by streaming ingest (tail mode).
+// ParseLine normalizes and parses one line of an address file; see
+// ParseLineBytes, which it wraps. Callers scanning byte-oriented input
+// should use ParseLineBytes directly and skip the string conversion.
 func ParseLine(raw string) (a ip6.Addr, ok bool, err error) {
-	line := strings.TrimSpace(raw)
-	if line == "" || strings.HasPrefix(line, "#") {
+	return ParseLineBytes([]byte(raw))
+}
+
+// ParseLineBytes normalizes and parses one line of an address file:
+// whitespace is trimmed, trailing comments and /len prefix notation are
+// dropped, and the remainder is parsed with ip6.ParseAddrBytes. ok is
+// false for blank and comment ('#') lines. It is the single line-format
+// definition shared by Read, streaming ingest (tail mode) and the
+// /observe handler; it does not allocate and does not retain raw, so
+// bufio.Scanner/Reader slices can be passed straight in.
+func ParseLineBytes(raw []byte) (a ip6.Addr, ok bool, err error) {
+	line := bytes.TrimSpace(raw)
+	if len(line) == 0 || line[0] == '#' {
 		return ip6.Addr{}, false, nil
 	}
 	// Allow trailing comments and prefix notation (the /len is ignored).
-	if i := strings.IndexAny(line, " \t"); i >= 0 {
+	if i := bytes.IndexAny(line, " \t"); i >= 0 {
 		line = line[:i]
 	}
-	if i := strings.IndexByte(line, '/'); i >= 0 {
+	if i := bytes.IndexByte(line, '/'); i >= 0 {
 		line = line[:i]
 	}
-	a, err = ip6.ParseAddr(line)
+	a, err = ip6.ParseAddrBytes(line)
 	if err != nil {
 		return ip6.Addr{}, false, err
 	}
 	return a, true, nil
 }
 
-// readSequential is the single-goroutine parse path.
+// readSequential is the single-goroutine parse path. It parses the
+// scanner's reused token buffer in place, so steady state allocates only
+// for the collected addresses.
 func readSequential(name string, r io.Reader) (*Dataset, error) {
 	scanner := bufio.NewScanner(r)
-	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	scanner.Buffer(make([]byte, 0, 64*1024), MaxLineBytes)
 	var addrs []ip6.Addr
 	lineNo := 0
 	for scanner.Scan() {
 		lineNo++
-		a, ok, err := ParseLine(scanner.Text())
+		a, ok, err := ParseLineBytes(scanner.Bytes())
 		if err != nil {
 			return nil, fmt.Errorf("dataset %s: line %d: %w", name, lineNo, err)
 		}
@@ -261,11 +287,11 @@ func (d *Dataset) Write(w io.Writer) error {
 	if _, err := fmt.Fprintf(bw, "# dataset %s: %d unique IPv6 addresses\n", d.Name, len(d.Addrs)); err != nil {
 		return err
 	}
+	line := make([]byte, 0, 64)
 	for _, a := range d.Addrs {
-		if _, err := bw.WriteString(a.String()); err != nil {
-			return err
-		}
-		if err := bw.WriteByte('\n'); err != nil {
+		line = a.AppendString(line[:0])
+		line = append(line, '\n')
+		if _, err := bw.Write(line); err != nil {
 			return err
 		}
 	}

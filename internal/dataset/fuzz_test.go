@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"entropyip/internal/ip6"
+)
+
+// FuzzParseLineBytes pins three identities on the line parser: the byte
+// and string entry points agree exactly; every parsed address survives a
+// format→parse round trip through the append APIs; and net/netip agrees
+// on the colon-form tokens. The seeds under
+// testdata/fuzz/FuzzParseLineBytes run on every plain `go test`; CI adds
+// a short coverage-guided run.
+func FuzzParseLineBytes(f *testing.F) {
+	for _, seed := range []string{
+		"", "# comment", "   ", "2001:db8::1", "  2001:db8::1  ",
+		"2001:db8::1 # trailing comment", "2001:db8::/32", "2001:db8::1/128",
+		"20010db8000000000000000000000001", "::ffff:192.0.2.1",
+		"2001:db8::1\ttab comment", "not-an-address", "/64", "#",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		a, ok, err := ParseLineBytes(raw)
+		sa, sok, serr := ParseLine(string(raw))
+		if a != sa || ok != sok || (err == nil) != (serr == nil) {
+			t.Fatalf("ParseLineBytes(%q) = (%v, %v, %v) but ParseLine = (%v, %v, %v)",
+				raw, a, ok, err, sa, sok, serr)
+		}
+		if err != nil && serr != nil && err.Error() != serr.Error() {
+			t.Fatalf("ParseLineBytes(%q) error %q but ParseLine error %q", raw, err, serr)
+		}
+		if (err != nil) && ok {
+			t.Fatalf("ParseLineBytes(%q) reported ok alongside error %v", raw, err)
+		}
+		if !ok {
+			return
+		}
+		// Round trip: the canonical append form must parse back to the
+		// same address, both as a bare line and with decorations the line
+		// format strips.
+		line := a.AppendString(make([]byte, 0, 64))
+		got, gok, gerr := ParseLineBytes(line)
+		if gerr != nil || !gok || got != a {
+			t.Fatalf("round trip of %q via %q = (%v, %v, %v)", raw, line, got, gok, gerr)
+		}
+		decorated := append([]byte("  "), line...)
+		decorated = append(decorated, []byte("/64 # seen live")...)
+		got, gok, gerr = ParseLineBytes(decorated)
+		if gerr != nil || !gok || got != a {
+			t.Fatalf("decorated round trip of %q via %q = (%v, %v, %v)", raw, decorated, got, gok, gerr)
+		}
+		// netip as the oracle for colon-form tokens (the fixed-width
+		// 32-hex dataset form is this repository's own).
+		token := string(raw)
+		token = strings.TrimSpace(token)
+		if i := strings.IndexAny(token, " \t"); i >= 0 {
+			token = token[:i]
+		}
+		if i := strings.IndexByte(token, '/'); i >= 0 {
+			token = token[:i]
+		}
+		if strings.IndexByte(token, ':') >= 0 {
+			na, nerr := netip.ParseAddr(token)
+			if nerr != nil {
+				t.Fatalf("ParseLineBytes(%q) accepted %q but netip rejects it: %v", raw, token, nerr)
+			}
+			if na.As16() != a.Bytes() {
+				t.Fatalf("ParseLineBytes(%q) = %x, netip parses %x", raw, a.Bytes(), na.As16())
+			}
+		}
+	})
+}
+
+// TestParseLineBytesZeroAlloc pins the ingest hot path's allocation
+// contract: parsing a well-formed line from a reused buffer is
+// allocation-free.
+func TestParseLineBytesZeroAlloc(t *testing.T) {
+	lines := [][]byte{
+		[]byte("2001:db8::1"),
+		[]byte("  2001:db8:0:1:1:1:1:1   # comment"),
+		[]byte("20010db8000000000000000000000001"),
+		[]byte("fe80::ff:fe00:1/64"),
+		[]byte("# comment"),
+		[]byte(""),
+	}
+	i := 0
+	if n := testing.AllocsPerRun(200, func() {
+		if _, _, err := ParseLineBytes(lines[i%len(lines)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}); n != 0 {
+		t.Fatalf("ParseLineBytes allocates %.1f times per line, want 0", n)
+	}
+}
+
+// TestParseLineBytesMatchesOldSemantics spot-checks the exact cases the
+// old string implementation defined (trim, comments, prefix notation,
+// tabs) so the byte rewrite cannot drift.
+func TestParseLineBytesMatchesOldSemantics(t *testing.T) {
+	want := ip6.MustParseAddr("2001:db8::1")
+	cases := []struct {
+		in  string
+		ok  bool
+		err bool
+	}{
+		{"2001:db8::1", true, false},
+		{"\t 2001:db8::1 \r", true, false},
+		{"2001:db8::1 trailing junk ignored", true, false},
+		{"2001:db8::1/48", true, false},
+		{"2001:db8::1\t# tab comment", true, false},
+		{"", false, false},
+		{"   ", false, false},
+		{"# 2001:db8::1", false, false},
+		{"nonsense", false, true},
+		{"2001:db8::1garbage", false, true},
+	}
+	for _, c := range cases {
+		a, ok, err := ParseLineBytes([]byte(c.in))
+		if ok != c.ok || (err != nil) != c.err {
+			t.Fatalf("ParseLineBytes(%q) = (%v, %v, %v)", c.in, a, ok, err)
+		}
+		if ok && a != want {
+			t.Fatalf("ParseLineBytes(%q) = %v, want %v", c.in, a, want)
+		}
+	}
+}

@@ -69,8 +69,13 @@ func TailFile(ctx context.Context, path string, cfg TailConfig, emit func([]ip6.
 	}
 
 	// partial accumulates bytes of a line whose terminating newline has
-	// not been written yet; lineNo counts completed lines for OnError.
+	// not been written yet, capped at dataset.MaxLineBytes — a writer that
+	// never emits a newline must not grow the tail's memory without bound
+	// (oversized marks the line poisoned: it is reported once and its
+	// remaining bytes discarded until the next newline). lineNo counts
+	// completed lines for OnError.
 	var partial []byte
+	oversized := false
 	lineNo := 0
 	ticker := time.NewTicker(cfg.poll())
 	defer ticker.Stop()
@@ -86,7 +91,7 @@ func TailFile(ctx context.Context, path string, cfg TailConfig, emit func([]ip6.
 			if offset, err = f.Seek(0, io.SeekEnd); err != nil {
 				return fmt.Errorf("ingest: %w", err)
 			}
-			partial = partial[:0]
+			partial, oversized = partial[:0], false
 		} else if st.Size() > offset {
 			if _, err := f.Seek(offset, io.SeekStart); err != nil {
 				return fmt.Errorf("ingest: %w", err)
@@ -94,13 +99,21 @@ func TailFile(ctx context.Context, path string, cfg TailConfig, emit func([]ip6.
 			r := bufio.NewReader(io.LimitReader(f, st.Size()-offset))
 			batch := make([]ip6.Addr, 0, tailBatchSize)
 			for {
-				chunk, err := r.ReadBytes('\n')
+				// ReadSlice hands out the reader's own buffer (valid until
+				// the next read), so a complete line that was not split
+				// across reads parses with zero copies; ErrBufferFull and
+				// EOF leave a fragment that accumulates in partial.
+				chunk, err := r.ReadSlice('\n')
 				if len(chunk) > 0 && chunk[len(chunk)-1] == '\n' {
 					lineNo++
-					line := string(append(partial, chunk[:len(chunk)-1]...))
-					partial = partial[:0]
-					a, ok, perr := dataset.ParseLine(line)
-					switch {
+					line := chunk[:len(chunk)-1]
+					if len(partial) > 0 {
+						partial = append(partial, line...)
+						line = partial
+					}
+					switch a, ok, perr := dataset.ParseLineBytes(line); {
+					case oversized:
+						oversized = false // tail of a poisoned line: already reported
 					case perr != nil:
 						if cfg.OnError != nil {
 							cfg.OnError(lineNo, perr)
@@ -112,10 +125,18 @@ func TailFile(ctx context.Context, path string, cfg TailConfig, emit func([]ip6.
 							batch = make([]ip6.Addr, 0, tailBatchSize)
 						}
 					}
-				} else {
+					partial = partial[:0]
+				} else if !oversized {
 					partial = append(partial, chunk...)
+					if len(partial) > dataset.MaxLineBytes {
+						oversized = true
+						partial = partial[:0]
+						if cfg.OnError != nil {
+							cfg.OnError(lineNo+1, fmt.Errorf("ingest: line exceeds %d bytes, discarded", dataset.MaxLineBytes))
+						}
+					}
 				}
-				if err != nil {
+				if err != nil && err != bufio.ErrBufferFull {
 					break // io.EOF: consumed everything available
 				}
 			}

@@ -13,6 +13,7 @@ package ip6
 import (
 	"errors"
 	"fmt"
+	"strconv"
 )
 
 // NybbleCount is the number of hexadecimal characters (4-bit nybbles) in a
@@ -121,14 +122,21 @@ func (n Nybbles) Addr() Addr {
 	return a
 }
 
+// Append appends the nybbles as 32 lowercase hexadecimal characters to
+// dst and returns the extended slice. It never allocates when dst has
+// NybbleCount bytes of spare capacity.
+func (n Nybbles) Append(dst []byte) []byte {
+	for _, v := range n {
+		dst = append(dst, hexDigit(v&0x0f))
+	}
+	return dst
+}
+
 // String returns the nybbles as a 32-character lowercase hexadecimal
 // string, e.g. "20010db8000000000000000000000001".
 func (n Nybbles) String() string {
 	var b [NybbleCount]byte
-	for i, v := range n {
-		b[i] = hexDigit(v & 0x0f)
-	}
-	return string(b[:])
+	return string(n.Append(b[:0]))
 }
 
 // Field extracts nybbles [start, start+width) as an unsigned integer, most
@@ -188,19 +196,44 @@ func (a Addr) Compare(b Addr) int {
 // Less reports whether a sorts strictly before b.
 func (a Addr) Less(b Addr) bool { return a.Compare(b) < 0 }
 
+// AppendHex appends the fixed-width 32-character hexadecimal form of the
+// address (no colons) to dst and returns the extended slice. It never
+// allocates when dst has NybbleCount bytes of spare capacity.
+func (a Addr) AppendHex(dst []byte) []byte {
+	for i := 0; i < 16; i++ {
+		dst = append(dst, hexDigit(a[i]>>4), hexDigit(a[i]&0x0f))
+	}
+	return dst
+}
+
 // Hex returns the fixed-width 32-character hexadecimal form of the address
 // (no colons), as used by the paper's Fig. 3.
 func (a Addr) Hex() string {
-	return a.Nybbles().String()
+	var b [NybbleCount]byte
+	return string(a.AppendHex(b[:0]))
 }
 
-// String returns the canonical RFC 5952 textual representation of the
-// address (lowercase, zero compression of the longest run of zero groups,
-// no leading zeros within groups).
-func (a Addr) String() string {
+// maxStringLen is the longest textual form AppendString can produce: the
+// RFC 5952 mixed notation "::ffff:255.255.255.255" is 22 bytes, the pure
+// hexadecimal worst case 39; 48 leaves slack for a ":" plus prefix length.
+const maxStringLen = 48
+
+// AppendString appends the canonical RFC 5952 textual representation of
+// the address to dst and returns the extended slice. It never allocates
+// when dst has maxStringLen bytes of spare capacity; this is the
+// formatting primitive every bulk output path (NDJSON streaming, CLI
+// candidate files) is built on.
+func (a Addr) AppendString(dst []byte) []byte {
 	// RFC 5952 §5: IPv4-mapped addresses use mixed notation.
 	if a.Is4In6() {
-		return fmt.Sprintf("::ffff:%d.%d.%d.%d", a[12], a[13], a[14], a[15])
+		dst = append(dst, "::ffff:"...)
+		for i := 12; i < 16; i++ {
+			if i > 12 {
+				dst = append(dst, '.')
+			}
+			dst = strconv.AppendUint(dst, uint64(a[i]), 10)
+		}
+		return dst
 	}
 	var groups [8]uint16
 	for i := 0; i < 8; i++ {
@@ -223,46 +256,59 @@ func (a Addr) String() string {
 			runStart, runLen = -1, 0
 		}
 	}
-	buf := make([]byte, 0, 41)
+	start := len(dst)
 	for i := 0; i < 8; i++ {
 		if bestStart >= 0 && i == bestStart {
-			buf = append(buf, ':', ':')
+			dst = append(dst, ':', ':')
 			i += bestLen - 1
 			continue
 		}
-		if len(buf) > 0 && buf[len(buf)-1] != ':' {
-			buf = append(buf, ':')
+		if len(dst) > start && dst[len(dst)-1] != ':' {
+			dst = append(dst, ':')
 		}
-		buf = appendHexGroup(buf, groups[i])
+		dst = appendHexGroup(dst, groups[i])
 	}
-	if len(buf) == 0 {
-		return "::"
+	return dst
+}
+
+// String returns the canonical RFC 5952 textual representation of the
+// address (lowercase, zero compression of the longest run of zero groups,
+// no leading zeros within groups).
+func (a Addr) String() string {
+	var b [maxStringLen]byte
+	return string(a.AppendString(b[:0]))
+}
+
+// AppendExpanded appends the fully expanded, colon-separated form of the
+// address to dst and returns the extended slice. It never allocates when
+// dst has 39 bytes of spare capacity.
+func (a Addr) AppendExpanded(dst []byte) []byte {
+	for i := 0; i < 8; i++ {
+		if i > 0 {
+			dst = append(dst, ':')
+		}
+		dst = append(dst, hexDigit(a[2*i]>>4), hexDigit(a[2*i]&0x0f),
+			hexDigit(a[2*i+1]>>4), hexDigit(a[2*i+1]&0x0f))
 	}
-	return string(buf)
+	return dst
 }
 
 // Expanded returns the fully expanded, colon-separated form of the address,
 // e.g. "2001:0db8:0000:0000:0000:0000:0000:0001".
 func (a Addr) Expanded() string {
-	buf := make([]byte, 0, 39)
-	for i := 0; i < 8; i++ {
-		if i > 0 {
-			buf = append(buf, ':')
-		}
-		g := uint16(a[2*i])<<8 | uint16(a[2*i+1])
-		buf = append(buf, hexDigit(byte(g>>12)), hexDigit(byte(g>>8&0xf)),
-			hexDigit(byte(g>>4&0xf)), hexDigit(byte(g&0xf)))
-	}
-	return string(buf)
+	var b [39]byte
+	return string(a.AppendExpanded(b[:0]))
 }
 
 // MarshalText implements encoding.TextMarshaler using the canonical form.
-func (a Addr) MarshalText() ([]byte, error) { return []byte(a.String()), nil }
+func (a Addr) MarshalText() ([]byte, error) {
+	return a.AppendString(make([]byte, 0, maxStringLen)), nil
+}
 
 // UnmarshalText implements encoding.TextUnmarshaler; it accepts any form
 // accepted by ParseAddr.
 func (a *Addr) UnmarshalText(text []byte) error {
-	p, err := ParseAddr(string(text))
+	p, err := ParseAddrBytes(text)
 	if err != nil {
 		return err
 	}

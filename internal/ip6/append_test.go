@@ -1,0 +1,250 @@
+package ip6
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+// The pre-append-API formatting paths, kept verbatim as references: the
+// append rewrites must be byte-identical drop-ins, and these pins make a
+// formatting regression a test failure instead of a silent output change.
+
+// refString is the old Addr.String: fmt.Sprintf on the 4-in-6 path and a
+// freshly allocated buffer otherwise.
+func refString(a Addr) string {
+	if a.Is4In6() {
+		return fmt.Sprintf("::ffff:%d.%d.%d.%d", a[12], a[13], a[14], a[15])
+	}
+	var groups [8]uint16
+	for i := 0; i < 8; i++ {
+		groups[i] = uint16(a[2*i])<<8 | uint16(a[2*i+1])
+	}
+	bestStart, bestLen := -1, 1
+	runStart, runLen := -1, 0
+	for i := 0; i < 8; i++ {
+		if groups[i] == 0 {
+			if runStart < 0 {
+				runStart, runLen = i, 1
+			} else {
+				runLen++
+			}
+			if runLen > bestLen {
+				bestStart, bestLen = runStart, runLen
+			}
+		} else {
+			runStart, runLen = -1, 0
+		}
+	}
+	buf := make([]byte, 0, 41)
+	for i := 0; i < 8; i++ {
+		if bestStart >= 0 && i == bestStart {
+			buf = append(buf, ':', ':')
+			i += bestLen - 1
+			continue
+		}
+		if len(buf) > 0 && buf[len(buf)-1] != ':' {
+			buf = append(buf, ':')
+		}
+		buf = appendHexGroup(buf, groups[i])
+	}
+	if len(buf) == 0 {
+		return "::"
+	}
+	return string(buf)
+}
+
+// refExpanded is the old Addr.Expanded.
+func refExpanded(a Addr) string {
+	buf := make([]byte, 0, 39)
+	for i := 0; i < 8; i++ {
+		if i > 0 {
+			buf = append(buf, ':')
+		}
+		g := uint16(a[2*i])<<8 | uint16(a[2*i+1])
+		buf = append(buf, hexDigit(byte(g>>12)), hexDigit(byte(g>>8&0xf)),
+			hexDigit(byte(g>>4&0xf)), hexDigit(byte(g&0xf)))
+	}
+	return string(buf)
+}
+
+// refNybblesString is the old byte-at-a-time Nybbles.String.
+func refNybblesString(n Nybbles) string {
+	var b [NybbleCount]byte
+	for i, v := range n {
+		b[i] = hexDigit(v & 0x0f)
+	}
+	return string(b[:])
+}
+
+// appendTestAddrs covers the formatting edge cases: full zero compression,
+// leading/trailing runs, tied runs, single zero groups (no "::"), 4-in-6
+// mixed notation at every octet-length boundary, and dense addresses.
+func appendTestAddrs(t testing.TB) []Addr {
+	t.Helper()
+	addrs := []Addr{
+		{}, // ::
+		MustParseAddr("::1"),
+		MustParseAddr("1::"),
+		MustParseAddr("2001:db8::1"),
+		MustParseAddr("2001:db8:0:1:1:1:1:1"), // single zero group: no "::"
+		MustParseAddr("2001:0:0:1:0:0:0:1"),   // tie broken toward the first longer run
+		MustParseAddr("1:0:0:2:0:0:0:3"),
+		MustParseAddr("fe80::ff:fe00:1"),
+		MustParseAddr("1:2:3:4:5:6:7:8"),
+		MustParseAddr("ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff"),
+		MustParseAddr("::ffff:0.0.0.0"),
+		MustParseAddr("::ffff:9.9.9.9"),
+		MustParseAddr("::ffff:10.0.0.1"),
+		MustParseAddr("::ffff:99.100.101.200"),
+		MustParseAddr("::ffff:255.255.255.255"),
+		MustParseAddr("::fffe:255.255.255.255"), // NOT 4-in-6: hex form
+		MustParseAddr("64:ff9b::192.0.2.33"),    // NAT64: hex form, not ::ffff
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		var a Addr
+		rng.Read(a[:])
+		// Sprinkle zero bytes so compression runs appear.
+		for j := 0; j < 16; j += 2 {
+			if rng.Intn(2) == 0 {
+				a[j], a[j+1] = 0, 0
+			}
+		}
+		addrs = append(addrs, a)
+		if i%3 == 0 {
+			addrs = append(addrs, Addr{10: 0xff, 11: 0xff, 12: a[12], 13: a[13], 14: a[14], 15: a[15]})
+		}
+	}
+	return addrs
+}
+
+func TestAppendAPIsMatchOldFormatting(t *testing.T) {
+	buf := make([]byte, 0, 64)
+	for _, a := range appendTestAddrs(t) {
+		if got, want := a.String(), refString(a); got != want {
+			t.Fatalf("String(%v bytes %x) = %q, old path %q", a, a.Bytes(), got, want)
+		}
+		if got := string(a.AppendString(buf[:0])); got != a.String() {
+			t.Fatalf("AppendString = %q, String = %q", got, a.String())
+		}
+		if got, want := a.Expanded(), refExpanded(a); got != want {
+			t.Fatalf("Expanded(%x) = %q, old path %q", a.Bytes(), got, want)
+		}
+		if got := string(a.AppendExpanded(buf[:0])); got != a.Expanded() {
+			t.Fatalf("AppendExpanded = %q, Expanded = %q", got, a.Expanded())
+		}
+		n := a.Nybbles()
+		if got, want := n.String(), refNybblesString(n); got != want {
+			t.Fatalf("Nybbles.String(%x) = %q, old path %q", a.Bytes(), got, want)
+		}
+		if got := string(a.AppendHex(buf[:0])); got != a.Hex() || got != n.String() {
+			t.Fatalf("AppendHex = %q, Hex = %q, Nybbles = %q", got, a.Hex(), n.String())
+		}
+	}
+}
+
+func TestAppendStringMatchesNetip(t *testing.T) {
+	for _, a := range appendTestAddrs(t) {
+		want := netip.AddrFrom16(a.Bytes()).String()
+		if got := a.String(); got != want {
+			t.Fatalf("String(%x) = %q, netip says %q", a.Bytes(), got, want)
+		}
+	}
+}
+
+// TestAppendPreservesPrefix pins the non-empty-dst contract: appending
+// after existing bytes must neither clobber them nor mis-detect the
+// "first group" state from leftover content.
+func TestAppendPreservesPrefix(t *testing.T) {
+	for _, a := range appendTestAddrs(t) {
+		for _, prefix := range []string{"", "x", `{"addr":"`, "1:2:"} {
+			got := string(a.AppendString([]byte(prefix)))
+			if want := prefix + a.String(); got != want {
+				t.Fatalf("AppendString onto %q = %q, want %q", prefix, got, want)
+			}
+		}
+	}
+}
+
+func TestAppendZeroAllocs(t *testing.T) {
+	addrs := appendTestAddrs(t)
+	buf := make([]byte, 0, maxStringLen)
+	i := 0
+	if n := testing.AllocsPerRun(200, func() {
+		a := addrs[i%len(addrs)]
+		i++
+		buf = a.AppendString(buf[:0])
+		buf = a.AppendHex(buf[:0])
+		buf = a.AppendExpanded(buf[:0])
+	}); n != 0 {
+		t.Fatalf("append formatting allocates %.1f times per address, want 0", n)
+	}
+	line := make([]byte, 0, 64)
+	if n := testing.AllocsPerRun(200, func() {
+		a := addrs[i%len(addrs)]
+		i++
+		line = a.AppendString(line[:0])
+		if _, err := ParseAddrBytes(line); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("format+parse round trip allocates %.1f times per address, want 0", n)
+	}
+}
+
+func TestParseAddrBytesMatchesParseAddr(t *testing.T) {
+	inputs := []string{
+		"::", "::1", "2001:db8::1", "1:2:3:4:5:6:7:8",
+		"20010db8000000000000000000000001",
+		"::ffff:192.0.2.1", "64:ff9b::192.0.2.33",
+		"2001:DB8::A", // uppercase
+		// Malformed: the two entry points must agree on errors too.
+		"", ":", ":::", "1:2:3", "1:2:3:4:5:6:7:8:9", "1::2::3",
+		"12345::", "g::", "1:2:", ":1:2:3:4:5:6:7:8",
+		"::ffff:1.2.3", "::ffff:1.2.3.4.5", "::ffff:256.1.1.1",
+		"::ffff:01.2.3.4", "::ffff:1.2.3.", "::ffff:.1.2.3",
+		"1.2.3.4", "2001:db8::1%eth0",
+		"20010db800000000000000000000000", // 31 hex chars
+		"zz010db8000000000000000000000001",
+	}
+	for _, a := range appendTestAddrs(t) {
+		inputs = append(inputs, a.String(), a.Hex(), a.Expanded())
+	}
+	for _, in := range inputs {
+		sa, serr := ParseAddr(in)
+		ba, berr := ParseAddrBytes([]byte(in))
+		if sa != ba {
+			t.Fatalf("ParseAddr(%q) = %v, ParseAddrBytes = %v", in, sa, ba)
+		}
+		switch {
+		case (serr == nil) != (berr == nil):
+			t.Fatalf("ParseAddr(%q) err %v, ParseAddrBytes err %v", in, serr, berr)
+		case serr != nil && serr.Error() != berr.Error():
+			t.Fatalf("ParseAddr(%q) err %q, ParseAddrBytes err %q", in, serr, berr)
+		}
+	}
+}
+
+// BenchmarkParseFormat is the CI-gated hot-loop benchmark of the serving
+// plane's per-address text work: canonical-format an address into a
+// reused buffer and parse it back from the byte slice. Steady state must
+// be 0 allocs/op (gated by scripts/check_bench.sh).
+func BenchmarkParseFormat(b *testing.B) {
+	addrs := appendTestAddrs(b)
+	buf := make([]byte, 0, maxStringLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := addrs[i%len(addrs)]
+		buf = a.AppendString(buf[:0])
+		got, err := ParseAddrBytes(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got != a {
+			b.Fatalf("round trip %v != %v", got, a)
+		}
+	}
+}

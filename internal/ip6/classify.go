@@ -218,7 +218,7 @@ func AnonymizeSet(addrs []Addr) []Addr {
 func FormatFixedWidth(addrs []Addr) string {
 	buf := make([]byte, 0, len(addrs)*(NybbleCount+1))
 	for _, a := range addrs {
-		buf = append(buf, a.Hex()...)
+		buf = a.AppendHex(buf)
 		buf = append(buf, '\n')
 	}
 	return string(buf)

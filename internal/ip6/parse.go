@@ -1,60 +1,76 @@
 package ip6
 
-import (
-	"fmt"
-	"strings"
-)
+import "fmt"
 
 // ParseAddr parses an IPv6 address in any of the textual forms of RFC 4291
 // §2.2: fully expanded groups, zero-compressed ("::"), and forms with an
 // embedded dotted-quad IPv4 address in the low 32 bits. It also accepts the
 // fixed-width 32-character hexadecimal form (no colons) used by the paper.
 func ParseAddr(s string) (Addr, error) {
+	return parseAddr(s)
+}
+
+// ParseAddrBytes is ParseAddr over a byte slice. It never converts the
+// input to a string on the success path (errors quote the input and may
+// copy it), so line-oriented readers can parse bufio slices directly. The
+// input is not retained.
+func ParseAddrBytes(b []byte) (Addr, error) {
+	return parseAddr(b)
+}
+
+// parseAddr is the parser shared by ParseAddr and ParseAddrBytes: one
+// implementation, generic over the input's byte representation, so the
+// string and byte-slice entry points cannot drift apart and neither pays a
+// conversion copy.
+func parseAddr[T ~string | ~[]byte](s T) (Addr, error) {
 	var a Addr
-	if s == "" {
+	if len(s) == 0 {
 		return a, fmt.Errorf("ip6: empty address")
 	}
 	// Fixed-width hex form, e.g. "20010db8000000000000000000000001".
-	if !strings.ContainsAny(s, ":.") {
-		return ParseHex(s)
+	if indexByte(s, ':') < 0 && indexByte(s, '.') < 0 {
+		return parseHex(s)
 	}
 	orig := s
 
 	// Leading "::".
-	var groups []uint16
+	// groups is backed by a fixed stack array so the hot parse path does
+	// not allocate: at most 8 groups parse before the too-many check
+	// fires at 9, and the embedded-IPv4 tail adds two more at most.
+	var groupsArr [10]uint16
+	groups := groupsArr[:0]
 	compressAt := -1 // index in groups where "::" appeared
-	if strings.HasPrefix(s, "::") {
+	if len(s) >= 2 && s[0] == ':' && s[1] == ':' {
 		compressAt = 0
 		s = s[2:]
-		if s == "" {
+		if len(s) == 0 {
 			return a, nil // "::"
 		}
-	} else if strings.HasPrefix(s, ":") {
+	} else if s[0] == ':' {
 		return a, fmt.Errorf("ip6: %q: address cannot start with a single colon", orig)
 	}
 
-	for s != "" {
+	for len(s) != 0 {
 		// Embedded IPv4 must be the final piece.
-		if i := strings.IndexByte(s, ':'); i < 0 && strings.Contains(s, ".") {
+		if i := indexByte(s, ':'); i < 0 && indexByte(s, '.') >= 0 {
 			v4, err := parseIPv4(s)
 			if err != nil {
 				return a, fmt.Errorf("ip6: %q: %v", orig, err)
 			}
 			groups = append(groups, uint16(v4>>16), uint16(v4&0xffff))
-			s = ""
 			break
 		}
-		var piece string
-		if i := strings.IndexByte(s, ':'); i >= 0 {
+		var piece T
+		if i := indexByte(s, ':'); i >= 0 {
 			piece, s = s[:i], s[i+1:]
-			if s == "" && piece != "" {
+			if len(s) == 0 && len(piece) != 0 {
 				// trailing single colon, e.g. "1:2:"
 				return a, fmt.Errorf("ip6: %q: trailing colon", orig)
 			}
 		} else {
-			piece, s = s, ""
+			piece, s = s, s[len(s):]
 		}
-		if piece == "" {
+		if len(piece) == 0 {
 			// "::" in the middle (or at the end).
 			if compressAt >= 0 {
 				return a, fmt.Errorf("ip6: %q: multiple \"::\"", orig)
@@ -88,11 +104,11 @@ func ParseAddr(s string) (Addr, error) {
 		return a, fmt.Errorf("ip6: %q: \"::\" must compress at least one group", orig)
 	}
 
-	out := make([]uint16, 8)
+	var out [8]uint16
 	if compressAt < 0 {
-		copy(out, groups)
+		copy(out[:], groups)
 	} else {
-		copy(out, groups[:compressAt])
+		copy(out[:], groups[:compressAt])
 		tail := groups[compressAt:]
 		copy(out[8-len(tail):], tail)
 	}
@@ -101,6 +117,17 @@ func ParseAddr(s string) (Addr, error) {
 		a[2*i+1] = byte(g)
 	}
 	return a, nil
+}
+
+// indexByte is bytes.IndexByte/strings.IndexByte over the parser's generic
+// input. Addresses are at most ~45 bytes, so a plain scan is fine.
+func indexByte[T ~string | ~[]byte](s T, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
 }
 
 // MustParseAddr is like ParseAddr but panics on error. It is intended for
@@ -117,6 +144,11 @@ func MustParseAddr(s string) Addr {
 // address (no colons), as used in the paper's Fig. 3 and by the dataset
 // files in this repository. Shorter strings are rejected.
 func ParseHex(s string) (Addr, error) {
+	return parseHex(s)
+}
+
+// parseHex is ParseHex over the generic input representation.
+func parseHex[T ~string | ~[]byte](s T) (Addr, error) {
 	var a Addr
 	if len(s) != NybbleCount {
 		return a, fmt.Errorf("ip6: fixed-width form must have %d hex characters, got %d", NybbleCount, len(s))
@@ -142,31 +174,45 @@ func MustParseHex(s string) Addr {
 }
 
 // parseIPv4 parses a dotted-quad IPv4 address into a uint32.
-func parseIPv4(s string) (uint32, error) {
-	parts := strings.Split(s, ".")
-	if len(parts) != 4 {
-		return 0, fmt.Errorf("embedded IPv4 %q: expected 4 octets", s)
-	}
+func parseIPv4[T ~string | ~[]byte](s T) (uint32, error) {
 	var v uint32
-	for _, p := range parts {
-		if p == "" || len(p) > 3 {
-			return 0, fmt.Errorf("embedded IPv4 %q: bad octet %q", s, p)
+	octets := 0
+	for len(s) > 0 {
+		var p T
+		if i := indexByte(s, '.'); i >= 0 {
+			p, s = s[:i], s[i+1:]
+			if len(s) == 0 {
+				// trailing dot, e.g. "1.2.3.4."
+				return 0, fmt.Errorf("embedded IPv4: expected 4 octets")
+			}
+		} else {
+			p, s = s, s[len(s):]
+		}
+		octets++
+		if octets > 4 {
+			return 0, fmt.Errorf("embedded IPv4: expected 4 octets")
+		}
+		if len(p) == 0 || len(p) > 3 {
+			return 0, fmt.Errorf("embedded IPv4: bad octet %q", p)
 		}
 		var o uint32
 		for i := 0; i < len(p); i++ {
 			c := p[i]
 			if c < '0' || c > '9' {
-				return 0, fmt.Errorf("embedded IPv4 %q: bad octet %q", s, p)
+				return 0, fmt.Errorf("embedded IPv4: bad octet %q", p)
 			}
 			o = o*10 + uint32(c-'0')
 		}
 		if o > 255 {
-			return 0, fmt.Errorf("embedded IPv4 %q: octet %q out of range", s, p)
+			return 0, fmt.Errorf("embedded IPv4: octet %q out of range", p)
 		}
 		if len(p) > 1 && p[0] == '0' {
-			return 0, fmt.Errorf("embedded IPv4 %q: octet %q has leading zero", s, p)
+			return 0, fmt.Errorf("embedded IPv4: octet %q has leading zero", p)
 		}
 		v = v<<8 | o
+	}
+	if octets != 4 {
+		return 0, fmt.Errorf("embedded IPv4: expected 4 octets")
 	}
 	return v, nil
 }

@@ -55,9 +55,19 @@ func (p Prefix) Addr() Addr { return p.addr }
 // Bits returns the prefix length in bits.
 func (p Prefix) Bits() int { return p.bits }
 
+// AppendString appends the canonical "addr/len" notation of the prefix to
+// dst and returns the extended slice. It never allocates when dst has
+// maxStringLen bytes of spare capacity.
+func (p Prefix) AppendString(dst []byte) []byte {
+	dst = p.addr.AppendString(dst)
+	dst = append(dst, '/')
+	return strconv.AppendInt(dst, int64(p.bits), 10)
+}
+
 // String returns the prefix in canonical "addr/len" notation.
 func (p Prefix) String() string {
-	return p.addr.String() + "/" + strconv.Itoa(p.bits)
+	var b [maxStringLen]byte
+	return string(p.AppendString(b[:0]))
 }
 
 // Contains reports whether the prefix contains the given address.

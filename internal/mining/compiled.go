@@ -1,0 +1,236 @@
+package mining
+
+import (
+	"math"
+	"sort"
+
+	"entropyip/internal/ip6"
+)
+
+// CompiledEncoder is the flat-table form of Encoder: the serving-plane
+// analogue of bayes.Sampler. Encoder.Encode resolves a segment value by
+// linearly scanning the mined elements and, for values outside every
+// element, re-scanning for the numerically nearest one — fine per query,
+// but the encode path runs per address on ingest, drift scoring and
+// likelihood evaluation. Compile resolves every possible outcome once:
+// each segment's value axis is cut into elementary intervals on which the
+// scan's answer is constant (element bounds plus the switch points of the
+// nearest-element fallback), so one encode is a table lookup (narrow
+// segments) or a short binary search (wide ones), with no fallback path
+// and no per-address allocation.
+//
+// The compiled tables answer exactly what Encode/EncodeNearest answer —
+// TestCompiledEncoderMatchesReference pins the equivalence exhaustively on
+// narrow segments and adversarially on wide ones.
+type CompiledEncoder struct {
+	models []*SegmentModel
+	segs   []compiledSegment
+}
+
+// directMaxNybbles is the widest segment compiled to a direct value→code
+// table (16^3 = 4096 entries, 8 KiB as int16); wider segments use sorted
+// elementary intervals with a binary search.
+const directMaxNybbles = 3
+
+// compiledSegment is one segment's resolved lookup structure. Codes are
+// packed as idx<<1|1 for covered values and idx<<1 for clamped ones
+// (nearest-element fallback), so coverage travels with the lookup for
+// free; -1 marks a segment with no mined values at all.
+type compiledSegment struct {
+	start, width int
+	// direct[v] is the packed code of value v (narrow segments only).
+	direct []int16
+	// bounds[i] is the first value of elementary interval i; the interval
+	// ends where the next begins. bounds[0] is always 0 and the last
+	// interval runs to the segment's maximum value. Empty for direct and
+	// zero-arity segments.
+	bounds []uint64
+	codes  []int32
+	// logWidth[k] is log(Width) of element k — the within-range density
+	// term the likelihood path charges per covered value, precomputed so
+	// scoring does not re-take math.Log per address.
+	logWidth []float64
+}
+
+// packedCode builds the packed code for a segment value from the
+// reference scan: Encode's answer when covered, EncodeNearest's otherwise.
+func packedCode(m *SegmentModel, v uint64) int32 {
+	if idx, ok := m.Encode(v); ok {
+		return int32(idx)<<1 | 1
+	}
+	idx, ok := m.EncodeNearest(v)
+	if !ok {
+		return -1
+	}
+	return int32(idx) << 1
+}
+
+// Compile flattens the encoder's per-segment scans into lookup tables.
+// The result is immutable and safe for concurrent use.
+func (e *Encoder) Compile() *CompiledEncoder {
+	c := &CompiledEncoder{
+		models: e.Models,
+		segs:   make([]compiledSegment, len(e.Models)),
+	}
+	for i, m := range e.Models {
+		cs := compiledSegment{start: m.Seg.Start, width: m.Seg.Width}
+		cs.logWidth = make([]float64, len(m.Values))
+		for k, v := range m.Values {
+			cs.logWidth[k] = math.Log(float64(v.Width()))
+		}
+		if len(m.Values) > 0 {
+			if m.Seg.Width <= directMaxNybbles {
+				cs.direct = compileDirect(m)
+			} else {
+				cs.bounds, cs.codes = compileIntervals(m)
+			}
+		}
+		c.segs[i] = cs
+	}
+	return c
+}
+
+// compileDirect enumerates the whole (narrow) domain through the
+// reference scan.
+func compileDirect(m *SegmentModel) []int16 {
+	max := m.Seg.MaxValue()
+	direct := make([]int16, max+1)
+	for v := uint64(0); ; v++ {
+		direct[v] = int16(packedCode(m, v))
+		if v == max {
+			return direct
+		}
+	}
+}
+
+// compileIntervals cuts the segment's value axis into elementary
+// intervals on which the reference scan's answer is constant:
+//
+//  1. every element's Lo and Hi+1 is a cut — inside one piece, the set of
+//     containing elements (and hence Encode's first-match answer) cannot
+//     change;
+//  2. inside an uncovered piece, EncodeNearest's answer is monotone in
+//     the value (distance to the left neighbor grows while the right
+//     shrinks), so the one or two switch points are found by binary
+//     search WITH THE REFERENCE ITSELF as the oracle — the compiled table
+//     cannot disagree with the scan it replaces by construction.
+func compileIntervals(m *SegmentModel) (bounds []uint64, codes []int32) {
+	max := m.Seg.MaxValue()
+	cutSet := map[uint64]struct{}{0: {}}
+	for _, v := range m.Values {
+		cutSet[v.Lo] = struct{}{}
+		if v.Hi < max {
+			cutSet[v.Hi+1] = struct{}{}
+		}
+	}
+	cuts := make([]uint64, 0, len(cutSet))
+	for v := range cutSet {
+		cuts = append(cuts, v)
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+
+	for ci, lo := range cuts {
+		hi := max
+		if ci+1 < len(cuts) {
+			hi = cuts[ci+1] - 1
+		}
+		// Split the piece wherever the reference answer changes (at most
+		// twice per uncovered piece; never for covered ones).
+		for {
+			code := packedCode(m, lo)
+			bounds = append(bounds, lo)
+			codes = append(codes, code)
+			if packedCode(m, hi) == code {
+				break
+			}
+			// Largest value in [lo, hi] still answering `code`.
+			last := lo
+			for l, h := lo+1, hi; l <= h; {
+				mid := l + (h-l)/2
+				if packedCode(m, mid) == code {
+					last = mid
+					l = mid + 1
+				} else {
+					h = mid - 1
+				}
+			}
+			lo = last + 1
+		}
+	}
+	return bounds, codes
+}
+
+// lookup returns the packed code of one segment value.
+func (cs *compiledSegment) lookup(v uint64) int32 {
+	if cs.direct != nil {
+		return int32(cs.direct[v])
+	}
+	if cs.bounds == nil {
+		return -1 // no mined values
+	}
+	lo, hi := 0, len(cs.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cs.bounds[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return cs.codes[lo-1]
+}
+
+// NumSegments returns the number of segments the encoder covers.
+func (c *CompiledEncoder) NumSegments() int { return len(c.segs) }
+
+// Models returns the per-segment models the encoder was compiled from.
+func (c *CompiledEncoder) Models() []*SegmentModel { return c.models }
+
+// EncodeValue resolves one segment value: the element index and whether
+// the value was covered by a mined element (false means the nearest
+// element was substituted, Encoder.Encode's clamping). idx is -1 only for
+// a segment with no mined values.
+func (c *CompiledEncoder) EncodeValue(seg int, value uint64) (idx int, covered bool) {
+	p := c.segs[seg].lookup(value)
+	if p < 0 {
+		return -1, false
+	}
+	return int(p >> 1), p&1 == 1
+}
+
+// LogWidth returns log(Width) of element idx of segment seg — the
+// within-range density term of the likelihood path.
+func (c *CompiledEncoder) LogWidth(seg, idx int) float64 {
+	return c.segs[seg].logWidth[idx]
+}
+
+// EncodeInto encodes an address into the caller's vector (len must be
+// NumSegments) without allocating. exact reports whether every segment
+// value was covered by a mined element; clamped segments hold the nearest
+// element, as in Encoder.Encode. When any segment has no mined values at
+// all its slot is -1 and exact is false.
+func (c *CompiledEncoder) EncodeInto(dst []int, a ip6.Addr) (exact bool) {
+	n := a.Nybbles()
+	exact = true
+	for i := range c.segs {
+		cs := &c.segs[i]
+		p := cs.lookup(n.Field(cs.start, cs.width))
+		if p < 0 {
+			dst[i] = -1
+			exact = false
+			continue
+		}
+		dst[i] = int(p >> 1)
+		if p&1 == 0 {
+			exact = false
+		}
+	}
+	return exact
+}
+
+// Compiled returns the encoder's flat-table form, built once and cached;
+// it is safe for concurrent use, like Encoder itself.
+func (e *Encoder) Compiled() *CompiledEncoder {
+	e.compileOnce.Do(func() { e.compiled = e.Compile() })
+	return e.compiled
+}

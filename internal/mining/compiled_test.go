@@ -1,0 +1,211 @@
+package mining
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"entropyip/internal/ip6"
+	"entropyip/internal/segment"
+)
+
+// mkModel builds a SegmentModel with the given elements over a segment of
+// `width` nybbles starting at nybble 0, wiring codes/counts the way Mine
+// would.
+func mkModel(width int, values ...Value) *SegmentModel {
+	seg := segment.Segment{Label: "T", Start: 0, Width: width}
+	m := &SegmentModel{Seg: seg, Total: 1000}
+	for i, v := range values {
+		v.Code = fmt.Sprintf("T%d", i+1)
+		v.Count = 1
+		m.Values = append(m.Values, v)
+	}
+	return m
+}
+
+// compiledCases are adversarial value-set shapes: overlapping ranges,
+// exact values inside ranges, duplicate and touching bounds, gaps whose
+// nearest element switches mid-gap, ties broken by element order, the
+// full domain, and a degenerate empty set.
+func compiledCases(width int) []*SegmentModel {
+	max := segment.Segment{Width: width}.MaxValue()
+	return []*SegmentModel{
+		mkModel(width), // no values: always (-1, false)
+		mkModel(width, Value{Lo: 5, Hi: 5}),
+		mkModel(width, Value{Lo: 0, Hi: max}),
+		mkModel(width, Value{Lo: 10, Hi: 20}, Value{Lo: 15, Hi: 15}),         // exact inside range: range wins (first match)
+		mkModel(width, Value{Lo: 15, Hi: 15}, Value{Lo: 10, Hi: 20}),         // exact first: exact wins at 15
+		mkModel(width, Value{Lo: 10, Hi: 20}, Value{Lo: 18, Hi: 30}),         // overlap: earlier range wins
+		mkModel(width, Value{Lo: 3, Hi: 3}, Value{Lo: 9, Hi: 9}),             // gap 4..8: nearest switches at 6
+		mkModel(width, Value{Lo: 3, Hi: 3}, Value{Lo: 8, Hi: 8}),             // even gap: tie at 5..6? strict < keeps first
+		mkModel(width, Value{Lo: 0, Hi: 0}, Value{Lo: max, Hi: max}),         // extreme gap
+		mkModel(width, Value{Lo: 4, Hi: 7}, Value{Lo: 8, Hi: 11}),            // touching ranges, no gap
+		mkModel(width, Value{Lo: 2, Hi: 2}, Value{Lo: 2, Hi: 2}),             // duplicate exacts: first wins
+		mkModel(width, Value{Lo: 6, Hi: 9}, Value{Lo: 6, Hi: 9}),             // duplicate ranges
+		mkModel(width, Value{Lo: 1, Hi: 2}, Value{Lo: 5, Hi: 5}, Value{Lo: 9, Hi: max}),
+		mkModel(width, Value{Lo: max - 1, Hi: max}),
+		mkModel(width, Value{Lo: 0, Hi: 1}, Value{Lo: max - 1, Hi: max}, Value{Lo: max / 2, Hi: max/2 + 2}),
+	}
+}
+
+// refEncode is the uncompiled answer: Encode, else EncodeNearest.
+func refEncode(m *SegmentModel, v uint64) (int, bool) {
+	if idx, ok := m.Encode(v); ok {
+		return idx, true
+	}
+	idx, ok := m.EncodeNearest(v)
+	if !ok {
+		return -1, false
+	}
+	return idx, false
+}
+
+func checkSegment(t *testing.T, m *SegmentModel, probe func(check func(v uint64))) {
+	t.Helper()
+	enc := NewEncoder([]*SegmentModel{m})
+	c := enc.Compile()
+	probe(func(v uint64) {
+		wantIdx, wantCov := refEncode(m, v)
+		gotIdx, gotCov := c.EncodeValue(0, v)
+		if gotIdx != wantIdx || gotCov != wantCov {
+			t.Fatalf("model %+v: value %d: compiled (%d, %v), reference (%d, %v)",
+				m.Values, v, gotIdx, gotCov, wantIdx, wantCov)
+		}
+	})
+}
+
+// TestCompiledEncoderMatchesReferenceExhaustive checks the whole domain
+// of narrow segments through BOTH compiled paths: the direct table
+// (width <= directMaxNybbles) and the interval table, which is forced by
+// checking the same value sets on a wide segment at the same small
+// values.
+func TestCompiledEncoderMatchesReferenceExhaustive(t *testing.T) {
+	for _, m := range compiledCases(2) { // 256-value domain: exhaustive, direct path
+		checkSegment(t, m, func(check func(uint64)) {
+			for v := uint64(0); v <= m.Seg.MaxValue(); v++ {
+				check(v)
+			}
+		})
+	}
+}
+
+// TestCompiledEncoderMatchesReferenceIntervals drives the binary-search
+// path (width > directMaxNybbles) over every element bound ±2, gap
+// midpoints and random probes.
+func TestCompiledEncoderMatchesReferenceIntervals(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, width := range []int{4, 8, 16} {
+		max := segment.Segment{Width: width}.MaxValue()
+		for _, m := range compiledCases(width) {
+			checkSegment(t, m, func(check func(uint64)) {
+				probe := func(v uint64) {
+					check(v)
+					for d := uint64(1); d <= 2; d++ {
+						if v >= d {
+							check(v - d)
+						}
+						if max-v >= d {
+							check(v + d)
+						}
+					}
+				}
+				probe(0)
+				probe(max)
+				probe(max / 2)
+				for _, v := range m.Values {
+					probe(v.Lo)
+					probe(v.Hi)
+				}
+				// Gap midpoints between consecutive elements, where the
+				// nearest-element switch points live.
+				for _, a := range m.Values {
+					for _, b := range m.Values {
+						if a.Hi < b.Lo {
+							mid := a.Hi + (b.Lo-a.Hi)/2
+							probe(mid)
+						}
+					}
+				}
+				for i := 0; i < 200; i++ {
+					check(rng.Uint64() % (max/2*2 + 1))
+				}
+			})
+		}
+	}
+}
+
+// TestCompiledEncoderMatchesEncoderOnMinedModels runs real mined models
+// (the shapes Mine actually produces) through both implementations over
+// whole addresses, including EncodeAll's matrix.
+func TestCompiledEncoderMatchesEncoderOnMinedModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	addrs := make([]ip6.Addr, 4000)
+	for i := range addrs {
+		var a ip6.Addr
+		rng.Read(a[:])
+		// Skew: half the addresses share structure so mining finds values.
+		if i%2 == 0 {
+			a[0], a[1], a[2], a[3] = 0x20, 0x01, 0x0d, 0xb8
+			a[4] = byte(rng.Intn(4))
+		}
+		addrs[i] = a
+	}
+	sg := &segment.Segmentation{Segments: []segment.Segment{
+		{Label: "A", Start: 0, Width: 8},
+		{Label: "B", Start: 8, Width: 2},
+		{Label: "C", Start: 10, Width: 6},
+		{Label: "D", Start: 16, Width: 16},
+	}}
+	models := MineAll(addrs, sg, Config{})
+	enc := NewEncoder(models)
+	c := enc.Compiled()
+
+	vec := make([]int, len(models))
+	for _, a := range addrs[:1000] {
+		want, wantExact := enc.Encode(a)
+		gotExact := c.EncodeInto(vec, a)
+		if gotExact != wantExact {
+			t.Fatalf("EncodeInto(%v) exact = %v, reference %v", a, gotExact, wantExact)
+		}
+		for i := range vec {
+			if vec[i] != want[i] {
+				t.Fatalf("EncodeInto(%v)[%d] = %d, reference %d", a, i, vec[i], want[i])
+			}
+		}
+	}
+
+	// EncodeAll must produce the matrix the reference scan produced
+	// before the rewiring (regression pin for the byte-identity
+	// acceptance criterion: identical encodings -> identical CPT counts
+	// -> identical serialized models).
+	got := enc.EncodeAll(addrs)
+	for i, a := range addrs {
+		want, _ := enc.Encode(a)
+		for k := range want {
+			if got[i][k] != want[k] {
+				t.Fatalf("EncodeAll row %d col %d = %d, reference %d", i, k, got[i][k], want[k])
+			}
+		}
+	}
+}
+
+// TestEncodeIntoZeroAlloc pins the serving-plane contract: encoding into
+// a caller buffer does not allocate.
+func TestEncodeIntoZeroAlloc(t *testing.T) {
+	m := compiledCases(8)[12]
+	enc := NewEncoder([]*SegmentModel{m})
+	c := enc.Compiled()
+	vec := make([]int, 1)
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]ip6.Addr, 64)
+	for i := range addrs {
+		rng.Read(addrs[i][:])
+	}
+	i := 0
+	if n := testing.AllocsPerRun(200, func() {
+		c.EncodeInto(vec, addrs[i%len(addrs)])
+		i++
+	}); n != 0 {
+		t.Fatalf("EncodeInto allocates %.1f times per address, want 0", n)
+	}
+}

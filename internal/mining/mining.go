@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"entropyip/internal/dbscan"
 	"entropyip/internal/ip6"
@@ -595,9 +596,15 @@ func (m *SegmentModel) FormatValue(v Value) string {
 
 // Encoder encodes whole addresses into categorical vectors over the mined
 // codes of every segment, the representation used to train and query the
-// Bayesian network.
+// Bayesian network. Encode is the readable reference scan; the bulk and
+// serving paths run on the compiled flat-table form (Compiled), which
+// answers identically. An Encoder must not be copied after first use
+// (the compiled form is cached behind a sync.Once).
 type Encoder struct {
 	Models []*SegmentModel
+
+	compileOnce sync.Once
+	compiled    *CompiledEncoder
 }
 
 // NewEncoder returns an encoder over the given per-segment models.
@@ -615,6 +622,10 @@ func (e *Encoder) Arities() []int {
 // Encode maps an address to its categorical vector. Values not covered by
 // any mined element are clamped to the nearest element (EncodeNearest); the
 // second return is false if any segment had to clamp.
+//
+// This is the readable reference implementation — one allocation and two
+// scans per address. Bulk callers should use Compiled().EncodeInto (zero
+// allocation, flat lookup); EncodeAll already does.
 func (e *Encoder) Encode(a ip6.Addr) ([]int, bool) {
 	vec := make([]int, len(e.Models))
 	exact := true
@@ -642,14 +653,23 @@ func (e *Encoder) EncodeAll(addrs []ip6.Addr) [][]int {
 }
 
 // EncodeAllWorkers is EncodeAll with bounded concurrency (<= 0 selects
-// GOMAXPROCS). Rows are encoded shard by shard into their own indices, so
-// the matrix is identical for any worker count.
+// GOMAXPROCS). Rows run through the compiled flat tables shard by shard
+// into one flat backing array (two allocations total instead of one per
+// row), so the matrix is identical for any worker count.
+//
+// The matrix rows are only valid when every segment mined at least one
+// value (a zero-arity segment writes -1, as EncodeInto documents);
+// core.Build guarantees that for every trained model.
 func (e *Encoder) EncodeAllWorkers(addrs []ip6.Addr, workers int) [][]int {
+	c := e.Compiled()
+	cols := len(e.Models)
 	out := make([][]int, len(addrs))
+	flat := make([]int, len(addrs)*cols)
 	parallel.ForEachShard(workers, len(addrs), func(s parallel.Shard) {
 		for i := s.Start; i < s.End; i++ {
-			vec, _ := e.Encode(addrs[i])
-			out[i] = vec
+			row := flat[i*cols : (i+1)*cols : (i+1)*cols]
+			c.EncodeInto(row, addrs[i])
+			out[i] = row
 		}
 	})
 	return out

@@ -21,6 +21,7 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	crand "crypto/rand"
 	"encoding/binary"
@@ -31,7 +32,7 @@ import (
 	"log"
 	"net/http"
 	"strconv"
-	"strings"
+	"sync"
 	"time"
 
 	"entropyip/internal/buildinfo"
@@ -620,16 +621,22 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	// exactly by passing the header's value back as "seed".
 	w.Header().Set("X-Seed", strconv.FormatInt(seed, 10))
 	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
 	flusher, _ := w.(http.Flusher)
 	flushEvery := s.opts.flushEvery()
 
+	// Each line is formatted into one pooled buffer with append-style
+	// address formatting — no encoding/json, no per-line allocations —
+	// byte-identical to the old json.Encoder output (pinned by
+	// TestGenerateNDJSONMatchesEncodingJSON). The buffer returns to the
+	// pool when the handler exits.
+	lb := getLineBuf()
+	defer putLineBuf(lb)
 	lines := 0
-	emit := func(item GenerateItem) bool {
+	write := func() bool {
 		if ctx.Err() != nil {
 			return false // client went away: stop generating
 		}
-		if err := enc.Encode(item); err != nil {
+		if _, err := bw.Write(lb.b); err != nil {
 			return false
 		}
 		lines++
@@ -646,11 +653,17 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 
 	if req.Prefixes {
 		err = m.GeneratePrefixesStream(opts, func(p ip6.Prefix) bool {
-			return emit(GenerateItem{Prefix: p.String()})
+			lb.b = append(lb.b[:0], `{"prefix":"`...)
+			lb.b = p.AppendString(lb.b)
+			lb.b = append(lb.b, '"', '}', '\n')
+			return write()
 		})
 	} else {
 		err = m.GenerateStream(opts, func(a ip6.Addr) bool {
-			return emit(GenerateItem{Addr: a.String()})
+			lb.b = append(lb.b[:0], `{"addr":"`...)
+			lb.b = a.AppendString(lb.b)
+			lb.b = append(lb.b, '"', '}', '\n')
+			return write()
 		})
 	}
 	if err != nil {
@@ -663,7 +676,8 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		// emit an error trailer line the client can distinguish from a
 		// legitimately short stream, and log it server-side.
 		log.Printf("serve: generate %s v%d failed after %d lines: %v", info.Name, info.Version, lines, err)
-		_ = enc.Encode(GenerateItem{Error: err.Error()})
+		lb.b = appendErrorLine(lb.b[:0], err.Error())
+		_, _ = bw.Write(lb.b)
 	}
 	_ = bw.Flush()
 }
@@ -706,12 +720,28 @@ type ObserveResponse struct {
 // through bounded memory.
 const observeBatchSize = 4096
 
+// observeBatchPool reuses the fixed-size per-request parse batches of
+// /observe across requests: at traffic rate the handler is called
+// constantly, and a 64 KiB address batch per request is the kind of
+// steady-state garbage this PR removes. Ownership rule: the batch slice
+// never escapes the handler — Refresher.Observe (via Buffer.AddBatch)
+// copies what it keeps — so returning it to the pool on exit is safe.
+var observeBatchPool = sync.Pool{
+	New: func() interface{} {
+		b := make([]ip6.Addr, 0, observeBatchSize)
+		return &b
+	},
+}
+
 // handleObserve ingests observed addresses for a model. The body is
 // NDJSON: each line either an {"addr": "..."} object, a JSON string, or a
 // bare textual address (dataset file format) — so both API clients and
-// `curl --data-binary @addrs.txt` work. Lines are streamed into the
-// model's observation window in bounded batches; the response reports
-// accept/drop counts and the drift status after the batch.
+// `curl --data-binary @addrs.txt` work. Lines are scanned as byte slices
+// (bare dataset-format lines, the traffic fast path, parse without any
+// per-line allocation; only JSON-framed lines pay encoding/json) and
+// streamed into the model's observation window in bounded batches; the
+// response reports accept/drop counts and the drift status after the
+// batch.
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	// Existence up front: a typoed model name must 404 whatever the body
@@ -723,10 +753,15 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	body := http.MaxBytesReader(w, r.Body, s.opts.maxBodyBytes())
 	scanner := bufio.NewScanner(body)
-	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	scanner.Buffer(make([]byte, 0, 64*1024), dataset.MaxLineBytes)
 
 	var out ObserveResponse
-	batch := make([]ip6.Addr, 0, observeBatchSize)
+	batchp := observeBatchPool.Get().(*[]ip6.Addr)
+	batch := (*batchp)[:0]
+	defer func() {
+		*batchp = batch[:0]
+		observeBatchPool.Put(batchp)
+	}()
 	flush := func() bool {
 		if len(batch) == 0 {
 			return true
@@ -742,15 +777,15 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		return true
 	}
 	for scanner.Scan() {
-		line := strings.TrimSpace(scanner.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line := bytes.TrimSpace(scanner.Bytes())
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
 		var a ip6.Addr
 		switch line[0] {
 		case '{':
 			var ol observeLine
-			if err := json.Unmarshal([]byte(line), &ol); err != nil || ol.Addr == "" {
+			if err := json.Unmarshal(line, &ol); err != nil || ol.Addr == "" {
 				out.Invalid++
 				continue
 			}
@@ -762,7 +797,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 			a = addr
 		case '"':
 			var raw string
-			if err := json.Unmarshal([]byte(line), &raw); err != nil {
+			if err := json.Unmarshal(line, &raw); err != nil {
 				out.Invalid++
 				continue
 			}
@@ -776,7 +811,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 			// Bare lines take the dataset file format — the same parser
 			// -ingest-file uses — so trailing comments and /len prefix
 			// notation work identically over both feeds.
-			addr, ok, err := dataset.ParseLine(line)
+			addr, ok, err := dataset.ParseLineBytes(line)
 			if err != nil {
 				out.Invalid++
 				continue

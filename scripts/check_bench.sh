@@ -3,39 +3,43 @@
 #
 # Usage: check_bench.sh <baseline.txt> <new.txt>
 #
-# Both files are raw `go test -bench` output (ideally -count 3 of the
-# command in .github/workflows/ci.yml). The script prints a benchstat
-# comparison when benchstat is installed (informational), then compares
-# the mean ns/op of each NAMED hot benchmark and fails when any regresses
-# by more than 30% (override with BENCH_GATE_THRESHOLD, a ratio, e.g.
-# 1.30). Only the named benchmarks gate: worker-scaling sub-benchmarks and
-# exploratory benchmarks are reported but never fail the build.
+# Both files are raw `go test -bench -benchmem` output (ideally -count 3 of
+# the command in .github/workflows/ci.yml). The script prints a benchstat
+# comparison when benchstat is installed (informational), then gates on two
+# axes:
 #
-# Absolute ns/op is only comparable on matching hardware, so the gate
-# ARMS ONLY when the `cpu:` lines of baseline and new run agree. On a
-# mismatch (e.g. the committed baseline came from a developer machine, or
-# GitHub swapped runner hardware) the comparison is printed for
-# information and the script exits 0 with a reminder to refresh the
-# baseline from CI hardware. Set BENCH_GATE_REQUIRE_MATCH=1 to turn that
-# mismatch into a failure instead (to catch a baseline gone permanently
-# stale).
+#   ns/op   — the mean of each NAMED hot benchmark must not regress by
+#             more than 30% (override with BENCH_GATE_THRESHOLD, a ratio,
+#             e.g. 1.30). Absolute ns/op only compares on matching
+#             hardware, so this axis ARMS ONLY when the `cpu:` lines of
+#             baseline and new agree (see the limitation note below).
+#   allocs/op — hardware-independent, so this axis gates REGARDLESS of
+#             the cpu match. The ZERO_ALLOC benchmarks must report exactly
+#             0 allocs/op (these are the serving-plane hot paths whose
+#             zero-allocation contract this repo's tests pin; any value
+#             above 0 is a regression and fails even with no baseline).
+#             The remaining named benchmarks fail when mean allocs/op
+#             regresses by more than BENCH_GATE_ALLOC_THRESHOLD (default
+#             1.30) against a baseline that carries allocs data.
 #
-# KNOWN LIMITATION — the CPU-match requirement. The gate compares raw
-# ns/op, which is only meaningful when both runs came from the same CPU
-# model. The committed bench_baseline.txt was produced on developer
-# hardware, so on GitHub-hosted runners the `cpu:` lines differ and the
-# gate stays PERMANENTLY INFORMATIONAL until a baseline recorded on CI
-# hardware is committed. GitHub also rotates runner CPU models between
-# jobs (several Xeon/EPYC generations serve `ubuntu-latest`), so even a
-# CI-recorded baseline can disarm intermittently: the gate is best-effort
-# hardware-matched, not a guarantee. Each CI bench run uploads a
-# `bench-baseline` artifact containing a ready-to-commit
+# NEW benchmarks (present in this run, absent from the baseline) never
+# fail the ns/op gate; they are reported per name AND in a closing summary
+# line so a stale baseline is visible in the job log instead of silent.
+#
+# KNOWN LIMITATION — the CPU-match requirement (ns/op axis only). The gate
+# compares raw ns/op, which is only meaningful when both runs came from
+# the same CPU model. The committed bench_baseline.txt was produced on
+# developer hardware, so on GitHub-hosted runners the `cpu:` lines differ
+# and the ns/op gate stays PERMANENTLY INFORMATIONAL until a baseline
+# recorded on CI hardware is committed. GitHub also rotates runner CPU
+# models between jobs (several Xeon/EPYC generations serve
+# `ubuntu-latest`), so even a CI-recorded baseline can disarm
+# intermittently: the ns/op gate is best-effort hardware-matched, not a
+# guarantee. The allocs/op axis has no such limitation. Each CI bench run
+# uploads a `bench-baseline` artifact containing a ready-to-commit
 # bench_baseline.txt; see README "Refreshing the benchmark baseline" for
-# the exact arming steps.
-#
-# To refresh the committed baseline after an intentional change, download
-# the bench-baseline artifact from a CI run on main (so the numbers come
-# from CI hardware, not a laptop) and commit it as bench_baseline.txt.
+# the exact arming steps. Set BENCH_GATE_REQUIRE_MATCH=1 to turn a cpu
+# mismatch into a failure (to catch a baseline gone permanently stale).
 set -euo pipefail
 
 if [ $# -ne 2 ]; then
@@ -45,10 +49,17 @@ fi
 BASE="$1"
 NEW="$2"
 THRESHOLD="${BENCH_GATE_THRESHOLD:-1.30}"
+ALLOC_THRESHOLD="${BENCH_GATE_ALLOC_THRESHOLD:-1.30}"
 
 # The hot-path benchmarks the gate protects (top-level names only; the
 # regex below deliberately excludes /workers=... sub-benchmarks).
-BENCHES=(NewProfile10k NewProfile100k Learn10k Learn100k Build10k Build100k Generate10k Generate100k)
+BENCHES=(NewProfile10k NewProfile100k Learn10k Learn100k Build10k Build100k
+         Generate10k Generate100k Encode100k ParseFormat ObserveIngest
+         GenerateNDJSON)
+
+# Serving-plane paths with a zero-allocation contract: allocs/op must be
+# exactly 0, baseline or not.
+ZERO_ALLOC=(Encode100k ParseFormat ObserveIngest GenerateNDJSON)
 
 if command -v benchstat >/dev/null 2>&1; then
     echo "== benchstat baseline vs new (informational) =="
@@ -67,51 +78,119 @@ armed=1
 if [ -z "$base_cpu" ] || [ "$base_cpu" != "$new_cpu" ]; then
     armed=0
     echo "NOTE: baseline CPU (${base_cpu:-unknown}) != this run's CPU (${new_cpu:-unknown})."
-    echo "      Absolute ns/op is not comparable across hardware; reporting only,"
-    echo "      not gating. Refresh bench_baseline.txt from this environment's"
-    echo "      bench-results artifact to arm the gate."
+    echo "      Absolute ns/op is not comparable across hardware; the ns/op axis is"
+    echo "      reporting only, not gating (the allocs/op axis still gates). Refresh"
+    echo "      bench_baseline.txt from this environment's bench-results artifact to"
+    echo "      arm the ns/op gate."
     echo
 fi
 
-# mean FILE NAME -> mean ns/op over all -count runs, empty if absent.
+# mean FILE NAME UNIT -> mean value of the benchmark's UNIT column over
+# all -count runs, empty if absent. Scans value/unit pairs so extra
+# ReportMetric columns cannot shift the field positions.
 mean() {
-    awk -v name="$2" '
-        $1 ~ ("^Benchmark" name "(-[0-9]+)?$") && $4 == "ns/op" { sum += $3; n++ }
-        END { if (n) printf "%.0f", sum / n }
+    awk -v name="$2" -v unit="$3" '
+        $1 ~ ("^Benchmark" name "(-[0-9]+)?$") {
+            for (i = 2; i < NF; i++) {
+                if ($(i+1) == unit) { sum += $i; n++ }
+            }
+        }
+        END { if (n) printf "%.2f", sum / n }
     ' "$1"
 }
 
 fail=0
-echo "== bench gate: fail on mean ns/op regression > ${THRESHOLD}x =="
+new_names=()
+echo "== bench gate: ns/op mean regression > ${THRESHOLD}x fails (cpu-matched runs) =="
 for b in "${BENCHES[@]}"; do
-    base=$(mean "$BASE" "$b")
-    new=$(mean "$NEW" "$b")
-    if [ -z "$base" ]; then
-        # Not in the baseline yet (newly added benchmark): report only.
-        echo "NEW          $b (no baseline entry; commit a refreshed baseline)"
+    base=$(mean "$BASE" "$b" ns/op)
+    new=$(mean "$NEW" "$b" ns/op)
+    if [ -z "$new" ]; then
+        if [ -n "$base" ]; then
+            # Gated benchmark disappeared — that hides regressions; fail.
+            echo "MISSING      $b (present in baseline, absent from this run)"
+            fail=1
+        else
+            echo "ABSENT       $b (in neither file; is the bench command covering its package?)"
+            fail=1
+        fi
         continue
     fi
-    if [ -z "$new" ]; then
-        # Gated benchmark disappeared — that hides regressions; fail.
-        echo "MISSING      $b (present in baseline, absent from this run)"
-        fail=1
+    if [ -z "$base" ]; then
+        # Not in the baseline yet (newly added benchmark): report only.
+        echo "NEW          $b  ${new}ns/op (no baseline entry; informational)"
+        new_names+=("$b")
         continue
     fi
     ratio=$(awk -v a="$new" -v b="$base" 'BEGIN { printf "%.3f", a / b }')
     verdict=ok
     if awk -v r="$ratio" -v t="$THRESHOLD" 'BEGIN { exit !(r > t) }'; then
-        verdict=REGRESSION
-        fail=1
+        # Over the threshold: fail when armed; when the cpu mismatch
+        # disarmed the gate, still LABEL it honestly (hardware noise or
+        # real — a human should look) instead of printing "ok".
+        if [ "$armed" -eq 1 ]; then
+            verdict=REGRESSION
+            fail=1
+        else
+            verdict='regressed?'
+        fi
     fi
     printf '%-12s %-16s base=%sns/op new=%sns/op ratio=%s\n' "$verdict" "$b" "$base" "$new" "$ratio"
 done
 
+echo
+echo "== alloc gate: zero-alloc benches must stay at 0 allocs/op; others mean regression > ${ALLOC_THRESHOLD}x fails =="
+for b in "${BENCHES[@]}"; do
+    new_allocs=$(mean "$NEW" "$b" allocs/op)
+    if [ -z "$new_allocs" ]; then
+        continue # absence already handled (or -benchmem missing: nothing to gate)
+    fi
+    is_zero=0
+    for z in "${ZERO_ALLOC[@]}"; do
+        [ "$b" = "$z" ] && is_zero=1
+    done
+    if [ "$is_zero" -eq 1 ]; then
+        if awk -v a="$new_allocs" 'BEGIN { exit !(a > 0) }'; then
+            echo "ALLOC-REGRESSION $b  ${new_allocs} allocs/op (contract: exactly 0)"
+            fail=1
+        else
+            printf '%-12s %-16s 0 allocs/op (zero-alloc contract holds)\n' ok "$b"
+        fi
+        continue
+    fi
+    base_allocs=$(mean "$BASE" "$b" allocs/op)
+    if [ -z "$base_allocs" ]; then
+        continue # no alloc data in the baseline: informational only
+    fi
+    if awk -v b="$base_allocs" 'BEGIN { exit !(b == 0) }'; then
+        # Baseline at 0: any alloc is a regression (ratio is undefined).
+        if awk -v a="$new_allocs" 'BEGIN { exit !(a > 0) }'; then
+            echo "ALLOC-REGRESSION $b  base=0 new=${new_allocs} allocs/op"
+            fail=1
+        else
+            printf '%-12s %-16s base=0 new=0 allocs/op\n' ok "$b"
+        fi
+        continue
+    fi
+    ratio=$(awk -v a="$new_allocs" -v b="$base_allocs" 'BEGIN { printf "%.3f", a / b }')
+    verdict=ok
+    if awk -v r="$ratio" -v t="$ALLOC_THRESHOLD" 'BEGIN { exit !(r > t) }'; then
+        verdict=ALLOC-REGRESSION
+        fail=1
+    fi
+    printf '%-12s %-16s base=%s new=%s allocs/op ratio=%s\n' "$verdict" "$b" "$base_allocs" "$new_allocs" "$ratio"
+done
+
+echo
+if [ "${#new_names[@]}" -gt 0 ]; then
+    echo "SUMMARY: ${#new_names[@]} benchmark(s) have no baseline entry and ran informationally: ${new_names[*]}"
+    echo "         Commit a refreshed bench_baseline.txt (bench-baseline CI artifact) to gate them."
+fi
 if [ "$armed" -eq 0 ]; then
     if [ "${BENCH_GATE_REQUIRE_MATCH:-0}" = "1" ]; then
         echo "CPU mismatch with BENCH_GATE_REQUIRE_MATCH=1: the baseline is stale; failing."
         exit 1
     fi
-    echo "gate disarmed (CPU mismatch): exit 0."
-    exit 0
+    echo "ns/op gate disarmed (CPU mismatch); allocs/op gate verdict stands: exit $fail."
 fi
 exit "$fail"
