@@ -11,6 +11,7 @@
 //
 //	eipserved -addr :8080 -dir /var/lib/eipserved
 //	eipserved -auto-refresh -ingest-file /var/log/addrs.txt -ingest-model live
+//	eipserved -log-format json -log-level debug
 //
 // Endpoints (see internal/serve for the full API):
 //
@@ -21,11 +22,14 @@
 //	POST   /v1/models/{name}/observe    ingest observed addresses (NDJSON)
 //	GET    /v1/models/{name}/drift      drift status
 //	GET    /healthz (also /v1/healthz)  liveness + version + metrics
+//	GET    /metrics                     Prometheus text exposition
 //
 // Expensive training requests (client-submitted and drift-triggered alike)
 // run on a bounded worker pool; the daemon sheds load with 503 when the
 // queue is full. SIGINT/SIGTERM trigger a graceful shutdown that lets
-// in-flight requests finish.
+// in-flight requests finish. All logging is structured (log/slog) on
+// stderr: -log-format selects text or json, -log-level the verbosity
+// (per-request access logs are emitted at debug).
 package main
 
 import (
@@ -33,7 +37,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -46,6 +50,7 @@ import (
 	"entropyip/internal/drift"
 	"entropyip/internal/ingest"
 	"entropyip/internal/ip6"
+	"entropyip/internal/obs"
 	"entropyip/internal/registry"
 	"entropyip/internal/serve"
 )
@@ -63,6 +68,8 @@ func main() {
 		maxGenerate  = flag.Int("max-generate", serve.DefaultMaxGenerateCount, "largest count one generate request may ask for")
 		drainWait    = flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060); empty disables profiling")
+		logFormat    = flag.String("log-format", "text", "log output format: text or json")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn or error (access logs are debug)")
 		version      = flag.Bool("version", false, "print the version and exit")
 
 		// Online ingest + drift + refresh.
@@ -88,13 +95,28 @@ func main() {
 		fmt.Println("eipserved", buildinfo.Version())
 		return
 	}
+	if *logFormat != "text" && *logFormat != "json" {
+		fmt.Fprintf(os.Stderr, "eipserved: -log-format must be text or json, got %q\n", *logFormat)
+		os.Exit(2)
+	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "eipserved: -log-level: %v\n", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, *logFormat, level)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	if (*ingestFile == "") != (*ingestModel == "") {
-		log.Fatal("eipserved: -ingest-file and -ingest-model must be set together")
+		fatal("-ingest-file and -ingest-model must be set together")
 	}
 
 	reg, err := registry.Open(*dir, *cacheSize)
 	if err != nil {
-		log.Fatalf("eipserved: %v", err)
+		fatal("opening registry", "dir", *dir, "err", err)
 	}
 	handler := serve.New(reg, serve.Options{
 		Workers:          *workers,
@@ -103,6 +125,7 @@ func main() {
 		MaxGenerateCount: *maxGenerate,
 		TrainWorkers:     *trainWorkers,
 		GenerateWorkers:  *genWorkers,
+		Logger:           logger,
 		Refresh: serve.RefreshOptions{
 			AutoRefresh:   *autoRefresh,
 			EvaluateEvery: *evaluateEvery,
@@ -117,9 +140,8 @@ func main() {
 				Consecutive: *driftRuns,
 				MinWindow:   *driftWindow,
 			},
-			OnEvent: func(model, event, detail string) {
-				log.Printf("eipserved: refresh %s: %s (%s)", model, event, detail)
-			},
+			// Refresh events are logged by the Refresher itself through the
+			// structured logger; no OnEvent callback needed.
 		},
 	})
 
@@ -142,7 +164,7 @@ func main() {
 	// handlers into the API server either.
 	if *pprofAddr != "" {
 		if err := requireLoopback(*pprofAddr); err != nil {
-			log.Fatalf("eipserved: -pprof %s: %v", *pprofAddr, err)
+			fatal("-pprof address rejected", "addr", *pprofAddr, "err", err)
 		}
 		go func() {
 			mux := http.NewServeMux()
@@ -151,16 +173,16 @@ func main() {
 			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-			log.Printf("eipserved: pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			logger.Info("pprof listening", "url", "http://"+*pprofAddr+"/debug/pprof/")
 			srv := &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("eipserved: pprof server: %v", err)
+				logger.Error("pprof server failed", "err", err)
 			}
 		}()
 	}
 
 	if *ingestFile != "" {
-		go tailIntoModel(ctx, reg, handler.Refresher(), *ingestFile, *ingestModel, ingest.TailConfig{
+		go tailIntoModel(ctx, logger, reg, handler.Refresher(), *ingestFile, *ingestModel, ingest.TailConfig{
 			Poll:      *ingestPoll,
 			FromStart: *ingestStart,
 		})
@@ -169,26 +191,30 @@ func main() {
 	errc := make(chan error, 1)
 	go func() {
 		st := reg.Stats()
-		log.Printf("eipserved %s: listening on %s (%d models, %d versions in %s)",
-			buildinfo.Version(), *addr, st.Models, st.Versions, *dir)
+		logger.Info("listening",
+			"version", buildinfo.Version(),
+			"addr", *addr,
+			"dir", *dir,
+			"models", st.Models,
+			"model_versions", st.Versions)
 		errc <- srv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("eipserved: %v", err)
+			fatal("server failed", "err", err)
 		}
 	case <-ctx.Done():
-		log.Printf("eipserved: shutting down (draining up to %s)", *drainWait)
+		logger.Info("shutting down", "drain", *drainWait)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("eipserved: forced shutdown: %v", err)
+			logger.Warn("forced shutdown", "err", err)
 			_ = srv.Close()
 		}
 		st := reg.Stats()
-		fmt.Fprintf(os.Stderr, "eipserved: served %d cache hits / %d misses; bye\n", st.Hits, st.Misses)
+		logger.Info("bye", "cache_hits", st.Hits, "cache_misses", st.Misses)
 	}
 }
 
@@ -220,16 +246,16 @@ func requireLoopback(addr string) error {
 // meant to consume. Observe errors (e.g. the model deleted later) are
 // logged at most once per second so a misconfigured tail cannot flood the
 // logs.
-func tailIntoModel(ctx context.Context, reg *registry.Registry, r *serve.Refresher, path, model string, cfg ingest.TailConfig) {
+func tailIntoModel(ctx context.Context, logger *slog.Logger, reg *registry.Registry, r *serve.Refresher, path, model string, cfg ingest.TailConfig) {
 	var lastErrLog time.Time
-	throttled := func(format string, args ...interface{}) {
+	throttled := func(msg string, args ...any) {
 		if time.Since(lastErrLog) >= time.Second {
 			lastErrLog = time.Now()
-			log.Printf(format, args...)
+			logger.Warn(msg, args...)
 		}
 	}
 	cfg.OnError = func(line int, err error) {
-		throttled("eipserved: ingest %s line %d: %v", path, line, err)
+		throttled("ingest parse error", "file", path, "line", line, "err", err)
 	}
 	poll := cfg.Poll
 	if poll <= 0 {
@@ -239,20 +265,20 @@ func tailIntoModel(ctx context.Context, reg *registry.Registry, r *serve.Refresh
 		if _, err := reg.Versions(model); err == nil {
 			break
 		}
-		throttled("eipserved: ingest waiting for model %q to exist before tailing %s", model, path)
+		throttled("ingest waiting for model to exist", "model", model, "file", path)
 		select {
 		case <-ctx.Done():
 			return
 		case <-time.After(poll):
 		}
 	}
-	log.Printf("eipserved: tailing %s into model %q", path, model)
+	logger.Info("tailing into model", "file", path, "model", model)
 	err := ingest.TailFile(ctx, path, cfg, func(batch []ip6.Addr) {
 		if _, err := r.Observe(model, batch); err != nil {
-			throttled("eipserved: ingest into %q: %v", model, err)
+			throttled("ingest observe failed", "model", model, "err", err)
 		}
 	})
 	if err != nil && ctx.Err() == nil {
-		log.Printf("eipserved: ingest tail stopped: %v", err)
+		logger.Error("ingest tail stopped", "file", path, "err", err)
 	}
 }

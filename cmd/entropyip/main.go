@@ -37,6 +37,7 @@ import (
 	"entropyip/internal/dataset"
 	"entropyip/internal/drift"
 	"entropyip/internal/ip6"
+	"entropyip/internal/obs"
 	"entropyip/internal/report"
 	"entropyip/internal/stats"
 	"entropyip/internal/synth"
@@ -61,6 +62,7 @@ func main() {
 		quiet     = flag.Bool("q", false, "suppress the terminal report")
 		driftIn   = flag.String("drift", "", "score the input addresses for drift against this model file instead of training")
 		driftGate = flag.Float64("drift-enter", drift.DefaultEnter, "drift score at which -drift exits with status 2")
+		trace     = flag.Bool("trace", false, "print per-stage training pipeline timings to stderr")
 		version   = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
@@ -82,9 +84,21 @@ func main() {
 	if *trainSize > 0 && *trainSize < len(addrs) {
 		train, _ = stats.SplitTrainTest(stats.RNG(*seed), addrs, *trainSize)
 	}
-	model, err := core.Build(train, core.Options{Prefix64Only: *prefix64, Workers: *workers})
+	buildOpts := core.Options{Prefix64Only: *prefix64, Workers: *workers}
+	var tr *obs.StageTrace
+	if *trace {
+		tr = obs.NewStageTrace()
+		buildOpts.OnStage = tr.Record
+	}
+	model, err := core.Build(train, buildOpts)
 	if err != nil {
 		fatal(err)
+	}
+	if tr != nil {
+		fmt.Fprintln(os.Stderr, "entropyip: training stage timing:")
+		if err := tr.Report(os.Stderr); err != nil {
+			fatal(err)
+		}
 	}
 	evidence, err := parseEvidence(*condition)
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"entropyip/internal/bayes"
 	"entropyip/internal/entropy"
@@ -43,6 +44,28 @@ type Options struct {
 	// for every worker count, so Workers is purely an operational knob.
 	// It is deliberately NOT persisted in model JSON.
 	Workers int
+	// OnStage, if non-nil, receives the name and wall-clock duration of
+	// each completed pipeline stage (the names in BuildStages, in order).
+	// It is called from the goroutine running Build. Like Workers it is an
+	// operational knob: excluded from model JSON so serialized models stay
+	// byte-identical whether or not a build was traced.
+	OnStage func(stage string, d time.Duration) `json:"-"`
+}
+
+// BuildStages lists the pipeline stage names Build reports through
+// Options.OnStage, in execution order.
+var BuildStages = []string{"entropy", "segment", "mine", "compile", "encode", "learn"}
+
+// buildStage reports one completed stage and returns the start of the
+// next. With no observer it passes start through untouched — durations
+// are then never read, so no clock is consulted.
+func buildStage(on func(string, time.Duration), name string, start time.Time) time.Time {
+	if on == nil {
+		return start
+	}
+	now := time.Now()
+	on(name, now.Sub(start))
+	return now
 }
 
 // Model is a trained Entropy/IP model.
@@ -101,14 +124,19 @@ func Build(addrs []ip6.Addr, opts Options) (*Model, error) {
 	// genuinely sequential build and Workers=N bounds the whole pipeline.
 	workers := parallel.Workers(opts.Workers)
 
+	now := time.Now()
 	profile := entropy.NewProfileWorkers(train, workers)
 	acr := mra.NewWorkers(train, workers)
+	now = buildStage(opts.OnStage, "entropy", now)
 	sg := segment.Segments(profile, segCfg)
 	if err := sg.Validate(); err != nil {
 		return nil, fmt.Errorf("core: segmentation: %w", err)
 	}
+	now = buildStage(opts.OnStage, "segment", now)
 	models := mining.MineAllWorkers(train, sg, opts.Mining, workers)
+	now = buildStage(opts.OnStage, "mine", now)
 	enc := mining.NewEncoder(models)
+	now = buildStage(opts.OnStage, "compile", now)
 
 	vars := make([]bayes.Variable, len(models))
 	for i, m := range models {
@@ -118,6 +146,7 @@ func Build(addrs []ip6.Addr, opts Options) (*Model, error) {
 		vars[i] = bayes.Variable{Name: m.Seg.Label, Arity: m.Arity()}
 	}
 	data := enc.EncodeAllWorkers(train, workers)
+	now = buildStage(opts.OnStage, "encode", now)
 	learnCfg := opts.Learn
 	if learnCfg.Workers == 0 {
 		learnCfg.Workers = workers
@@ -126,6 +155,7 @@ func Build(addrs []ip6.Addr, opts Options) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: learning Bayesian network: %w", err)
 	}
+	buildStage(opts.OnStage, "learn", now)
 
 	return &Model{
 		Profile:      profile,

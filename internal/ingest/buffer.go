@@ -112,6 +112,10 @@ type Stats struct {
 	WindowCapacity int `json:"window_capacity"`
 	// Prefixes64 is the number of distinct /64 prefixes in the window.
 	Prefixes64 int `json:"prefixes_64"`
+	// ReservoirReplaced counts long-horizon reservoir slots overwritten by
+	// algorithm R after the reservoir filled — the churn rate of the
+	// retraining sample.
+	ReservoirReplaced uint64 `json:"reservoir_replaced"`
 }
 
 // shard is one independently locked ring segment of the window.
@@ -126,9 +130,12 @@ type shard struct {
 	slots map[ip6.Prefix][]int
 	// res is this shard's slice of the long-horizon reservoir (algorithm
 	// R over the shard's substream); nil when the reservoir is disabled.
-	res   []ip6.Addr
-	rseen uint64
-	rng   *rand.Rand
+	res []ip6.Addr
+	// rreplaced counts reservoir slots overwritten by algorithm R once the
+	// reservoir filled (summed into Stats.ReservoirReplaced).
+	rreplaced uint64
+	rseen     uint64
+	rng       *rand.Rand
 }
 
 // removeSlot deletes the first occurrence of idx from s, preserving order.
@@ -284,6 +291,7 @@ func (s *shard) sample(a ip6.Addr) {
 		s.res = append(s.res, a)
 	} else if j := s.rng.Uint64() % s.rseen; j < uint64(cap(s.res)) {
 		s.res[j] = a
+		s.rreplaced++
 	}
 }
 
@@ -343,6 +351,7 @@ func (b *Buffer) Stats() Stats {
 		s.mu.Lock()
 		st.Window += len(s.ring)
 		st.Prefixes64 += len(s.per64)
+		st.ReservoirReplaced += s.rreplaced
 		s.mu.Unlock()
 	}
 	return st

@@ -1,0 +1,43 @@
+package obs
+
+import "testing"
+
+// BenchmarkMetricsHotPath is the CI-gated cost of instrumenting one
+// request: a counter increment plus a histogram observation, the exact
+// pair every instrumented hot path pays. Must stay 0 allocs/op (gated
+// strictly by scripts/check_bench.sh) — the zero-allocation serving
+// plane's contract extends to its instrumentation.
+func BenchmarkMetricsHotPath(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_requests_total", "help", "route", "GET /bench")
+	h := r.Histogram("bench_request_seconds", "help", nil, "route", "GET /bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(0.0123)
+	}
+}
+
+// BenchmarkRender is the scrape-side cost over a realistic family count,
+// rendering into a reused buffer. Informational.
+func BenchmarkRender(b *testing.B) {
+	r := NewRegistry()
+	routes := []string{"GET /v1/models", "PUT /v1/models/{name}", "POST /v1/models/{name}/generate", "POST /v1/models/{name}/observe"}
+	for _, rt := range routes {
+		r.Counter("eip_http_requests_total", "Requests.", "route", rt).Add(12345)
+		r.Histogram("eip_http_request_seconds", "Latency.", nil, "route", rt).Observe(0.01)
+	}
+	r.Collect(func(e *Expo) {
+		for _, m := range []string{"web", "dns", "cdn"} {
+			e.Gauge("eip_ingest_window", "Window.", 4096, "model", m)
+			e.Gauge("eip_drift_score", "Score.", 0.12, "model", m)
+		}
+	})
+	buf := make([]byte, 0, 1<<14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = r.Render(buf[:0])
+	}
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// NewLogger builds a structured logger writing to w. format is "json"
+// (one JSON object per line, for log shippers) or "text" (logfmt-style,
+// for humans); level is the minimum level emitted.
+func NewLogger(w io.Writer, format string, level slog.Level) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h)
+}
+
+// ParseLevel maps a -log-level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// nopHandler drops everything before attribute formatting happens.
+// (slog.DiscardHandler exists only since Go 1.24; this repo targets 1.22.)
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }
+
+var nopLogger = slog.New(nopHandler{})
+
+// NopLogger returns a logger that discards every record without
+// formatting it. It is the default wherever no logger was configured, so
+// instrumented code never needs a nil check.
+func NopLogger() *slog.Logger { return nopLogger }
+
+// Request IDs: a per-process random prefix plus an atomic sequence
+// number. Unique within a process lifetime and almost certainly across
+// restarts, which is all log correlation needs — this is not a security
+// token.
+var (
+	reqSeq    atomic.Uint64
+	reqPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// Degrade to a time-derived prefix; uniqueness within the
+			// process still holds via the sequence number.
+			v := uint32(time.Now().UnixNano())
+			b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+		}
+		return hex.EncodeToString(b[:])
+	}()
+)
+
+// NextRequestID returns a process-unique request ID like "9f3a1c08-2a".
+func NextRequestID() string {
+	return reqPrefix + "-" + strconv.FormatUint(reqSeq.Add(1), 16)
+}

@@ -1,0 +1,122 @@
+// Package obs is the observability plane of the Entropy/IP serving
+// system: a dependency-free metrics library — atomic counters, gauges and
+// fixed-bucket latency histograms with a lock-free, zero-allocation hot
+// path, plus a Registry that renders the Prometheus text exposition
+// format (v0.0.4) into a caller-provided buffer — together with a
+// log/slog-based structured-logger factory, process-unique request IDs,
+// and a lightweight stage tracer for the training pipeline.
+//
+// Hot-path contract: Counter.Inc/Add, Gauge.Inc/Dec/Add/Set and
+// Histogram.Observe never allocate and never take a lock
+// (BenchmarkMetricsHotPath is CI-gated at 0 allocs/op, the same gate the
+// serving-plane I/O paths live under). Registration and rendering are
+// scrape-rate paths, not request-rate paths; they may lock and allocate.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use, but counters that should be exported are normally created
+// through Registry.Counter so they carry a name and labels.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (in-flight requests, queue
+// depth). The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the gauge.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one from the gauge.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds d (which may be negative) to the gauge.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefBuckets are the default latency buckets (seconds), covering the
+// sub-millisecond cache-hit path through multi-second training queues —
+// the same spread Prometheus client libraries default to.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Histogram is a fixed-bucket histogram of float64 observations
+// (typically latencies in seconds). Buckets are cumulative in the
+// exposition output, with upper bounds inclusive (`le`), exactly like
+// Prometheus client histograms. Observe is lock-free and allocation-free.
+type Histogram struct {
+	// bounds are the inclusive upper bounds, sorted ascending. counts has
+	// one slot per bound plus a final +Inf slot.
+	bounds []float64
+	counts []atomic.Uint64
+	// sum holds the math.Float64bits of the running sum, advanced by CAS.
+	sum atomic.Uint64
+}
+
+// newHistogram builds a histogram over the given bucket upper bounds
+// (nil selects DefBuckets). Bounds must be strictly increasing.
+func newHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	own := make([]float64, len(bounds))
+	copy(own, bounds)
+	for i := 1; i < len(own); i++ {
+		if own[i] <= own[i-1] {
+			panic("obs: histogram buckets must be strictly increasing")
+		}
+	}
+	return &Histogram{
+		bounds: own,
+		counts: make([]atomic.Uint64, len(own)+1),
+	}
+}
+
+// Observe records one value. Buckets are few (≈10), so a linear scan
+// beats binary search on branch prediction and stays allocation-free.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}

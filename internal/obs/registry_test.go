@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with this run's output")
+
+// TestRenderGolden pins the full exposition byte-for-byte: HELP/TYPE
+// ordering, label rendering and escaping, histogram triplets, collector
+// output, and the lexicographic family sort. Regenerate after deliberate
+// format changes with: go test ./internal/obs -run RenderGolden -update
+func TestRenderGolden(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.Counter("demo_requests_total", "Requests served.", "route", "GET /v1/models")
+	reqs.Add(17)
+	r.Counter("demo_requests_total", "Requests served.", "route", "POST /v1/models/{name}/generate").Add(3)
+	plain := r.Counter("demo_restarts_total", "Restarts (unlabeled counter).")
+	plain.Inc()
+	g := r.Gauge("demo_in_flight", "In-flight requests.")
+	g.Set(2)
+	r.GaugeFunc("demo_uptime_seconds", "Uptime (gauge func).", func() float64 { return 12.5 })
+	r.CounterFunc("demo_ticks_total", "Ticks (counter func).", func() float64 { return 99 })
+	h := r.Histogram("demo_request_seconds", "Request latency.", []float64{0.025, 0.25, 2.5}, "route", "GET /v1/models")
+	for _, v := range []float64{0.01, 0.02, 0.2, 1, 30} {
+		h.Observe(v)
+	}
+	// Label escaping: backslash, quote, newline in a value.
+	r.Counter("demo_weird_total", "Escaping check.", "path", "a\\b\"c\nd").Add(7)
+	// Help escaping: backslash and newline.
+	r.Gauge("demo_helptext", "line one\nline \\ two").Set(1)
+	// Dynamic per-entity series via a collector.
+	r.Collect(func(e *Expo) {
+		e.Gauge("demo_model_window", "Per-model ingest window.", 4096, "model", "web")
+		e.Gauge("demo_model_window", "Per-model ingest window.", 512, "model", "dns")
+		e.Counter("demo_model_rotations_total", "Per-model rotations.", 2, "model", "web")
+	})
+
+	got := r.Render(nil)
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("exposition mismatch\n-- got --\n%s\n-- want --\n%s", got, want)
+	}
+}
+
+func TestRenderAppendsToCallerBuffer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x").Inc()
+	buf := append(make([]byte, 0, 512), "PREFIX"...)
+	out := r.Render(buf)
+	if !strings.HasPrefix(string(out), "PREFIX# HELP x_total") {
+		t.Fatalf("Render did not append to the caller's buffer: %q", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	got := renderLabels([]string{"k", `back\slash "quote"` + "\nnewline"})
+	want := `k="back\\slash \"quote\"\nnewline"`
+	if got != want {
+		t.Fatalf("renderLabels = %s, want %s", got, want)
+	}
+}
+
+func TestExpoGroupsFamilies(t *testing.T) {
+	e := newExpo()
+	e.Gauge("a", "help a", 1, "m", "x")
+	e.Gauge("a", "help a", 2, "m", "y")
+	if len(e.fams) != 1 || len(e.fams[0].samples) != 2 {
+		t.Fatalf("expo grouping broken: %+v", e.fams)
+	}
+	out := string(e.fams[0].render(nil))
+	if strings.Count(out, "# TYPE a gauge") != 1 {
+		t.Fatalf("TYPE line not emitted exactly once:\n%s", out)
+	}
+}
+
+func TestDynamicNameCollisionDropped(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "static").Add(5)
+	r.Collect(func(e *Expo) {
+		e.Counter("c_total", "dynamic", 999) // collides with static: dropped
+		e.Gauge("d", "dynamic ok", 1)
+	})
+	out := string(r.Render(nil))
+	if strings.Contains(out, "999") {
+		t.Fatalf("colliding dynamic sample leaked into output:\n%s", out)
+	}
+	if !strings.Contains(out, "c_total 5\n") || !strings.Contains(out, "d 1\n") {
+		t.Fatalf("expected samples missing:\n%s", out)
+	}
+}

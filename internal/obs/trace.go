@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Stage is one timed step of a pipeline run.
+type Stage struct {
+	Name     string
+	Duration time.Duration
+}
+
+// StageTrace accumulates named stage durations from one pipeline run
+// (core.Build reports entropy → segment → mine → compile → encode →
+// learn through Options.OnStage). Record matches the OnStage signature,
+// so a trace wires up as `opts.OnStage = tr.Record`. Safe for concurrent
+// use, though a single Build reports sequentially.
+type StageTrace struct {
+	mu     sync.Mutex
+	stages []Stage
+}
+
+// NewStageTrace returns an empty trace.
+func NewStageTrace() *StageTrace { return &StageTrace{} }
+
+// Record appends one stage observation.
+func (t *StageTrace) Record(name string, d time.Duration) {
+	t.mu.Lock()
+	t.stages = append(t.stages, Stage{Name: name, Duration: d})
+	t.mu.Unlock()
+}
+
+// Stages returns a copy of the recorded stages in order.
+func (t *StageTrace) Stages() []Stage {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Stage, len(t.stages))
+	copy(out, t.stages)
+	return out
+}
+
+// Total returns the sum of all recorded durations.
+func (t *StageTrace) Total() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var total time.Duration
+	for _, s := range t.stages {
+		total += s.Duration
+	}
+	return total
+}
+
+// Report writes an aligned per-stage timing table with each stage's
+// share of the total, ending with a total line.
+func (t *StageTrace) Report(w io.Writer) error {
+	stages := t.Stages()
+	var total time.Duration
+	width := len("total")
+	for _, s := range stages {
+		total += s.Duration
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	for _, s := range stages {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(s.Duration) / float64(total)
+		}
+		if _, err := fmt.Fprintf(w, "  %-*s %12v %6.1f%%\n", width, s.Name, s.Duration.Round(time.Microsecond), share); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "  %-*s %12v\n", width, "total", total.Round(time.Microsecond))
+	return err
+}

@@ -80,6 +80,10 @@ func ForEach(workers, n int, fn func(i int)) {
 	if w > n {
 		w = n
 	}
+	if n > 0 {
+		trackBegin(w, n)
+		defer trackEnd(w)
+	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
@@ -115,6 +119,10 @@ func ForEachErr(ctx context.Context, workers, n int, fn func(i int) error) error
 	w := Workers(workers)
 	if w > n {
 		w = n
+	}
+	if n > 0 {
+		trackBegin(w, n)
+		defer trackEnd(w)
 	}
 	done := func() bool { return ctx != nil && ctx.Err() != nil }
 	if w <= 1 {
@@ -184,6 +192,10 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 // loops over large address slices).
 func ForEachShard(workers, n int, fn func(s Shard)) {
 	shards := Shards(n, workers)
+	if len(shards) > 0 {
+		trackBegin(len(shards), len(shards))
+		defer trackEnd(len(shards))
+	}
 	if len(shards) <= 1 {
 		for _, s := range shards {
 			fn(s)
@@ -218,6 +230,10 @@ func ForEachShardErr(ctx context.Context, workers, n int, fn func(s Shard) error
 func MapShards[T any](workers, n int, work func(s Shard) T) []T {
 	shards := Shards(n, workers)
 	out := make([]T, len(shards))
+	if len(shards) > 0 {
+		trackBegin(len(shards), len(shards))
+		defer trackEnd(len(shards))
+	}
 	if len(shards) <= 1 {
 		for i, s := range shards {
 			out[i] = work(s)

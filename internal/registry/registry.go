@@ -83,6 +83,9 @@ type Stats struct {
 	Misses int64 `json:"misses"`
 	// Evictions counts models dropped from the cache to make room.
 	Evictions int64 `json:"evictions"`
+	// Coalesced counts lookups that joined another goroutine's in-flight
+	// disk load instead of starting their own (single-flight hits).
+	Coalesced int64 `json:"coalesced"`
 }
 
 // Registry is a named, versioned model store: a disk directory of
@@ -108,6 +111,12 @@ type Registry struct {
 	hits      int64
 	misses    int64
 	evictions int64
+	coalesced int64
+
+	// onLoad, when set, observes the wall-clock seconds of every
+	// successful disk load (for a latency histogram). Set it with
+	// SetLoadObserver before the registry sees concurrent traffic.
+	onLoad func(seconds float64)
 }
 
 type cacheEntry struct {
@@ -348,6 +357,7 @@ func (r *Registry) GetVersion(name string, version int) (*core.Model, Info, erro
 	r.misses++
 	if fl, ok := r.loading[key]; ok {
 		// Another goroutine is already decoding this model: wait for it.
+		r.coalesced++
 		r.cmu.Unlock()
 		<-fl.done
 		return fl.model, fl.info, fl.err
@@ -356,7 +366,11 @@ func (r *Registry) GetVersion(name string, version int) (*core.Model, Info, erro
 	r.loading[key] = fl
 	r.cmu.Unlock()
 
+	loadStart := time.Now()
 	m, lerr := r.loadFromDisk(info)
+	if lerr == nil && r.onLoad != nil {
+		r.onLoad(time.Since(loadStart).Seconds())
+	}
 	fl.model, fl.info, fl.err = m, info, lerr
 
 	r.cmu.Lock()
@@ -504,5 +518,14 @@ func (r *Registry) Stats() Stats {
 		Hits:          r.hits,
 		Misses:        r.misses,
 		Evictions:     r.evictions,
+		Coalesced:     r.coalesced,
 	}
+}
+
+// SetLoadObserver installs a callback observing the duration (seconds) of
+// every successful disk load. Call it once, before the registry serves
+// concurrent traffic: the field is read without synchronization on the
+// load path.
+func (r *Registry) SetLoadObserver(fn func(seconds float64)) {
+	r.onLoad = fn
 }

@@ -2,22 +2,48 @@ package serve
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"entropyip/internal/obs"
 )
 
-// Metrics collects basic per-route request statistics: counts, errors and
-// cumulative handler time. It is safe for concurrent use.
+// Metrics collects per-route request statistics on lock-free obs
+// primitives. Each route's counters are registered once, when the route
+// is installed, and the handler middleware holds a direct pointer — the
+// request path does no map lookup and takes no lock, completing the
+// zero-allocation serving plane's removal of per-request synchronization
+// (the old implementation took a global mutex twice per request).
+//
+// The same counters feed two views: the Prometheus exposition on
+// GET /metrics (through the obs.Registry the counters are registered in)
+// and the /healthz JSON snapshot, whose shape predates the obs plane and
+// stays backward compatible.
 type Metrics struct {
-	mu       sync.Mutex
 	start    time.Time
-	inFlight int
-	routes   map[string]*routeStats
+	inFlight obs.Gauge
+	panics   *obs.Counter
+
+	reqSeconds, respBytes, reqsTotal, errsTotal string // family names, registered once
+
+	o *obs.Registry
+
+	// mu guards routes during registration only; the request path never
+	// touches it.
+	mu     sync.Mutex
+	routes []*routeMetrics
 }
 
-type routeStats struct {
-	requests int64
-	errors   int64
-	total    time.Duration
+// routeMetrics is one route's pre-registered counter set.
+type routeMetrics struct {
+	pattern  string
+	requests *obs.Counter
+	errors   *obs.Counter
+	bytes    *obs.Counter
+	latency  *obs.Histogram
+	// nanos keeps the exact cumulative handler time the /healthz snapshot
+	// reports; the histogram alone would quantize it.
+	nanos atomic.Int64
 }
 
 // RouteSnapshot is the exported view of one route's counters.
@@ -36,50 +62,85 @@ type MetricsSnapshot struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// InFlight is the number of requests currently being handled.
 	InFlight int `json:"in_flight"`
+	// Panics is the number of handler panics recovered by the middleware.
+	Panics int64 `json:"panics,omitempty"`
 	// Routes maps "METHOD pattern" to that route's counters.
 	Routes map[string]RouteSnapshot `json:"routes"`
 }
 
-func newMetrics() *Metrics {
-	return &Metrics{start: time.Now(), routes: make(map[string]*routeStats)}
+func newMetrics(o *obs.Registry) *Metrics {
+	m := &Metrics{
+		start:      time.Now(),
+		o:          o,
+		reqsTotal:  "eip_http_requests_total",
+		errsTotal:  "eip_http_errors_total",
+		respBytes:  "eip_http_response_bytes_total",
+		reqSeconds: "eip_http_request_seconds",
+	}
+	o.GaugeFunc("eip_http_in_flight", "Requests currently being handled.",
+		func() float64 { return float64(m.inFlight.Value()) })
+	m.panics = o.Counter("eip_http_panics_total", "Handler panics recovered by the middleware.")
+	o.GaugeFunc("eip_uptime_seconds", "Seconds since the server was created.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	return m
 }
 
-func (m *Metrics) begin() {
+// route registers one route's counter set. Called once per route at
+// server construction.
+func (m *Metrics) route(pattern string) *routeMetrics {
+	rm := &routeMetrics{
+		pattern:  pattern,
+		requests: m.o.Counter(m.reqsTotal, "Completed requests by route.", "route", pattern),
+		errors:   m.o.Counter(m.errsTotal, "Requests answered with a 4xx or 5xx status.", "route", pattern),
+		bytes:    m.o.Counter(m.respBytes, "Response body bytes written.", "route", pattern),
+		latency:  m.o.Histogram(m.reqSeconds, "Request handling latency.", nil, "route", pattern),
+	}
 	m.mu.Lock()
-	m.inFlight++
+	m.routes = append(m.routes, rm)
 	m.mu.Unlock()
+	return rm
 }
 
-func (m *Metrics) end(route string, status int, dur time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.inFlight--
-	rs := m.routes[route]
-	if rs == nil {
-		rs = &routeStats{}
-		m.routes[route] = rs
-	}
-	rs.requests++
+func (m *Metrics) begin() { m.inFlight.Inc() }
+
+func (m *Metrics) end(rm *routeMetrics, status int, dur time.Duration, bytes int64) {
+	m.inFlight.Dec()
+	rm.requests.Inc()
 	if status >= 400 {
-		rs.errors++
+		rm.errors.Inc()
 	}
-	rs.total += dur
+	rm.latency.Observe(dur.Seconds())
+	rm.nanos.Add(int64(dur))
+	if bytes > 0 {
+		rm.bytes.Add(uint64(bytes))
+	}
 }
 
-// Snapshot returns the current counters.
+// panicked records one recovered handler panic.
+func (m *Metrics) panicked() { m.panics.Inc() }
+
+// Snapshot returns the current counters. Like the pre-obs implementation
+// it includes only routes that have completed at least one request, so
+// the /healthz JSON is unchanged for existing consumers.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	routes := m.routes
+	m.mu.Unlock()
 	out := MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
-		InFlight:      m.inFlight,
-		Routes:        make(map[string]RouteSnapshot, len(m.routes)),
+		InFlight:      int(m.inFlight.Value()),
+		Panics:        int64(m.panics.Value()),
+		Routes:        make(map[string]RouteSnapshot, len(routes)),
 	}
-	for route, rs := range m.routes {
-		out.Routes[route] = RouteSnapshot{
-			Requests:    rs.requests,
-			Errors:      rs.errors,
-			TotalMillis: rs.total.Milliseconds(),
+	for _, rm := range routes {
+		reqs := int64(rm.requests.Value())
+		if reqs == 0 {
+			continue
+		}
+		out.Routes[rm.pattern] = RouteSnapshot{
+			Requests:    reqs,
+			Errors:      int64(rm.errors.Value()),
+			TotalMillis: rm.nanos.Load() / int64(time.Millisecond),
 		}
 	}
 	return out

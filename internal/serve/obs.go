@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"entropyip/internal/core"
+	"entropyip/internal/obs"
+	"entropyip/internal/parallel"
+)
+
+// This file wires the server's obs.Registry: the static serving-plane
+// counters the handlers feed directly, the scrape-time collectors over
+// the other subsystems (registry cache, refresher streams, worker pools),
+// the GET /metrics handler, and the per-request ID context plumbing.
+//
+// Conventions (documented in DESIGN.md "Observability"): every family is
+// prefixed eip_, units are in the name (_seconds, _bytes), counters end
+// in _total. Label cardinality is bounded by construction — `route` and
+// `stage` come from finite compile-time sets, `model` tracks live
+// refresher streams and is emitted through collectors so deleted models
+// stop exporting instead of leaking series.
+
+// trainingStageBuckets spans sub-second mining stages through
+// multi-minute Bayesian structure searches on large windows.
+var trainingStageBuckets = []float64{.01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+
+// registerObservability installs everything beyond the per-route request
+// metrics (which register route by route in handle). Called once from
+// New, before the server handles traffic.
+func (s *Server) registerObservability() {
+	o := s.obs
+
+	s.candidates = o.Counter("eip_generate_candidates_total",
+		"Candidate addresses/prefixes streamed by POST generate.")
+	s.observeAccepted = o.Counter("eip_observe_lines_total",
+		"Observe NDJSON lines by outcome.", "result", "accepted")
+	s.observeInvalid = o.Counter("eip_observe_lines_total",
+		"Observe NDJSON lines by outcome.", "result", "invalid")
+
+	// One histogram series per pipeline stage, pre-registered so the
+	// OnStage callback is a map lookup on a read-only map plus a lock-free
+	// observe — no allocation, no registration race.
+	s.stageHist = make(map[string]*obs.Histogram, len(core.BuildStages))
+	for _, stage := range core.BuildStages {
+		s.stageHist[stage] = o.Histogram("eip_training_stage_seconds",
+			"Wall time of each training pipeline stage.", trainingStageBuckets, "stage", stage)
+	}
+
+	loadSeconds := o.Histogram("eip_registry_load_seconds",
+		"Latency of model loads from disk (cache misses).", nil)
+	s.reg.SetLoadObserver(loadSeconds.Observe)
+
+	s.refresher.logger = s.logger
+	s.refresher.stage = s.observeStage
+	s.refresher.retrains = o.Counter("eip_refresh_retrains_total",
+		"Drift-triggered retrains that ran (shed ones excluded).")
+	s.refresher.retrainSeconds = o.Histogram("eip_refresh_retrain_seconds",
+		"Wall time of one retrain + shadow evaluation + publish, including pool queue wait.",
+		trainingStageBuckets)
+
+	// Registry cache: one collector reading one Stats snapshot per scrape.
+	o.Collect(func(e *obs.Expo) {
+		st := s.reg.Stats()
+		e.Gauge("eip_registry_models", "Distinct model names in the registry.", float64(st.Models))
+		e.Gauge("eip_registry_versions", "Stored model versions across all names.", float64(st.Versions))
+		e.Gauge("eip_registry_cache_entries", "Decoded models currently cached.", float64(st.CacheEntries))
+		e.Gauge("eip_registry_cache_capacity", "Decoded-model cache capacity.", float64(st.CacheCapacity))
+		e.Counter("eip_registry_cache_hits_total", "Model cache hits.", float64(st.Hits))
+		e.Counter("eip_registry_cache_misses_total", "Model cache misses.", float64(st.Misses))
+		e.Counter("eip_registry_cache_evictions_total", "Models evicted from the cache.", float64(st.Evictions))
+		e.Counter("eip_registry_coalesced_loads_total", "Lookups that joined another goroutine's in-flight disk load.", float64(st.Coalesced))
+	})
+
+	// Worker pools: the bounded training pool and the package-level
+	// training-pipeline scheduler.
+	o.Collect(func(e *obs.Expo) {
+		ps := s.pool.Stats()
+		e.Gauge("eip_training_pool_workers", "Configured training pool workers.", float64(ps.Workers))
+		e.Gauge("eip_training_pool_active", "Training pool workers running work.", float64(ps.Active))
+		e.Gauge("eip_training_pool_queued", "Admitted training requests waiting for a worker.", float64(ps.Queued))
+		e.Gauge("eip_training_pool_queue_capacity", "Training pool queue depth beyond the workers.", float64(ps.QueueCapacity))
+		e.Counter("eip_training_pool_rejected_total", "Training requests shed with 503 (queue full).", float64(ps.Rejected))
+
+		pst := parallel.Snapshot()
+		e.Counter("eip_parallel_jobs_total", "Dispatch calls into the training-pipeline scheduler.", float64(pst.Jobs))
+		e.Counter("eip_parallel_tasks_total", "Work units (indices or shards) dispatched by the scheduler.", float64(pst.Tasks))
+		e.Gauge("eip_parallel_workers_running", "Scheduler workers currently executing pipeline code.", float64(pst.Running))
+	})
+
+	// Per-model ingest/drift/refresh series.
+	o.Collect(s.refresher.collect)
+}
+
+// observeStage records one training-pipeline stage duration into the
+// per-stage histogram. Matches the core.Options.OnStage signature.
+func (s *Server) observeStage(stage string, d time.Duration) {
+	if h := s.stageHist[stage]; h != nil {
+		h.Observe(d.Seconds())
+	}
+}
+
+// stageObserver builds the OnStage callback for one client-requested
+// training run: per-stage histograms plus a Debug log record carrying
+// the request ID so slow stages correlate with the request that paid
+// for them.
+func (s *Server) stageObserver(ctx context.Context, model string) func(stage string, d time.Duration) {
+	id := requestID(ctx)
+	return func(stage string, d time.Duration) {
+		s.observeStage(stage, d)
+		s.logger.Debug("training stage", "request_id", id, "model", model, "stage", stage, "duration", d)
+	}
+}
+
+// metricsBufPool reuses exposition render buffers across scrapes; a
+// scrape's output for a few dozen families fits 16 KiB after the first
+// few requests grow the buffer.
+var metricsBufPool = sync.Pool{
+	New: func() interface{} {
+		b := make([]byte, 0, 1<<14)
+		return &b
+	},
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format v0.0.4. The route goes through the same instrumented middleware
+// as everything else, so scrapes appear in the request metrics too.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	bp := metricsBufPool.Get().(*[]byte)
+	buf := s.obs.Render((*bp)[:0])
+	w.Header().Set("Content-Type", obs.ContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf)
+	*bp = buf[:0]
+	metricsBufPool.Put(bp)
+}
+
+// requestIDKey carries the middleware-assigned request ID in the request
+// context, for handlers that emit their own log records.
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+func withRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// requestID returns the request's ID, or "" outside the middleware.
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}

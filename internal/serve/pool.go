@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 )
 
 // ErrBusy is returned by Pool.Do when the queue of waiting requests is
@@ -14,8 +15,41 @@ var ErrBusy = errors.New("serve: too many queued requests")
 // number of workers and a bounded queue of waiting requests. Work beyond
 // workers+queue is rejected immediately with ErrBusy.
 type Pool struct {
-	workers chan struct{} // worker tokens
-	queue   chan struct{} // admission tokens: workers + queue depth
+	workers  chan struct{} // worker tokens
+	queue    chan struct{} // admission tokens: workers + queue depth
+	rejected atomic.Uint64 // Do calls shed with ErrBusy
+}
+
+// PoolStats is a snapshot of pool utilization for the metrics collector.
+type PoolStats struct {
+	// Workers is the configured worker count; Active of them are running
+	// work right now.
+	Workers int
+	Active  int
+	// Queued is the number of admitted requests waiting for a worker;
+	// QueueCapacity is the configured queue depth beyond the workers.
+	Queued        int
+	QueueCapacity int
+	// Rejected counts requests shed with ErrBusy since startup.
+	Rejected uint64
+}
+
+// Stats returns a point-in-time utilization snapshot. Channel lengths are
+// read independently, so Active and Queued may be one step out of sync
+// with each other — fine for a scrape.
+func (p *Pool) Stats() PoolStats {
+	active := len(p.workers)
+	queued := len(p.queue) - active
+	if queued < 0 {
+		queued = 0
+	}
+	return PoolStats{
+		Workers:       cap(p.workers),
+		Active:        active,
+		Queued:        queued,
+		QueueCapacity: cap(p.queue) - cap(p.workers),
+		Rejected:      p.rejected.Load(),
+	}
 }
 
 // NewPool returns a pool with the given number of workers and queue
@@ -41,6 +75,7 @@ func (p *Pool) Do(ctx context.Context, fn func() error) error {
 	select {
 	case p.queue <- struct{}{}:
 	default:
+		p.rejected.Add(1)
 		return ErrBusy
 	}
 	defer func() { <-p.queue }()

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"sort"
 	"sync"
 	"time"
 
@@ -11,6 +13,7 @@ import (
 	"entropyip/internal/drift"
 	"entropyip/internal/ingest"
 	"entropyip/internal/ip6"
+	"entropyip/internal/obs"
 	"entropyip/internal/registry"
 )
 
@@ -132,6 +135,15 @@ type Refresher struct {
 	pool *Pool
 	opts RefreshOptions
 
+	// Observability wiring, installed by serve.New before traffic (tests
+	// constructing a bare Refresher get a nop logger and nil-safe metrics).
+	logger *slog.Logger
+	// stage receives per-stage retrain build timings (the same
+	// eip_training_stage_seconds histograms client training feeds).
+	stage          func(stage string, d time.Duration)
+	retrains       *obs.Counter
+	retrainSeconds *obs.Histogram
+
 	mu      sync.Mutex
 	streams map[string]*modelStream
 }
@@ -145,11 +157,13 @@ func NewRefresher(reg *registry.Registry, pool *Pool, opts RefreshOptions) *Refr
 		reg:     reg,
 		pool:    pool,
 		opts:    opts,
+		logger:  obs.NopLogger(),
 		streams: make(map[string]*modelStream),
 	}
 }
 
 func (r *Refresher) event(model, event, detail string) {
+	r.logger.Info("refresh", "model", model, "event", event, "detail", detail)
 	if r.opts.OnEvent != nil {
 		r.opts.OnEvent(model, event, detail)
 	}
@@ -267,7 +281,10 @@ func (r *Refresher) Evaluate(name string) (drift.Verdict, error) {
 // for the duration so only one refresh per model is in flight.
 func (r *Refresher) retrain(s *modelStream) {
 	var rejected string
+	start := time.Now()
+	ran := false
 	err := r.pool.Do(context.Background(), func() error {
+		ran = true
 		active, _, err := r.reg.Get(s.name)
 		if err != nil {
 			return err // model deleted since the evaluation
@@ -278,6 +295,12 @@ func (r *Refresher) retrain(s *modelStream) {
 		}
 		opts := active.Opts
 		opts.Workers = r.opts.TrainWorkers
+		opts.OnStage = func(stage string, d time.Duration) {
+			if r.stage != nil {
+				r.stage(stage, d)
+			}
+			r.logger.Debug("training stage", "model", s.name, "origin", "refresh", "stage", stage, "duration", d)
+		}
 		candidate, err := core.Build(window, opts)
 		if err != nil {
 			return fmt.Errorf("retraining: %w", err)
@@ -320,6 +343,18 @@ func (r *Refresher) retrain(s *modelStream) {
 			info.Version, staleLL, freshLL, len(shadow)))
 		return nil
 	})
+
+	if ran {
+		// Count only retrains that actually ran (ErrBusy sheds before fn);
+		// the duration includes the pool queue wait — it is the drift-to-
+		// fresh-model latency an operator cares about.
+		if r.retrains != nil {
+			r.retrains.Inc()
+		}
+		if r.retrainSeconds != nil {
+			r.retrainSeconds.Observe(time.Since(start).Seconds())
+		}
+	}
 
 	s.mu.Lock()
 	s.retraining = false
@@ -391,6 +426,60 @@ func (r *Refresher) Summary() RefreshSummary {
 		s.mu.Unlock()
 	}
 	return out
+}
+
+// collect emits per-model ingest/drift/refresh series for one scrape.
+// Per-model series are collector-driven rather than registered, so a
+// Forget (model delete) stops emitting the model's series on the next
+// scrape instead of leaking them forever. Streams are sorted by name for
+// deterministic exposition output.
+func (r *Refresher) collect(e *obs.Expo) {
+	r.mu.Lock()
+	streams := make([]*modelStream, 0, len(r.streams))
+	for _, s := range r.streams {
+		streams = append(streams, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(streams, func(i, j int) bool { return streams[i].name < streams[j].name })
+
+	for _, s := range streams {
+		st := s.buf.Stats()
+		drifting, _ := s.det.State()
+		e.Gauge("eip_ingest_window", "Addresses currently in the model's observation window.", float64(st.Window), "model", s.name)
+		e.Gauge("eip_ingest_window_capacity", "Configured observation window size.", float64(st.WindowCapacity), "model", s.name)
+		e.Gauge("eip_ingest_prefixes64", "Distinct /64 prefixes in the window.", float64(st.Prefixes64), "model", s.name)
+		e.Counter("eip_ingest_observed_total", "Addresses offered to the model's window.", float64(st.Observed), "model", s.name)
+		e.Counter("eip_ingest_cap_displacements_total", "Same-/64 window entries displaced early by the per-/64 cap.", float64(st.Deduped), "model", s.name)
+		e.Counter("eip_ingest_evictions_total", "Window slots overwritten by newer observations.", float64(st.Evicted), "model", s.name)
+		e.Counter("eip_ingest_reservoir_replacements_total", "Long-horizon reservoir slots replaced by algorithm R.", float64(st.ReservoirReplaced), "model", s.name)
+
+		s.mu.Lock()
+		evals := s.evaluations
+		rotations := s.rotations
+		rejects := s.shadowRejects
+		retraining := s.retraining
+		score, haveScore := 0.0, false
+		if s.lastVerdict != nil {
+			score, haveScore = s.lastVerdict.Report.Score, true
+		}
+		s.mu.Unlock()
+
+		e.Gauge("eip_drift_drifting", "1 while the detector flags the model as drifted.", b2f(drifting), "model", s.name)
+		e.Counter("eip_drift_evaluations_total", "Drift evaluations run for the model.", float64(evals), "model", s.name)
+		if haveScore {
+			e.Gauge("eip_drift_score", "Drift score of the most recent evaluation (weighted mean per-segment JS divergence).", score, "model", s.name)
+		}
+		e.Counter("eip_refresh_rotations_total", "Models published by the refresh loop.", float64(rotations), "model", s.name)
+		e.Counter("eip_refresh_shadow_rejects_total", "Retrained candidates that failed shadow evaluation.", float64(rejects), "model", s.name)
+		e.Gauge("eip_refresh_retraining", "1 while a drift-triggered retrain is in flight.", b2f(retraining), "model", s.name)
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Forget drops the named model's stream (after a registry delete).

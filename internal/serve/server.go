@@ -29,8 +29,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
@@ -39,6 +40,7 @@ import (
 	"entropyip/internal/core"
 	"entropyip/internal/dataset"
 	"entropyip/internal/ip6"
+	"entropyip/internal/obs"
 	"entropyip/internal/registry"
 )
 
@@ -87,6 +89,10 @@ type Options struct {
 	// value scores drift with default thresholds but does not retrain;
 	// set Refresh.AutoRefresh to close the loop.
 	Refresh RefreshOptions
+	// Logger receives structured request logs (one record per completed
+	// request, with a per-request ID) and subsystem events. Nil discards
+	// everything — instrumented code never needs a nil check.
+	Logger *slog.Logger
 }
 
 func (o Options) workers() int {
@@ -136,6 +142,17 @@ type Server struct {
 	metrics   *Metrics
 	refresher *Refresher
 	mux       *http.ServeMux
+
+	obs    *obs.Registry
+	logger *slog.Logger
+	// Serving-plane counters fed by the handlers (see serve/obs.go for
+	// the scrape-time collectors over the other subsystems).
+	candidates      *obs.Counter
+	observeAccepted *obs.Counter
+	observeInvalid  *obs.Counter
+	// stageHist maps core.BuildStages names to the per-stage training
+	// latency histograms; read-only after New.
+	stageHist map[string]*obs.Histogram
 }
 
 // New returns a Server over the given registry.
@@ -145,14 +162,22 @@ func New(reg *registry.Registry, opts Options) *Server {
 	if refreshOpts.TrainWorkers == 0 {
 		refreshOpts.TrainWorkers = opts.TrainWorkers
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
+	o := obs.NewRegistry()
 	s := &Server{
 		reg:       reg,
 		opts:      opts,
 		pool:      pool,
-		metrics:   newMetrics(),
+		metrics:   newMetrics(o),
 		refresher: NewRefresher(reg, pool, refreshOpts),
 		mux:       http.NewServeMux(),
+		obs:       o,
+		logger:    logger,
 	}
+	s.registerObservability()
 	s.handle("GET /v1/models", s.handleList)
 	s.handle("GET /v1/models/{name}", s.handleModelInfo)
 	s.handle("GET /v1/models/{name}/model", s.handleDownload)
@@ -164,6 +189,7 @@ func New(reg *registry.Registry, opts Options) *Server {
 	s.handle("GET /v1/models/{name}/drift", s.handleDriftStatus)
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /v1/healthz", s.handleHealthz)
+	s.handle("GET /metrics", s.handleMetrics)
 	return s
 }
 
@@ -179,21 +205,81 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Metrics exposes the server's request metrics (for the daemon's logs).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// handle registers an instrumented handler under a method+path pattern.
+// handle registers an instrumented handler under a method+path pattern:
+// per-route counters and latency histogram, a per-request ID (echoed in
+// X-Request-Id and attached to the request context for handler logging),
+// a structured access-log record per completed request, and panic
+// recovery — a panicking handler answers 500 (when the header is still
+// unwritten), the in-flight gauge is decremented either way, and
+// eip_http_panics_total increments instead of the gauge wedging.
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	rm := s.metrics.route(pattern)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		id := obs.NextRequestID()
 		s.metrics.begin()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		sw.Header().Set("X-Request-Id", id)
+		r = r.WithContext(withRequestID(r.Context(), id))
+		defer func() {
+			dur := time.Since(start)
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					// The sanctioned abort: account for the request, then
+					// let net/http handle the panic as designed.
+					s.metrics.end(rm, sw.status, dur, sw.bytes)
+					panic(p)
+				}
+				s.metrics.panicked()
+				s.logger.Error("handler panic",
+					"request_id", id,
+					"route", pattern,
+					"panic", fmt.Sprint(p),
+					"stack", string(debug.Stack()))
+				if !sw.wroteHeader {
+					writeError(sw, http.StatusInternalServerError, "internal server error")
+				}
+			}
+			s.metrics.end(rm, sw.status, dur, sw.bytes)
+			s.logRequest(r, pattern, id, sw, dur)
+		}()
 		h(sw, r)
-		s.metrics.end(pattern, sw.status, time.Since(start))
 	})
 }
 
-// statusWriter records the response status for metrics.
+// logRequest emits the per-request access-log record. Success is Debug
+// so request-rate logging is opt-in; client errors are Warn and server
+// errors Error. The Enabled check skips attribute assembly entirely when
+// the level is filtered, keeping the hot path allocation-free under the
+// default Info level.
+func (s *Server) logRequest(r *http.Request, pattern, id string, sw *statusWriter, dur time.Duration) {
+	level := slog.LevelDebug
+	switch {
+	case sw.status >= 500:
+		level = slog.LevelError
+	case sw.status >= 400:
+		level = slog.LevelWarn
+	}
+	ctx := r.Context()
+	if !s.logger.Enabled(ctx, level) {
+		return
+	}
+	s.logger.LogAttrs(ctx, level, "request",
+		slog.String("request_id", id),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.String("route", pattern),
+		slog.Int("status", sw.status),
+		slog.Int64("bytes", sw.bytes),
+		slog.Duration("duration", dur),
+		slog.String("remote", r.RemoteAddr))
+}
+
+// statusWriter records the response status and body bytes for metrics.
 type statusWriter struct {
 	http.ResponseWriter
 	status      int
+	bytes       int64
 	wroteHeader bool
 }
 
@@ -203,6 +289,15 @@ func (w *statusWriter) WriteHeader(status int) {
 		w.wroteHeader = true
 	}
 	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	// An implicit first Write commits the default 200 header; record that
+	// so the panic middleware knows a 500 can no longer be sent.
+	w.wroteHeader = true
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
 }
 
 func (w *statusWriter) Flush() {
@@ -403,7 +498,9 @@ func (s *Server) train(w http.ResponseWriter, r *http.Request, name string, req 
 	var info registry.Info
 	var buildErr error
 	err := s.pool.Do(r.Context(), func() error {
-		m, err := core.Build(addrs, req.Options.coreOptions(s.opts.TrainWorkers))
+		buildOpts := req.Options.coreOptions(s.opts.TrainWorkers)
+		buildOpts.OnStage = s.stageObserver(r.Context(), name)
+		m, err := core.Build(addrs, buildOpts)
 		if err != nil {
 			buildErr = err
 			return err
@@ -675,11 +772,17 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		// Mid-stream failure: the 200 status is already on the wire, so
 		// emit an error trailer line the client can distinguish from a
 		// legitimately short stream, and log it server-side.
-		log.Printf("serve: generate %s v%d failed after %d lines: %v", info.Name, info.Version, lines, err)
+		s.logger.Error("generate failed mid-stream",
+			"request_id", requestID(ctx),
+			"model", info.Name,
+			"version", info.Version,
+			"lines", lines,
+			"err", err)
 		lb.b = appendErrorLine(lb.b[:0], err.Error())
 		_, _ = bw.Write(lb.b)
 	}
 	_ = bw.Flush()
+	s.candidates.Add(uint64(lines))
 }
 
 // randomSeed derives a fresh generation seed for requests that omit one.
@@ -756,6 +859,10 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	scanner.Buffer(make([]byte, 0, 64*1024), dataset.MaxLineBytes)
 
 	var out ObserveResponse
+	// Line-outcome counters for /metrics: accepted lines are added batch
+	// by batch in flush (so early error returns still count what entered
+	// the window); invalid lines are added once on the way out.
+	defer func() { s.observeInvalid.Add(uint64(out.Invalid)) }()
 	batchp := observeBatchPool.Get().(*[]ip6.Addr)
 	batch := (*batchp)[:0]
 	defer func() {
@@ -774,6 +881,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		}
 		out.Accepted += res.Accepted
 		out.Evaluated = out.Evaluated || res.Evaluated
+		s.observeAccepted.Add(uint64(res.Accepted))
 		return true
 	}
 	for scanner.Scan() {
