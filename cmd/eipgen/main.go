@@ -6,14 +6,20 @@
 //
 //	eipgen -model model.json -n 100000 -o candidates.txt
 //	eipgen -model model.json -n 100000 -prefixes -condition B=B2
+//	eipgen -server http://farm:8080 -server-model web -n 100000
 //
 // Generation draws on all cores by default (-workers bounds it); the
 // emitted sequence is identical for any worker count unless -unordered
-// trades the deterministic order for throughput.
+// trades the deterministic order for throughput. With -server the model
+// stays on an eipserved farm and candidates stream back over the framed
+// binary wire encoding (16 bytes per address; -ndjson switches to the
+// text encoding) — the output is identical to generating locally from
+// the same model and seed.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +28,7 @@ import (
 	"entropyip/internal/core"
 	"entropyip/internal/dataset"
 	"entropyip/internal/ip6"
+	"entropyip/pkg/client"
 )
 
 func main() {
@@ -35,10 +42,62 @@ func main() {
 		workers   = flag.Int("workers", 0, "goroutines drawing candidates (0 = all cores; output is identical either way)")
 		unordered = flag.Bool("unordered", false, "emit candidates in arrival order instead of the deterministic order (faster)")
 		outPath   = flag.String("o", "-", "output file ('-' for stdout)")
+		server    = flag.String("server", "", "generate remotely on an eipserved instance (base URL) instead of from a local model file")
+		srvModel  = flag.String("server-model", "", "model name on the server (with -server)")
+		ndjson    = flag.Bool("ndjson", false, "use the NDJSON response encoding instead of binary (with -server)")
 	)
 	flag.Parse()
+	evidence := map[string]string{}
+	if *condition != "" {
+		for _, part := range strings.Split(*condition, ",") {
+			kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+			if len(kv) != 2 {
+				fatal(fmt.Errorf("invalid -condition entry %q", part))
+			}
+			evidence[kv[0]] = kv[1]
+		}
+	}
+
+	var err error
+	out := os.Stdout
+	if *outPath != "-" {
+		out, err = os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer out.Close()
+	}
+	w := bufio.NewWriter(out)
+
+	if *server != "" {
+		if *srvModel == "" {
+			fmt.Fprintln(os.Stderr, "eipgen: -server-model is required with -server")
+			os.Exit(2)
+		}
+		if *exclude != "" {
+			fatal(fmt.Errorf("-exclude is local-only; the server manages its own dedup"))
+		}
+		count, err := generateRemote(w, *server, *srvModel, client.GenerateOptions{
+			Count:     *n,
+			Seed:      seed,
+			Evidence:  evidence,
+			Prefixes:  *prefixes,
+			Workers:   *workers,
+			Unordered: *unordered,
+			Binary:    !*ndjson,
+		})
+		if ferr := w.Flush(); err == nil {
+			err = ferr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		report(count, *prefixes)
+		return
+	}
+
 	if *modelPath == "" {
-		fmt.Fprintln(os.Stderr, "eipgen: -model is required")
+		fmt.Fprintln(os.Stderr, "eipgen: -model or -server is required")
 		os.Exit(2)
 	}
 	f, err := os.Open(*modelPath)
@@ -52,15 +111,8 @@ func main() {
 	}
 
 	opts := core.GenerateOptions{Count: *n, Seed: *seed, Workers: *workers, Unordered: *unordered}
-	if *condition != "" {
-		opts.Evidence = core.Evidence{}
-		for _, part := range strings.Split(*condition, ",") {
-			kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
-			if len(kv) != 2 {
-				fatal(fmt.Errorf("invalid -condition entry %q", part))
-			}
-			opts.Evidence[kv[0]] = kv[1]
-		}
+	if len(evidence) > 0 {
+		opts.Evidence = core.Evidence(evidence)
 	}
 	if *exclude != "" {
 		d, err := dataset.LoadFile(*exclude)
@@ -69,16 +121,6 @@ func main() {
 		}
 		opts.Exclude = d.Set()
 	}
-
-	out := os.Stdout
-	if *outPath != "-" {
-		out, err = os.Create(*outPath)
-		if err != nil {
-			fatal(err)
-		}
-		defer out.Close()
-	}
-	w := bufio.NewWriter(out)
 
 	// Stream instead of materializing: memory stays bounded by the
 	// generator's dedup set however large -n is. Each candidate is
@@ -112,8 +154,46 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	report(count, *prefixes)
+}
+
+// generateRemote streams candidates from a serving farm through
+// pkg/client, writing the same text lines local generation produces.
+func generateRemote(w *bufio.Writer, server, model string, opts client.GenerateOptions) (int, error) {
+	c := client.New(server, nil)
+	count := 0
+	line := make([]byte, 0, 64)
+	var werr error
+	res, err := c.Generate(context.Background(), model, opts, func(e client.Event) bool {
+		switch e.Kind {
+		case client.KindCandidate:
+			if opts.Prefixes {
+				line = e.Prefix.AppendString(line[:0])
+			} else {
+				line = e.Addr.AppendString(line[:0])
+			}
+			line = append(line, '\n')
+			_, werr = w.Write(line)
+			count++
+			return werr == nil
+		case client.KindStreamError:
+			werr = fmt.Errorf("server stream failed: %s", e.Err)
+			return false
+		}
+		return true
+	})
+	if err == nil {
+		err = werr
+	}
+	if err == nil && res != nil && len(res.Seeds) > 0 {
+		fmt.Fprintf(os.Stderr, "eipgen: server %s encoding, seed %d\n", res.Encoding, res.Seeds[0])
+	}
+	return count, err
+}
+
+func report(count int, prefixes bool) {
 	kind := "addresses"
-	if *prefixes {
+	if prefixes {
 		kind = "/64 prefixes"
 	}
 	fmt.Fprintf(os.Stderr, "eipgen: generated %d candidate %s\n", count, kind)

@@ -8,6 +8,12 @@
 //
 //	eipscan -candidates candidates.txt -dataset R1 -train train.txt
 //	eipscan -candidates candidates.txt -dataset R1 -udp -workers 64
+//	eipscan -server http://farm:8080 -server-model web -n 100000 -dataset R1 -feedback
+//
+// With -server, candidates are pulled from an eipserved farm over the
+// framed binary wire encoding instead of a local file, and -feedback
+// pushes the scan's hit addresses back into the same model's ingest
+// window (binary observe) so the farm's drift detector sees them.
 package main
 
 import (
@@ -18,8 +24,10 @@ import (
 	"time"
 
 	"entropyip/internal/dataset"
+	"entropyip/internal/ip6"
 	"entropyip/internal/scan"
 	"entropyip/internal/synth"
+	"entropyip/pkg/client"
 )
 
 func main() {
@@ -33,15 +41,37 @@ func main() {
 		useUDP    = flag.Bool("udp", false, "probe over a loopback UDP responder instead of in memory")
 		timeout   = flag.Duration("timeout", 50*time.Millisecond, "per-probe reply timeout (UDP mode)")
 		prefixes  = flag.Bool("prefixes", false, "treat candidates as /64 prefixes (prefix-prediction mode)")
+		server    = flag.String("server", "", "pull candidates from an eipserved instance (base URL) instead of -candidates")
+		srvModel  = flag.String("server-model", "", "model name on the server (with -server)")
+		n         = flag.Int("n", 100000, "candidates to pull from the server (with -server)")
+		genSeed   = flag.Int64("gen-seed", 1, "generation seed for server-pulled candidates")
+		feedback  = flag.Bool("feedback", false, "push hit addresses back to the server's observe endpoint after the scan (with -server)")
 	)
 	flag.Parse()
-	if *candPath == "" || *dsName == "" {
-		fmt.Fprintln(os.Stderr, "eipscan: -candidates and -dataset are required")
+	if (*candPath == "" && *server == "") || *dsName == "" {
+		fmt.Fprintln(os.Stderr, "eipscan: -dataset plus -candidates or -server are required")
 		os.Exit(2)
 	}
-	cands, err := dataset.LoadFile(*candPath)
-	if err != nil {
-		fatal(err)
+	var candAddrs []ip6.Addr
+	var srv *client.Client
+	if *server != "" {
+		if *srvModel == "" {
+			fmt.Fprintln(os.Stderr, "eipscan: -server-model is required with -server")
+			os.Exit(2)
+		}
+		srv = client.New(*server, nil)
+		var err error
+		candAddrs, err = pullCandidates(srv, *srvModel, *n, *genSeed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "eipscan: pulled %d candidates from %s\n", len(candAddrs), *server)
+	} else {
+		cands, err := dataset.LoadFile(*candPath)
+		if err != nil {
+			fatal(err)
+		}
+		candAddrs = cands.Addrs
 	}
 	population, err := synth.Generate(*dsName, *dsSize, *seed)
 	if err != nil {
@@ -77,7 +107,7 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := scan.Run(ctx, prober, cands.Addrs, cfg)
+	res, err := scan.Run(ctx, prober, candAddrs, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -87,6 +117,41 @@ func main() {
 	fmt.Println(res.String())
 	fmt.Printf("probed %d candidates in %v (%.0f probes/s)\n",
 		res.Candidates, elapsed.Round(time.Millisecond), float64(res.Candidates)/elapsed.Seconds())
+
+	if *feedback {
+		if srv == nil {
+			fatal(fmt.Errorf("-feedback requires -server"))
+		}
+		or, err := srv.Observe(ctx, *srvModel, res.Hits)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "eipscan: fed %d hits back to %s (%d accepted)\n",
+			len(res.Hits), *srvModel, or.Accepted)
+	}
+}
+
+// pullCandidates streams n candidates from the serving farm over the
+// binary wire encoding.
+func pullCandidates(c *client.Client, model string, n int, seed int64) ([]ip6.Addr, error) {
+	out := make([]ip6.Addr, 0, n)
+	var streamErr error
+	_, err := c.Generate(context.Background(), model,
+		client.GenerateOptions{Count: n, Seed: &seed, Binary: true},
+		func(e client.Event) bool {
+			switch e.Kind {
+			case client.KindCandidate:
+				out = append(out, e.Addr)
+			case client.KindStreamError:
+				streamErr = fmt.Errorf("server stream failed: %s", e.Err)
+				return false
+			}
+			return true
+		})
+	if err == nil {
+		err = streamErr
+	}
+	return out, err
 }
 
 func fatal(err error) {

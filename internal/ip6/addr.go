@@ -300,6 +300,26 @@ func (a Addr) Expanded() string {
 	return string(a.AppendExpanded(b[:0]))
 }
 
+// AppendBinary appends the raw 16-byte network-order form of the address
+// to dst and returns the extended slice — the record format of the binary
+// wire protocol. It never allocates when dst has 16 bytes of spare
+// capacity.
+func (a Addr) AppendBinary(dst []byte) []byte {
+	return append(dst, a[:]...)
+}
+
+// AddrFromBinary decodes an address from the first 16 bytes of b, the
+// inverse of AppendBinary. ok is false when b is shorter than 16 bytes.
+// Unlike AddrFromBytes it neither errors nor cares about trailing bytes,
+// so frame decoders can slice records out of one payload buffer.
+func AddrFromBinary(b []byte) (a Addr, ok bool) {
+	if len(b) < 16 {
+		return Addr{}, false
+	}
+	copy(a[:], b)
+	return a, true
+}
+
 // MarshalText implements encoding.TextMarshaler using the canonical form.
 func (a Addr) MarshalText() ([]byte, error) {
 	return a.AppendString(make([]byte, 0, maxStringLen)), nil

@@ -99,6 +99,28 @@ func (p Prefix) Last() Addr {
 	return a
 }
 
+// AppendBinary appends the raw 17-byte form of the prefix — the 16-byte
+// network-order base address followed by one length byte — to dst and
+// returns the extended slice; the record format of the binary wire
+// protocol's prefix mode. It never allocates when dst has 17 bytes of
+// spare capacity.
+func (p Prefix) AppendBinary(dst []byte) []byte {
+	dst = append(dst, p.addr[:]...)
+	return append(dst, byte(p.bits))
+}
+
+// PrefixFromBinary decodes a prefix from the first 17 bytes of b, the
+// inverse of AppendBinary. ok is false when b is shorter than 17 bytes or
+// the length byte exceeds 128. Address bits beyond the prefix length are
+// masked off, so untrusted wire input still yields a canonical prefix.
+func PrefixFromBinary(b []byte) (p Prefix, ok bool) {
+	if len(b) < 17 || b[16] > 128 {
+		return Prefix{}, false
+	}
+	a, _ := AddrFromBinary(b)
+	return PrefixFrom(a, int(b[16])), true
+}
+
 // MarshalText implements encoding.TextMarshaler.
 func (p Prefix) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
 

@@ -14,6 +14,7 @@ import (
 	"entropyip/internal/ingest"
 	"entropyip/internal/ip6"
 	"entropyip/internal/registry"
+	"entropyip/internal/wire"
 )
 
 // BenchmarkGenerateNDJSON is the CI-gated per-line cost of the generate
@@ -54,6 +55,104 @@ func BenchmarkGenerateNDJSONReference(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkGenerateBinary100k is the CI-gated frame-encode cost of the
+// binary generate path: 100k candidate addresses per op appended through
+// a reused wire.Writer into a bufio.Writer, exactly as generateBinary's
+// producer does per candidate (header write, data frames, End frame).
+// Steady state must be 0 allocs/op, and scripts/check_bench.sh compares
+// its per-candidate cost against BenchmarkGenerateNDJSON in the same run
+// — the binary encoding must stay at least 2x the NDJSON throughput.
+func BenchmarkGenerateBinary100k(b *testing.B) {
+	const perOp = 100_000
+	addrs := testAddrs(4096, 1)
+	bw := bufio.NewWriter(io.Discard)
+	hdr := wire.AppendHeader(nil, wire.Header{Streams: 1, Seed: 1})
+	ww := wire.NewWriter(bw, 0, false, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bw.Write(hdr); err != nil {
+			b.Fatal(err)
+		}
+		ww.Reset(bw, 0, false, 0)
+		for j := 0; j < perOp; j++ {
+			if err := ww.AddAddr(addrs[j%len(addrs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := ww.End(); err != nil {
+			b.Fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(perOp*b.N)/b.Elapsed().Seconds(), "addrs/s")
+}
+
+// BenchmarkObserveBinary10k is the CI-gated frame-decode cost of the
+// binary observe path: a 10k-address binary body per op through a
+// reused wire.Reader, with every decoded batch pushed into a live
+// ingest.Buffer — observeBinary's loop without the HTTP envelope.
+// Steady state must be 0 allocs/op.
+func BenchmarkObserveBinary10k(b *testing.B) {
+	const perOp = 10_000
+	addrs := testAddrs(perOp, 2)
+	var body bytes.Buffer
+	body.Write(wire.AppendHeader(nil, wire.Header{Streams: 1}))
+	ww := wire.NewWriter(&body, 0, false, 0)
+	for _, a := range addrs {
+		if err := ww.AddAddr(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := ww.End(); err != nil {
+		b.Fatal(err)
+	}
+	payload := body.Bytes()
+	buf := ingest.New(ingest.Config{WindowSize: 16384})
+	// Warm the window so the benchmark measures steady-state overwrite.
+	buf.AddBatch(addrs)
+	batch := make([]ip6.Addr, 0, observeBatchSize)
+	var br bytes.Reader
+	br.Reset(payload)
+	rd, err := wire.NewReader(&br)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Reset(payload)
+		if err := rd.Reset(&br); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			f, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			switch f.Kind {
+			case wire.KindAddrs:
+				for j := 0; j < f.Count; j++ {
+					batch = append(batch, f.Addr(j))
+					if len(batch) >= observeBatchSize {
+						buf.AddBatch(batch)
+						batch = batch[:0]
+					}
+				}
+			case wire.KindEnd:
+			default:
+				b.Fatalf("unexpected frame kind 0x%02x", f.Kind)
+			}
+		}
+	}
+	b.ReportMetric(float64(perOp*b.N)/b.Elapsed().Seconds(), "addrs/s")
 }
 
 // BenchmarkObserveIngest is the CI-gated per-address cost of the observe

@@ -1,0 +1,581 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"entropyip/internal/core"
+	"entropyip/internal/ip6"
+	"entropyip/internal/wire"
+)
+
+// This file is the binary half of the wire-protocol redesign (PR 7): the
+// Accept/Content-Type negotiation between NDJSON and the framed binary
+// encoding of internal/wire, the batch (multi-stream) generate engine
+// both encodings share, and the binary /observe decode path. The
+// single-stream NDJSON path in server.go is untouched and byte-identical
+// to what PR 5 pinned.
+
+// encoding is a negotiated request/response encoding.
+type encoding int
+
+const (
+	encNDJSON encoding = iota
+	encBinary
+)
+
+// Row indexes into Server.encRequests (columns are the encoding values).
+const (
+	routeGenerate = 0
+	routeObserve  = 1
+)
+
+func (e encoding) String() string {
+	if e == encBinary {
+		return "binary"
+	}
+	return "ndjson"
+}
+
+// contentType returns the media type the encoding is served under.
+func (e encoding) contentType() string {
+	if e == encBinary {
+		return wire.ContentType
+	}
+	return "application/x-ndjson"
+}
+
+// negotiateGenerateEncoding picks the generate response encoding from
+// the Accept header. The binary type wins whenever it appears; an absent
+// or wildcard Accept keeps the NDJSON default; an Accept that admits
+// neither encoding is a 406. Quality parameters are ignored — a client
+// that sends q-values still gets the most capable encoding it listed.
+func negotiateGenerateEncoding(r *http.Request) (encoding, error) {
+	accept := r.Header.Get("Accept")
+	if accept == "" {
+		return encNDJSON, nil
+	}
+	ndjsonOK := false
+	for rest := accept; rest != ""; {
+		var part string
+		part, rest, _ = strings.Cut(rest, ",")
+		if i := strings.IndexByte(part, ';'); i >= 0 {
+			part = part[:i]
+		}
+		part = strings.TrimSpace(part)
+		switch {
+		case strings.EqualFold(part, wire.ContentType):
+			return encBinary, nil
+		case strings.EqualFold(part, "application/x-ndjson"),
+			strings.EqualFold(part, "application/json"),
+			strings.EqualFold(part, "application/*"),
+			part == "*/*":
+			ndjsonOK = true
+		}
+	}
+	if ndjsonOK {
+		return encNDJSON, nil
+	}
+	return 0, fmt.Errorf("Accept %q admits no supported encoding (application/x-ndjson, %s)", accept, wire.ContentType)
+}
+
+// isBinaryContentType reports whether a request body is declared as the
+// binary wire encoding.
+func isBinaryContentType(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.EqualFold(strings.TrimSpace(ct), wire.ContentType)
+}
+
+// MaxGenerateStreams caps the streams of one batch generate request at
+// what the wire format's frame stream index can address.
+const MaxGenerateStreams = wire.MaxStreams
+
+// maxConcurrentStreams bounds how many of a batch request's streams
+// generate at once; the rest start as earlier ones finish. Frames (or
+// NDJSON lines) interleave only among running streams, so this also
+// bounds the demultiplexing state a client holds at once.
+const maxConcurrentStreams = 8
+
+// resolvedStream is one generate stream after request validation, its
+// seed derived when the request omitted one. Evidence stays in request
+// form — the engine validates it against the model at generation time,
+// per stream.
+type resolvedStream struct {
+	count       int
+	seed        int64
+	evidence    core.Evidence
+	maxAttempts int
+}
+
+// resolveStreams validates a generate request into its stream list and
+// reports whether the request was batch-form. Single requests use the
+// legacy top-level fields; batch requests move count, seed, evidence and
+// max_attempts_factor per stream and must leave the top-level ones
+// unset.
+func (s *Server) resolveStreams(req *GenerateRequest) ([]resolvedStream, bool, error) {
+	maxCount := s.opts.maxGenerateCount()
+	if len(req.Streams) == 0 {
+		if req.Count <= 0 {
+			return nil, false, fmt.Errorf("count must be positive")
+		}
+		if req.Count > maxCount {
+			return nil, false, fmt.Errorf("count %d exceeds limit %d", req.Count, maxCount)
+		}
+		if req.MaxAttemptsFactor < 0 || req.MaxAttemptsFactor > MaxAttemptsFactorLimit {
+			return nil, false, fmt.Errorf("max_attempts_factor must be in 0..%d", MaxAttemptsFactorLimit)
+		}
+		seed := randomSeed()
+		if req.Seed != nil {
+			seed = *req.Seed
+		}
+		return []resolvedStream{{
+			count:       req.Count,
+			seed:        seed,
+			evidence:    core.Evidence(req.Evidence),
+			maxAttempts: req.MaxAttemptsFactor,
+		}}, false, nil
+	}
+	if req.Count != 0 || req.Seed != nil || len(req.Evidence) > 0 || req.MaxAttemptsFactor != 0 {
+		return nil, true, fmt.Errorf("streams and top-level count/seed/evidence/max_attempts_factor are mutually exclusive")
+	}
+	if len(req.Streams) > MaxGenerateStreams {
+		return nil, true, fmt.Errorf("%d streams exceed limit %d", len(req.Streams), MaxGenerateStreams)
+	}
+	out := make([]resolvedStream, len(req.Streams))
+	total := 0
+	for i, st := range req.Streams {
+		if st.Count <= 0 {
+			return nil, true, fmt.Errorf("streams[%d].count must be positive", i)
+		}
+		if st.MaxAttemptsFactor < 0 || st.MaxAttemptsFactor > MaxAttemptsFactorLimit {
+			return nil, true, fmt.Errorf("streams[%d].max_attempts_factor must be in 0..%d", i, MaxAttemptsFactorLimit)
+		}
+		total += st.Count
+		if total > maxCount {
+			return nil, true, fmt.Errorf("total count across streams exceeds limit %d", maxCount)
+		}
+		seed := randomSeed()
+		if st.Seed != nil {
+			seed = *st.Seed
+		}
+		out[i] = resolvedStream{
+			count:       st.Count,
+			seed:        seed,
+			evidence:    core.Evidence(st.Evidence),
+			maxAttempts: st.MaxAttemptsFactor,
+		}
+	}
+	return out, true, nil
+}
+
+// seedHeader renders the X-Seed value: the stream seeds, comma-joined in
+// stream order (a single stream's header is just its seed, as before).
+func seedHeader(streams []resolvedStream) string {
+	if len(streams) == 1 {
+		return strconv.FormatInt(streams[0].seed, 10)
+	}
+	var b strings.Builder
+	for i, st := range streams {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(st.seed, 10))
+	}
+	return b.String()
+}
+
+// generateOptions builds the engine options for one resolved stream.
+// Without Stop, a disconnected client would keep the generator spinning
+// through duplicate draws until the attempt budget runs out.
+func (s *Server) generateOptions(ctx context.Context, st resolvedStream, req *GenerateRequest) core.GenerateOptions {
+	workers := req.Workers
+	if workers == 0 {
+		workers = s.opts.GenerateWorkers
+	}
+	return core.GenerateOptions{
+		Count:             st.count,
+		Seed:              st.seed,
+		Evidence:          st.evidence,
+		MaxAttemptsFactor: st.maxAttempts,
+		Workers:           workers,
+		Unordered:         req.Unordered,
+		Stop:              func() bool { return ctx.Err() != nil },
+	}
+}
+
+// lockedSink serializes frame/line writes from concurrent stream
+// producers onto one buffered response writer. Each Write call must be
+// one complete frame (or NDJSON line) — wire.Writer guarantees this —
+// so frames of different streams interleave without tearing. The first
+// error (including client disconnect) sticks and fails every later
+// write, stopping all producers.
+type lockedSink struct {
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	flusher http.Flusher
+	ctx     context.Context
+	// every flushes after that many writes; 1 flushes each write.
+	every  int
+	n      int
+	writes int64
+	err    error
+}
+
+func (ls *lockedSink) Write(p []byte) (int, error) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.err != nil {
+		return 0, ls.err
+	}
+	if ls.ctx.Err() != nil {
+		ls.err = ls.ctx.Err()
+		return 0, ls.err
+	}
+	n, err := ls.bw.Write(p)
+	if err != nil {
+		ls.err = err
+		return n, err
+	}
+	ls.writes++
+	ls.n++
+	if ls.n%ls.every == 0 {
+		if err := ls.bw.Flush(); err != nil {
+			ls.err = err
+			return n, err
+		}
+		if ls.flusher != nil {
+			ls.flusher.Flush()
+		}
+	}
+	return n, nil
+}
+
+// wroteAny reports whether any frame/line reached the buffered writer —
+// after which the 200 status may be on the wire and errors must go
+// in-band.
+func (ls *lockedSink) wroteAny() bool {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.writes > 0
+}
+
+// wireWriterPool reuses per-stream binary frame encoders; Reset keeps
+// each Writer's frame buffer, so steady state allocates nothing.
+var wireWriterPool = sync.Pool{
+	New: func() interface{} { return new(wire.Writer) },
+}
+
+// wireReaderPool reuses binary body decoders (one fixed payload buffer
+// each) across /observe requests.
+var wireReaderPool = sync.Pool{
+	New: func() interface{} { return new(wire.Reader) },
+}
+
+// generateBinary streams candidates in the framed binary encoding,
+// single-stream or batch. The stream header goes out first; stream
+// producers then run concurrently (bounded by maxConcurrentStreams),
+// each multiplexing complete frames onto the shared sink. A stream that
+// fails after bytes are on the wire reports in-band through its Error
+// frame; a single-stream request that fails before anything was flushed
+// still gets a clean error envelope.
+func (s *Server) generateBinary(w http.ResponseWriter, r *http.Request, m *core.Model, req *GenerateRequest, streams []resolvedStream, batch bool) {
+	ctx := r.Context()
+	flusher, _ := w.(http.Flusher)
+	bw := bufio.NewWriterSize(w, 32<<10)
+	// Data frames are kilobytes each, so flushing every frame keeps
+	// time-to-first-candidate low without defeating buffering.
+	sink := &lockedSink{bw: bw, flusher: flusher, ctx: ctx, every: 1}
+
+	var flags uint8
+	if req.Prefixes {
+		flags |= wire.FlagPrefixes
+	}
+	if batch {
+		flags |= wire.FlagBatch
+	}
+	// The header goes into the bufio buffer but is not flushed: if a
+	// single-stream request fails before its first frame, the buffer is
+	// simply abandoned and a JSON error envelope written instead.
+	var hb [wire.HeaderSize]byte
+	if _, err := bw.Write(wire.AppendHeader(hb[:0], wire.Header{
+		Flags:   flags,
+		Streams: len(streams),
+		Seed:    streams[0].seed,
+	})); err != nil {
+		return
+	}
+
+	var produced int64
+	streamErrs := make([]error, len(streams))
+	runStream := func(idx int) {
+		st := streams[idx]
+		ww := wireWriterPool.Get().(*wire.Writer)
+		defer wireWriterPool.Put(ww)
+		ww.Reset(sink, idx, req.Prefixes, s.opts.flushEvery())
+		if batch {
+			if ww.Seed(st.seed) != nil {
+				return
+			}
+		}
+		opts := s.generateOptions(ctx, st, req)
+		var n int64
+		var werr error
+		var err error
+		if req.Prefixes {
+			err = m.GeneratePrefixesStream(opts, func(p ip6.Prefix) bool {
+				n++
+				werr = ww.AddPrefix(p)
+				return werr == nil
+			})
+		} else {
+			err = m.GenerateStream(opts, func(a ip6.Addr) bool {
+				n++
+				werr = ww.AddAddr(a)
+				return werr == nil
+			})
+		}
+		atomic.AddInt64(&produced, n)
+		switch {
+		case werr != nil || ctx.Err() != nil:
+			// The sink is dead (client gone or write failure); nothing
+			// more to say on the wire.
+		case err != nil:
+			if !batch && !sink.wroteAny() {
+				// Nothing flushed yet: the caller answers with a clean
+				// error envelope instead of a binary Error frame.
+				streamErrs[idx] = err
+				return
+			}
+			s.logger.Error("generate failed mid-stream",
+				"request_id", requestID(ctx),
+				"model", r.PathValue("name"),
+				"stream", idx,
+				"encoding", "binary",
+				"err", err)
+			_ = ww.Error(err.Error())
+		default:
+			_ = ww.End()
+		}
+	}
+
+	if !batch {
+		runStream(0)
+		if streamErrs[0] != nil {
+			writeError(w, r, http.StatusBadRequest, "%v", streamErrs[0])
+			return
+		}
+	} else {
+		sem := make(chan struct{}, maxConcurrentStreams)
+		var wg sync.WaitGroup
+		for i := range streams {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				runStream(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+	_ = bw.Flush()
+	s.candidates.Add(uint64(atomic.LoadInt64(&produced)))
+}
+
+// generateNDJSONBatch streams a batch request in NDJSON: one object per
+// line, each tagged with its stream index —
+//
+//	{"stream":0,"addr":"2001:db8::1"}
+//	{"stream":1,"prefix":"2001:db8::/64"}
+//	{"stream":0,"done":true}           stream completed
+//	{"stream":1,"error":"..."}         stream failed mid-way
+//
+// Lines of different streams interleave arbitrarily; lines of one
+// stream are in its deterministic order. Stream seeds are echoed
+// comma-joined in X-Seed (GenerateItem decodes these lines client-side).
+func (s *Server) generateNDJSONBatch(w http.ResponseWriter, r *http.Request, m *core.Model, req *GenerateRequest, streams []resolvedStream) {
+	ctx := r.Context()
+	flusher, _ := w.(http.Flusher)
+	bw := bufio.NewWriterSize(w, 32<<10)
+	sink := &lockedSink{bw: bw, flusher: flusher, ctx: ctx, every: s.opts.flushEvery()}
+
+	var produced int64
+	runStream := func(idx int) {
+		st := streams[idx]
+		lb := getLineBuf()
+		defer putLineBuf(lb)
+		prefix := `{"stream":` + strconv.Itoa(idx) + `,`
+		opts := s.generateOptions(ctx, st, req)
+		var n int64
+		var werr error
+		write := func() bool {
+			_, werr = sink.Write(lb.b)
+			return werr == nil
+		}
+		var err error
+		if req.Prefixes {
+			err = m.GeneratePrefixesStream(opts, func(p ip6.Prefix) bool {
+				lb.b = append(lb.b[:0], prefix...)
+				lb.b = append(lb.b, `"prefix":"`...)
+				lb.b = p.AppendString(lb.b)
+				lb.b = append(lb.b, '"', '}', '\n')
+				n++
+				return write()
+			})
+		} else {
+			err = m.GenerateStream(opts, func(a ip6.Addr) bool {
+				lb.b = append(lb.b[:0], prefix...)
+				lb.b = append(lb.b, `"addr":"`...)
+				lb.b = a.AppendString(lb.b)
+				lb.b = append(lb.b, '"', '}', '\n')
+				n++
+				return write()
+			})
+		}
+		atomic.AddInt64(&produced, n)
+		switch {
+		case werr != nil || ctx.Err() != nil:
+		case err != nil:
+			s.logger.Error("generate failed mid-stream",
+				"request_id", requestID(ctx),
+				"model", r.PathValue("name"),
+				"stream", idx,
+				"encoding", "ndjson",
+				"err", err)
+			lb.b = append(lb.b[:0], prefix...)
+			lb.b = append(lb.b, `"error":`...)
+			lb.b = appendJSONString(lb.b, err.Error())
+			lb.b = append(lb.b, '}', '\n')
+			_, _ = sink.Write(lb.b)
+		default:
+			lb.b = append(lb.b[:0], prefix...)
+			lb.b = append(lb.b, `"done":true}`...)
+			lb.b = append(lb.b, '\n')
+			_, _ = sink.Write(lb.b)
+		}
+	}
+
+	sem := make(chan struct{}, maxConcurrentStreams)
+	var wg sync.WaitGroup
+	for i := range streams {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			runStream(i)
+		}(i)
+	}
+	wg.Wait()
+	_ = bw.Flush()
+	if flusher != nil {
+		flusher.Flush()
+	}
+	s.candidates.Add(uint64(atomic.LoadInt64(&produced)))
+}
+
+// observeBinary ingests a framed binary /observe body: address frames
+// stream into the model's observation window in the same bounded
+// batches as the text path. Malformed framing rejects the request — a
+// binary body is machine-written, so unlike text lines a bad frame is a
+// protocol error, not traffic noise to skip (there is no Invalid count
+// on this path).
+func (s *Server) observeBinary(w http.ResponseWriter, r *http.Request, name string) {
+	body := http.MaxBytesReader(w, r.Body, s.opts.maxBodyBytes())
+	rd := wireReaderPool.Get().(*wire.Reader)
+	defer wireReaderPool.Put(rd)
+	if err := rd.Reset(body); err != nil {
+		writeWireError(w, r, err)
+		return
+	}
+	if rd.Header().Prefixes() {
+		writeError(w, r, http.StatusBadRequest, "observe ingests addresses; prefix streams are not accepted")
+		return
+	}
+
+	var out ObserveResponse
+	batchp := observeBatchPool.Get().(*[]ip6.Addr)
+	batch := (*batchp)[:0]
+	defer func() {
+		*batchp = batch[:0]
+		observeBatchPool.Put(batchp)
+	}()
+decode:
+	for {
+		f, err := rd.Next()
+		switch {
+		case err == io.EOF:
+			break decode
+		case err != nil:
+			writeWireError(w, r, err)
+			return
+		}
+		switch f.Kind {
+		case wire.KindAddrs:
+			for i := 0; i < f.Count; i++ {
+				batch = append(batch, f.Addr(i))
+				if len(batch) >= observeBatchSize {
+					if !s.observeFlush(w, r, name, &batch, &out) {
+						return
+					}
+				}
+			}
+		case wire.KindEnd:
+			// Stream complete; keep reading so multi-stream bodies (e.g. a
+			// saved batch response piped back) drain every stream's End.
+		case wire.KindSeed:
+			// Seed frames are meaningful on generate responses only; a
+			// replayed capture may carry them, and they are no-ops here.
+		default:
+			writeError(w, r, http.StatusBadRequest,
+				"unexpected frame kind 0x%02x in observe body", f.Kind)
+			return
+		}
+	}
+	if !s.observeFlush(w, r, name, &batch, &out) {
+		return
+	}
+	out.Drift, _ = s.refresher.Status(name)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// writeWireError maps binary-decode failures onto the error envelope:
+// body-size overruns are 413 like everywhere else; anything wrong with
+// the framing itself is a 400.
+func writeWireError(w http.ResponseWriter, r *http.Request, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeError(w, r, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
+		return
+	}
+	writeError(w, r, http.StatusBadRequest, "invalid binary body: %v", err)
+}
+
+// observeFlush pushes the accumulated batch into the model's window,
+// folding the result into out. On registry errors it answers the
+// request itself and returns false.
+func (s *Server) observeFlush(w http.ResponseWriter, r *http.Request, name string, batch *[]ip6.Addr, out *ObserveResponse) bool {
+	if len(*batch) == 0 {
+		return true
+	}
+	res, err := s.refresher.Observe(name, *batch)
+	*batch = (*batch)[:0]
+	if err != nil {
+		writeRegistryError(w, r, err)
+		return false
+	}
+	out.Accepted += res.Accepted
+	out.Evaluated = out.Evaluated || res.Evaluated
+	s.observeAccepted.Add(uint64(res.Accepted))
+	return true
+}

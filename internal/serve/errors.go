@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"entropyip/internal/registry"
+)
+
+// Every non-2xx answer from a /v1 handler carries ONE body shape — the
+// v1 error envelope:
+//
+//	{"error": {"code": "...", "message": "...", "request_id": "req-..."}}
+//
+// The code is a stable, machine-matchable string derived from the HTTP
+// status (the table below is pinned by TestErrorCodeForStatus); the
+// message is human-readable and free to change; the request_id matches
+// the X-Request-Id response header and the server's structured logs, so
+// a client error report names the exact log records to pull. Error
+// bodies used to be ad-hoc {"error": "<string>"} shapes — PR 7
+// consolidated them; see docs/API.md "Errors".
+//
+// The NDJSON {"error":"..."} trailer line of a generate stream that
+// fails after the 200 header is on the wire is NOT an error body (the
+// response status is 200); its shape is part of the stream encoding and
+// unchanged.
+
+// Error codes of the v1 envelope, by HTTP status.
+const (
+	CodeInvalidRequest       = "invalid_request"        // 400
+	CodeNotFound             = "not_found"              // 404
+	CodeNotAcceptable        = "not_acceptable"         // 406
+	CodePayloadTooLarge      = "payload_too_large"      // 413
+	CodeUnsupportedMediaType = "unsupported_media_type" // 415
+	CodeUnprocessable        = "unprocessable"          // 422
+	CodeInternal             = "internal"               // 500
+	CodeUnavailable          = "unavailable"            // 503
+)
+
+// errorCodeForStatus maps an HTTP status to its envelope code. Statuses
+// outside the table collapse to the generic code of their class, so a
+// future handler cannot emit an unmapped code by accident.
+func errorCodeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeInvalidRequest
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusNotAcceptable:
+		return CodeNotAcceptable
+	case http.StatusRequestEntityTooLarge:
+		return CodePayloadTooLarge
+	case http.StatusUnsupportedMediaType:
+		return CodeUnsupportedMediaType
+	case http.StatusUnprocessableEntity:
+		return CodeUnprocessable
+	case http.StatusServiceUnavailable:
+		return CodeUnavailable
+	}
+	if status >= 500 {
+		return CodeInternal
+	}
+	return CodeInvalidRequest
+}
+
+// ErrorBody is the object under "error" in the v1 error envelope.
+type ErrorBody struct {
+	// Code is the stable machine-matchable error class (Code* constants).
+	Code string `json:"code"`
+	// Message is the human-readable description.
+	Message string `json:"message"`
+	// RequestID echoes the X-Request-Id header for log correlation.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// errorResponse is the JSON body of every non-2xx answer.
+type errorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError answers with the v1 error envelope. The request supplies
+// the request ID assigned by the middleware; handlers outside the
+// middleware (none today) get an envelope without one.
+func writeError(w http.ResponseWriter, r *http.Request, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorResponse{Error: ErrorBody{
+		Code:      errorCodeForStatus(status),
+		Message:   fmt.Sprintf(format, args...),
+		RequestID: requestID(r.Context()),
+	}})
+}
+
+// writeRegistryError maps registry errors to HTTP statuses.
+func writeRegistryError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, registry.ErrNotFound):
+		writeError(w, r, http.StatusNotFound, "%v", err)
+	default:
+		writeError(w, r, http.StatusInternalServerError, "%v", err)
+	}
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestErrorCodeForStatus pins the status ↔ code table of the v1 error
+// envelope. Codes are API surface: clients match on them, so a change
+// here is a breaking change and must show up as a failing test.
+func TestErrorCodeForStatus(t *testing.T) {
+	cases := []struct {
+		status int
+		code   string
+	}{
+		{http.StatusBadRequest, "invalid_request"},
+		{http.StatusNotFound, "not_found"},
+		{http.StatusNotAcceptable, "not_acceptable"},
+		{http.StatusRequestEntityTooLarge, "payload_too_large"},
+		{http.StatusUnsupportedMediaType, "unsupported_media_type"},
+		{http.StatusUnprocessableEntity, "unprocessable"},
+		{http.StatusInternalServerError, "internal"},
+		{http.StatusServiceUnavailable, "unavailable"},
+		// Unmapped statuses collapse to their class's generic code.
+		{http.StatusConflict, "invalid_request"},
+		{http.StatusTooManyRequests, "invalid_request"},
+		{http.StatusBadGateway, "internal"},
+	}
+	for _, tc := range cases {
+		if got := errorCodeForStatus(tc.status); got != tc.code {
+			t.Errorf("errorCodeForStatus(%d) = %q, want %q", tc.status, got, tc.code)
+		}
+	}
+}
+
+// TestErrorEnvelopeShape drives every error-producing handler class and
+// checks the one envelope shape comes back: code matching the status,
+// a non-empty message, and a request_id equal to the X-Request-Id
+// header so clients can quote the exact server-side log records.
+func TestErrorEnvelopeShape(t *testing.T) {
+	s, reg := newTestServer(t, Options{MaxGenerateCount: 100})
+	if _, err := reg.Put("web", testModel(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   interface{}
+		status int
+	}{
+		{"registry 404", "POST", "/v1/models/missing/browse", BrowseRequest{}, http.StatusNotFound},
+		{"validation 400", "POST", "/v1/models/web/generate", GenerateRequest{Count: 0}, http.StatusBadRequest},
+		{"count limit 400", "POST", "/v1/models/web/generate", GenerateRequest{Count: 101}, http.StatusBadRequest},
+		{"bad name 400", "PUT", "/v1/models/.hidden", PutModelRequest{}, http.StatusBadRequest},
+		{"drift of missing model 404", "GET", "/v1/models/missing/drift", nil, http.StatusNotFound},
+		{"observe missing model 404", "POST", "/v1/models/missing/observe", nil, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		w := do(t, s, tc.method, tc.path, tc.body)
+		if w.Code != tc.status {
+			t.Errorf("%s: status = %d, want %d (%s)", tc.name, w.Code, tc.status, w.Body.String())
+			continue
+		}
+		var er errorResponse
+		decode(t, w, &er)
+		if er.Error.Code != errorCodeForStatus(tc.status) {
+			t.Errorf("%s: code = %q, want %q", tc.name, er.Error.Code, errorCodeForStatus(tc.status))
+		}
+		if er.Error.Message == "" {
+			t.Errorf("%s: empty message", tc.name)
+		}
+		if want := w.Header().Get("X-Request-Id"); want == "" || er.Error.RequestID != want {
+			t.Errorf("%s: request_id = %q, X-Request-Id = %q (must match, non-empty)",
+				tc.name, er.Error.RequestID, want)
+		}
+	}
+}

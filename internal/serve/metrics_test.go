@@ -129,8 +129,8 @@ func TestPanicRecovery(t *testing.T) {
 	}
 	var er errorResponse
 	decode(t, w, &er)
-	if er.Error == "" {
-		t.Error("expected a JSON error body")
+	if er.Error.Message == "" || er.Error.Code != CodeInternal {
+		t.Errorf("expected an internal error envelope, got %+v", er.Error)
 	}
 
 	snap := s.metrics.Snapshot()

@@ -40,6 +40,16 @@ func (s *Server) registerObservability() {
 	s.observeInvalid = o.Counter("eip_observe_lines_total",
 		"Observe NDJSON lines by outcome.", "result", "invalid")
 
+	// Per-encoding request counters for the two negotiated routes, all
+	// four series pre-registered so the handlers index an array.
+	for ri, route := range [...]string{"generate", "observe"} {
+		for ei, encName := range [...]string{"ndjson", "binary"} {
+			s.encRequests[ri][ei] = o.Counter("eip_encoding_requests_total",
+				"Requests by route and negotiated wire encoding.",
+				"route", route, "encoding", encName)
+		}
+	}
+
 	// One histogram series per pipeline stage, pre-registered so the
 	// OnStage callback is a map lookup on a read-only map plus a lock-free
 	// observe — no allocation, no registration race.

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"entropyip/internal/wire"
+)
+
+// TestOpenAPIRoutesMatchMux diffs the OpenAPI operations table against
+// the mux patterns the server actually registers: every /v1 route must
+// be documented, and the spec must not document routes that do not
+// exist. (The non-versioned /healthz alias and /metrics are
+// infrastructure endpoints, outside the v1 contract.)
+func TestOpenAPIRoutesMatchMux(t *testing.T) {
+	s, _ := newTestServer(t, Options{})
+	var registered []string
+	for _, p := range s.patterns {
+		if strings.Contains(p, " /v1/") {
+			registered = append(registered, p)
+		}
+	}
+	sort.Strings(registered)
+	spec := specRoutePatterns()
+	if strings.Join(registered, "\n") != strings.Join(spec, "\n") {
+		t.Errorf("spec route list diverges from the mux.\nregistered (/v1 only):\n  %s\nspec:\n  %s",
+			strings.Join(registered, "\n  "), strings.Join(spec, "\n  "))
+	}
+}
+
+// TestOpenAPIEndpoint checks GET /v1/openapi.json serves a parseable
+// 3.0 document that names both streaming encodings.
+func TestOpenAPIEndpoint(t *testing.T) {
+	s, _ := newTestServer(t, Options{})
+	w := do(t, s, "GET", "/v1/openapi.json", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var doc struct {
+		OpenAPI string                 `json:"openapi"`
+		Paths   map[string]interface{} `json:"paths"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("spec does not parse: %v", err)
+	}
+	if !strings.HasPrefix(doc.OpenAPI, "3.0") {
+		t.Errorf("openapi = %q", doc.OpenAPI)
+	}
+	wantPaths := map[string]bool{}
+	for _, op := range apiOperations {
+		wantPaths[op.Path] = true
+	}
+	if len(doc.Paths) != len(wantPaths) {
+		t.Errorf("spec has %d paths, operations table has %d", len(doc.Paths), len(wantPaths))
+	}
+	for _, frag := range []string{wire.ContentType, "application/x-ndjson", "#/components/schemas/Error"} {
+		if !bytes.Contains(w.Body.Bytes(), []byte(frag)) {
+			t.Errorf("spec missing %q", frag)
+		}
+	}
+}
+
+// TestAPIDocsInSync pins docs/API.md to the markdown rendered from the
+// operations table. Run with UPDATE_API_DOCS=1 to rewrite the file.
+func TestAPIDocsInSync(t *testing.T) {
+	const path = "../../docs/API.md"
+	want := renderAPIMarkdown()
+	if os.Getenv("UPDATE_API_DOCS") != "" {
+		if err := os.WriteFile(path, want, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Skip("docs/API.md rewritten")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s (regenerate with UPDATE_API_DOCS=1): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("docs/API.md is stale; regenerate with UPDATE_API_DOCS=1 go test ./internal/serve -run APIDocs")
+	}
+}

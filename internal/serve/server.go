@@ -13,8 +13,13 @@
 //	                                      bounded worker pool)
 //	DELETE /v1/models/{name}              delete all versions
 //	POST   /v1/models/{name}/browse       conditional probability query
-//	POST   /v1/models/{name}/generate     stream candidates as NDJSON
-//	POST   /v1/models/{name}/observe      ingest observed addresses (NDJSON)
+//	POST   /v1/models/{name}/generate     stream candidates (NDJSON, or the
+//	                                      framed binary encoding of
+//	                                      internal/wire via Accept; batch
+//	                                      requests fan out multiple seeded
+//	                                      streams in one response)
+//	POST   /v1/models/{name}/observe      ingest observed addresses (NDJSON,
+//	                                      or binary via Content-Type)
 //	GET    /v1/models/{name}/drift        drift status of the model
 //	GET    /healthz (alias /v1/healthz)   liveness + version + metrics
 package serve
@@ -145,11 +150,18 @@ type Server struct {
 
 	obs    *obs.Registry
 	logger *slog.Logger
+	// patterns lists every mux pattern registered through handle, in
+	// registration order; the OpenAPI consistency test diffs it against
+	// the spec's route list.
+	patterns []string
 	// Serving-plane counters fed by the handlers (see serve/obs.go for
 	// the scrape-time collectors over the other subsystems).
 	candidates      *obs.Counter
 	observeAccepted *obs.Counter
 	observeInvalid  *obs.Counter
+	// encRequests counts requests by route and negotiated encoding,
+	// indexed [routeGenerate|routeObserve][encNDJSON|encBinary].
+	encRequests [2][2]*obs.Counter
 	// stageHist maps core.BuildStages names to the per-stage training
 	// latency histograms; read-only after New.
 	stageHist map[string]*obs.Histogram
@@ -190,6 +202,7 @@ func New(reg *registry.Registry, opts Options) *Server {
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /v1/healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("GET /v1/openapi.json", s.handleOpenAPI)
 	return s
 }
 
@@ -213,6 +226,7 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // unwritten), the in-flight gauge is decremented either way, and
 // eip_http_panics_total increments instead of the gauge wedging.
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.patterns = append(s.patterns, pattern)
 	rm := s.metrics.route(pattern)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -237,7 +251,7 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 					"panic", fmt.Sprint(p),
 					"stack", string(debug.Stack()))
 				if !sw.wroteHeader {
-					writeError(sw, http.StatusInternalServerError, "internal server error")
+					writeError(sw, r, http.StatusInternalServerError, "internal server error")
 				}
 			}
 			s.metrics.end(rm, sw.status, dur, sw.bytes)
@@ -306,32 +320,6 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// errorResponse is the JSON body of every non-2xx answer.
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
-}
-
-// writeRegistryError maps registry errors to HTTP statuses.
-func writeRegistryError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, registry.ErrNotFound):
-		writeError(w, http.StatusNotFound, "%v", err)
-	default:
-		writeError(w, http.StatusInternalServerError, "%v", err)
-	}
-}
-
 // ListModelsResponse is the body of GET /v1/models.
 type ListModelsResponse struct {
 	// Models holds the latest version of every model, sorted by name.
@@ -353,7 +341,7 @@ type ModelInfoResponse struct {
 func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
 	versions, err := s.reg.Versions(r.PathValue("name"))
 	if err != nil {
-		writeRegistryError(w, err)
+		writeRegistryError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ModelInfoResponse{
@@ -365,12 +353,12 @@ func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
 	version, err := versionParam(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	rc, info, err := s.reg.OpenRaw(r.PathValue("name"), version)
 	if err != nil {
-		writeRegistryError(w, err)
+		writeRegistryError(w, r, err)
 		return
 	}
 	defer rc.Close()
@@ -451,7 +439,7 @@ type PutModelResponse struct {
 func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if !registry.ValidName(name) {
-		writeError(w, http.StatusBadRequest, "invalid model name %q", name)
+		writeError(w, r, http.StatusBadRequest, "invalid model name %q", name)
 		return
 	}
 	var req PutModelRequest
@@ -460,22 +448,22 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	}
 	switch {
 	case len(req.Model) > 0 && len(req.Addresses) > 0:
-		writeError(w, http.StatusBadRequest, "set either model or addresses, not both")
+		writeError(w, r, http.StatusBadRequest, "set either model or addresses, not both")
 	case len(req.Model) > 0:
 		info, err := s.reg.PutRaw(name, req.Model)
 		switch {
 		case err == nil:
 			writeJSON(w, http.StatusCreated, PutModelResponse{Info: info})
 		case errors.Is(err, registry.ErrInvalidModel):
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, r, http.StatusBadRequest, "%v", err)
 		default:
 			// The document was valid; storing it failed server-side.
-			writeError(w, http.StatusInternalServerError, "%v", err)
+			writeError(w, r, http.StatusInternalServerError, "%v", err)
 		}
 	case len(req.Addresses) > 0:
 		s.train(w, r, name, req)
 	default:
-		writeError(w, http.StatusBadRequest, "request needs a model or addresses")
+		writeError(w, r, http.StatusBadRequest, "request needs a model or addresses")
 	}
 }
 
@@ -483,14 +471,14 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 // pool, so that concurrent training requests queue instead of stampeding.
 func (s *Server) train(w http.ResponseWriter, r *http.Request, name string, req PutModelRequest) {
 	if req.Options.Workers < 0 || req.Options.Workers > MaxTrainWorkers {
-		writeError(w, http.StatusBadRequest, "options.workers must be in 0..%d", MaxTrainWorkers)
+		writeError(w, r, http.StatusBadRequest, "options.workers must be in 0..%d", MaxTrainWorkers)
 		return
 	}
 	addrs := make([]ip6.Addr, 0, len(req.Addresses))
 	for i, line := range req.Addresses {
 		a, err := ip6.ParseAddr(line)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "address %d: %v", i, err)
+			writeError(w, r, http.StatusBadRequest, "address %d: %v", i, err)
 			return
 		}
 		addrs = append(addrs, a)
@@ -513,21 +501,21 @@ func (s *Server) train(w http.ResponseWriter, r *http.Request, name string, req 
 		writeJSON(w, http.StatusCreated, PutModelResponse{Info: info, Trained: true})
 	case errors.Is(err, ErrBusy):
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		writeError(w, r, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		// Client went away while queued; nothing useful to write.
-		writeError(w, http.StatusServiceUnavailable, "request cancelled while queued")
+		writeError(w, r, http.StatusServiceUnavailable, "request cancelled while queued")
 	case buildErr != nil:
-		writeError(w, http.StatusUnprocessableEntity, "training failed: %v", buildErr)
+		writeError(w, r, http.StatusUnprocessableEntity, "training failed: %v", buildErr)
 	default:
 		// Training worked; persisting the model failed server-side.
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, r, http.StatusInternalServerError, "%v", err)
 	}
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if err := s.reg.Delete(r.PathValue("name")); err != nil {
-		writeRegistryError(w, err)
+		writeRegistryError(w, r, err)
 		return
 	}
 	s.refresher.Forget(r.PathValue("name"))
@@ -579,12 +567,12 @@ func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
 	}
 	m, info, err := s.reg.GetVersion(r.PathValue("name"), req.Version)
 	if err != nil {
-		writeRegistryError(w, err)
+		writeRegistryError(w, r, err)
 		return
 	}
 	dists, err := m.Browse(core.Evidence(req.Evidence))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	out := BrowseResponse{
@@ -637,6 +625,27 @@ type GenerateRequest struct {
 	// Unordered trades the deterministic candidate order for throughput;
 	// see core.GenerateOptions.Unordered.
 	Unordered bool `json:"unordered,omitempty"`
+	// Streams switches to batch mode: each entry describes one
+	// independently-seeded candidate stream, and the response carries all
+	// of them interleaved (frames tagged with a stream index in the binary
+	// encoding, {"stream":i,...} lines in NDJSON). Mutually exclusive with
+	// the top-level Count/Seed/Evidence/MaxAttemptsFactor; Version,
+	// Prefixes, Workers and Unordered stay request-wide.
+	Streams []GenerateStreamSpec `json:"streams,omitempty"`
+}
+
+// GenerateStreamSpec is one stream of a batch generate request.
+type GenerateStreamSpec struct {
+	// Count is the number of candidates this stream yields.
+	Count int `json:"count"`
+	// Seed makes this stream deterministic; omitted means the server
+	// derives one (echoed comma-joined in X-Seed, and in this stream's
+	// Seed frame in the binary encoding).
+	Seed *int64 `json:"seed,omitempty"`
+	// Evidence optionally constrains this stream to segment values.
+	Evidence map[string]string `json:"evidence,omitempty"`
+	// MaxAttemptsFactor bounds this stream's unique-candidate search.
+	MaxAttemptsFactor int `json:"max_attempts_factor,omitempty"`
 }
 
 // MaxAttemptsFactorLimit caps the per-request MaxAttemptsFactor.
@@ -658,65 +667,68 @@ type GenerateItem struct {
 	// the stream had started; a stream that simply ends short of count
 	// means the model's support was exhausted, not an error.
 	Error string `json:"error,omitempty"`
+	// Stream is the stream index on batch-response lines; nil on
+	// single-stream responses (whose lines carry no stream key).
+	Stream *int `json:"stream,omitempty"`
+	// Done marks a batch stream's final line. Single-stream responses
+	// signal completion by ending the body instead.
+	Done bool `json:"done,omitempty"`
 }
 
-// handleGenerate streams candidates as NDJSON with bounded memory: each
-// candidate is encoded and written as it is drawn from the model, with
-// periodic flushes, so the response size never accumulates server-side.
+// handleGenerate streams candidates with bounded memory in the encoding
+// the Accept header negotiates — NDJSON by default, the framed binary
+// encoding of internal/wire when the client asks for it — single-stream
+// or batch (req.Streams). Each candidate is encoded and written as it is
+// drawn from the model, with periodic flushes, so the response size
+// never accumulates server-side.
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	var req GenerateRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	if req.Count <= 0 {
-		writeError(w, http.StatusBadRequest, "count must be positive")
-		return
-	}
-	if max := s.opts.maxGenerateCount(); req.Count > max {
-		writeError(w, http.StatusBadRequest, "count %d exceeds limit %d", req.Count, max)
-		return
-	}
-	if req.MaxAttemptsFactor < 0 || req.MaxAttemptsFactor > MaxAttemptsFactorLimit {
-		writeError(w, http.StatusBadRequest, "max_attempts_factor must be in 0..%d", MaxAttemptsFactorLimit)
+	enc, err := negotiateGenerateEncoding(r)
+	if err != nil {
+		writeError(w, r, http.StatusNotAcceptable, "%v", err)
 		return
 	}
 	if req.Workers < 0 || req.Workers > MaxGenerateWorkers {
-		writeError(w, http.StatusBadRequest, "workers must be in 0..%d", MaxGenerateWorkers)
+		writeError(w, r, http.StatusBadRequest, "workers must be in 0..%d", MaxGenerateWorkers)
+		return
+	}
+	streams, batch, err := s.resolveStreams(&req)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	m, info, err := s.reg.GetVersion(r.PathValue("name"), req.Version)
 	if err != nil {
-		writeRegistryError(w, err)
+		writeRegistryError(w, r, err)
 		return
 	}
-	seed := randomSeed()
-	if req.Seed != nil {
-		seed = *req.Seed
-	}
-	workers := req.Workers
-	if workers == 0 {
-		workers = s.opts.GenerateWorkers
-	}
-	ctx := r.Context()
-	opts := core.GenerateOptions{
-		Count:             req.Count,
-		Seed:              seed,
-		Evidence:          core.Evidence(req.Evidence),
-		MaxAttemptsFactor: req.MaxAttemptsFactor,
-		Workers:           workers,
-		Unordered:         req.Unordered,
-		// Without Stop, a disconnected client would keep the generator
-		// spinning through duplicate draws until the attempt budget runs
-		// out; with it, cancellation is noticed even when nothing is
-		// being emitted.
-		Stop: func() bool { return ctx.Err() != nil },
-	}
-
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	s.encRequests[routeGenerate][enc].Add(1)
+	w.Header().Set("Content-Type", enc.contentType())
 	w.Header().Set("X-Model-Version", fmt.Sprint(info.Version))
-	// Always echo the seed in force, so a seedless request can be replayed
-	// exactly by passing the header's value back as "seed".
-	w.Header().Set("X-Seed", strconv.FormatInt(seed, 10))
+	// Always echo the seeds in force, so a seedless request can be
+	// replayed exactly by passing the header's value(s) back as "seed".
+	w.Header().Set("X-Seed", seedHeader(streams))
+	w.Header().Set("X-Encoding", enc.String())
+	switch {
+	case enc == encBinary:
+		s.generateBinary(w, r, m, &req, streams, batch)
+	case batch:
+		s.generateNDJSONBatch(w, r, m, &req, streams)
+	default:
+		s.generateNDJSON(w, r, m, info, &req, streams[0])
+	}
+}
+
+// generateNDJSON is the single-stream NDJSON generate path — the
+// original wire format, byte-identical since PR 5 (pinned by
+// TestGenerateNDJSONMatchesEncodingJSON and the cross-encoding
+// equivalence tests).
+func (s *Server) generateNDJSON(w http.ResponseWriter, r *http.Request, m *core.Model, info registry.Info, req *GenerateRequest, st resolvedStream) {
+	ctx := r.Context()
+	opts := s.generateOptions(ctx, st, req)
 	bw := bufio.NewWriter(w)
 	flusher, _ := w.(http.Flusher)
 	flushEvery := s.opts.flushEvery()
@@ -748,6 +760,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		return true
 	}
 
+	var err error
 	if req.Prefixes {
 		err = m.GeneratePrefixesStream(opts, func(p ip6.Prefix) bool {
 			lb.b = append(lb.b[:0], `{"prefix":"`...)
@@ -766,7 +779,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if lines == 0 {
 			// Nothing streamed yet: a clean JSON error is still possible.
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, r, http.StatusBadRequest, "%v", err)
 			return
 		}
 		// Mid-stream failure: the 200 status is already on the wire, so
@@ -851,9 +864,17 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	// holds (a delete racing the request still surfaces through the
 	// refresher's own lookup below).
 	if _, err := s.reg.Versions(name); err != nil {
-		writeRegistryError(w, err)
+		writeRegistryError(w, r, err)
 		return
 	}
+	if isBinaryContentType(r.Header.Get("Content-Type")) {
+		s.encRequests[routeObserve][encBinary].Add(1)
+		w.Header().Set("X-Encoding", encBinary.String())
+		s.observeBinary(w, r, name)
+		return
+	}
+	s.encRequests[routeObserve][encNDJSON].Add(1)
+	w.Header().Set("X-Encoding", encNDJSON.String())
 	body := http.MaxBytesReader(w, r.Body, s.opts.maxBodyBytes())
 	scanner := bufio.NewScanner(body)
 	scanner.Buffer(make([]byte, 0, 64*1024), dataset.MaxLineBytes)
@@ -876,7 +897,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		res, err := s.refresher.Observe(name, batch)
 		batch = batch[:0]
 		if err != nil {
-			writeRegistryError(w, err)
+			writeRegistryError(w, r, err)
 			return false
 		}
 		out.Accepted += res.Accepted
@@ -939,10 +960,10 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	if err := scanner.Err(); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
+			writeError(w, r, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
 			return
 		}
-		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		writeError(w, r, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
 	if !flush() {
@@ -959,7 +980,7 @@ func (s *Server) handleDriftStatus(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		// Distinguish "no observations yet" from "no such model".
 		if _, err := s.reg.Versions(name); err != nil {
-			writeRegistryError(w, err)
+			writeRegistryError(w, r, err)
 			return
 		}
 		st = DriftStatus{Model: name}
@@ -1001,10 +1022,10 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v interface{
 		}
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
+			writeError(w, r, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
 			return false
 		}
-		writeError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		writeError(w, r, http.StatusBadRequest, "invalid JSON body: %v", err)
 		return false
 	}
 	return true

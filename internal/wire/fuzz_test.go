@@ -1,0 +1,112 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"entropyip/internal/ip6"
+)
+
+// FuzzReader throws arbitrary bodies at the frame decoder. The decoder
+// must never panic, never hand back out-of-range record slices, and
+// always terminate (io.EOF or an error) — it is the parser that faces
+// raw network input on POST /observe.
+func FuzzReader(f *testing.F) {
+	// Seed corpus (checked in under testdata/fuzz/FuzzReader): a valid
+	// single-stream body, a prefix body, a batch body with seeds and an
+	// error frame, plus truncations and near-misses.
+	var valid bytes.Buffer
+	valid.Write(AppendHeader(nil, Header{Streams: 1, Seed: 7}))
+	w := NewWriter(&valid, 0, false, 3)
+	for _, a := range testAddrs(10, 1) {
+		_ = w.AddAddr(a)
+	}
+	_ = w.End()
+	f.Add(valid.Bytes())
+
+	var prefixed bytes.Buffer
+	prefixed.Write(AppendHeader(nil, Header{Flags: FlagPrefixes, Streams: 1}))
+	pw := NewWriter(&prefixed, 0, true, 2)
+	for _, a := range testAddrs(5, 2) {
+		_ = pw.AddPrefix(ip6.PrefixFrom(a, 64))
+	}
+	_ = pw.End()
+	f.Add(prefixed.Bytes())
+
+	var batch bytes.Buffer
+	batch.Write(AppendHeader(nil, Header{Flags: FlagBatch, Streams: 2, Seed: 1}))
+	b0 := NewWriter(&batch, 0, false, 4)
+	b1 := NewWriter(&batch, 1, false, 4)
+	_ = b0.Seed(1)
+	_ = b1.Seed(2)
+	for i, a := range testAddrs(9, 3) {
+		if i%2 == 0 {
+			_ = b0.AddAddr(a)
+		} else {
+			_ = b1.AddAddr(a)
+		}
+	}
+	_ = b0.End()
+	_ = b1.Error("boom")
+	f.Add(batch.Bytes())
+
+	f.Add(valid.Bytes()[:HeaderSize])                       // header only
+	f.Add(valid.Bytes()[:HeaderSize+2])                     // torn frame header
+	f.Add(valid.Bytes()[:len(valid.Bytes())-5])             // torn payload
+	f.Add([]byte("EIP6"))                                   // short header
+	f.Add([]byte("{\"addr\":\"2001:db8::1\"}\n"))           // NDJSON mislabeled as binary
+	f.Add(append([]byte("EIP7"), valid.Bytes()[4:]...))     // bad magic
+	f.Add(append([]byte("EIP6\x02"), valid.Bytes()[5:]...)) // bad version
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		r, err := NewReader(bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		h := r.Header()
+		if h.Streams < 1 || h.Streams > MaxStreams {
+			t.Fatalf("accepted header with %d streams", h.Streams)
+		}
+		for i := 0; i < 1<<16; i++ {
+			fr, err := r.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if fr.Stream < 0 || fr.Stream >= h.Streams {
+				t.Fatalf("frame stream %d out of %d", fr.Stream, h.Streams)
+			}
+			switch fr.Kind {
+			case KindAddrs:
+				if len(fr.Payload) != fr.Count*16 {
+					t.Fatalf("addrs payload %d for count %d", len(fr.Payload), fr.Count)
+				}
+				_ = fr.Addr(0)
+				_ = fr.Addr(fr.Count - 1)
+			case KindPrefixes:
+				if len(fr.Payload) != fr.Count*17 {
+					t.Fatalf("prefix payload %d for count %d", len(fr.Payload), fr.Count)
+				}
+				for i := 0; i < fr.Count; i++ {
+					p := fr.Prefix(i)
+					if p.Bits() > 128 {
+						t.Fatalf("decoded prefix length %d", p.Bits())
+					}
+				}
+			case KindSeed:
+				_ = fr.Seed()
+			case KindError:
+				_ = fr.Message()
+			}
+		}
+		// A body of at most a few KiB cannot hold 65536 frames (each is
+		// >= 4 bytes); reaching here means the decoder failed to make
+		// progress.
+		if len(body) < 1<<18 {
+			t.Fatal("decoder did not terminate")
+		}
+	})
+}

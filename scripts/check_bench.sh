@@ -55,11 +55,12 @@ ALLOC_THRESHOLD="${BENCH_GATE_ALLOC_THRESHOLD:-1.30}"
 # regex below deliberately excludes /workers=... sub-benchmarks).
 BENCHES=(NewProfile10k NewProfile100k Learn10k Learn100k Build10k Build100k
          Generate10k Generate100k Encode100k ParseFormat ObserveIngest
-         GenerateNDJSON MetricsHotPath)
+         GenerateNDJSON GenerateBinary100k ObserveBinary10k MetricsHotPath)
 
 # Serving-plane paths with a zero-allocation contract: allocs/op must be
 # exactly 0, baseline or not.
-ZERO_ALLOC=(Encode100k ParseFormat ObserveIngest GenerateNDJSON MetricsHotPath)
+ZERO_ALLOC=(Encode100k ParseFormat ObserveIngest GenerateNDJSON
+            GenerateBinary100k ObserveBinary10k MetricsHotPath)
 
 if command -v benchstat >/dev/null 2>&1; then
     echo "== benchstat baseline vs new (informational) =="
@@ -182,6 +183,26 @@ for b in "${BENCHES[@]}"; do
 done
 
 echo
+# Binary-vs-NDJSON throughput summary. Both numbers come from THIS run,
+# so the ratio is hardware-matched by construction and gates regardless
+# of the baseline CPU match: the binary encoding's reason to exist is
+# beating the text path, so it must stay at least
+# BENCH_BINARY_SPEEDUP_MIN (default 2.0) times the NDJSON throughput.
+# GenerateBinary100k encodes 100000 candidates per op; GenerateNDJSON
+# formats one line per op.
+bin_ns=$(mean "$NEW" GenerateBinary100k ns/op)
+nd_ns=$(mean "$NEW" GenerateNDJSON ns/op)
+if [ -n "$bin_ns" ] && [ -n "$nd_ns" ]; then
+    bin_per=$(awk -v b="$bin_ns" 'BEGIN { printf "%.1f", b / 100000 }')
+    speedup=$(awk -v b="$bin_per" -v n="$nd_ns" 'BEGIN { printf "%.1f", n / b }')
+    min="${BENCH_BINARY_SPEEDUP_MIN:-2.0}"
+    echo "SUMMARY: generate encode cost — binary ${bin_per}ns/candidate vs NDJSON ${nd_ns}ns/candidate (binary ${speedup}x faster; contract >= ${min}x)"
+    if awk -v s="$speedup" -v m="$min" 'BEGIN { exit !(s < m) }'; then
+        echo "THROUGHPUT-REGRESSION: binary encode fell below ${min}x the NDJSON throughput"
+        fail=1
+    fi
+fi
+
 if [ "${#new_names[@]}" -gt 0 ]; then
     echo "SUMMARY: ${#new_names[@]} benchmark(s) have no baseline entry and ran informationally: ${new_names[*]}"
     echo "         Commit a refreshed bench_baseline.txt (bench-baseline CI artifact) to gate them."
