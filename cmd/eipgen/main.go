@@ -161,10 +161,14 @@ func main() {
 // pkg/client, writing the same text lines local generation produces.
 func generateRemote(w *bufio.Writer, server, model string, opts client.GenerateOptions) (int, error) {
 	c := client.New(server, nil)
+	// The minted trace ID goes to the server in traceparent; printing it
+	// lets the operator pull the request's server-side trace from
+	// GET /v1/debug/traces?trace_id=... afterwards.
+	ctx, traceID := client.WithTrace(context.Background())
 	count := 0
 	line := make([]byte, 0, 64)
 	var werr error
-	res, err := c.Generate(context.Background(), model, opts, func(e client.Event) bool {
+	res, err := c.Generate(ctx, model, opts, func(e client.Event) bool {
 		switch e.Kind {
 		case client.KindCandidate:
 			if opts.Prefixes {
@@ -186,7 +190,7 @@ func generateRemote(w *bufio.Writer, server, model string, opts client.GenerateO
 		err = werr
 	}
 	if err == nil && res != nil && len(res.Seeds) > 0 {
-		fmt.Fprintf(os.Stderr, "eipgen: server %s encoding, seed %d\n", res.Encoding, res.Seeds[0])
+		fmt.Fprintf(os.Stderr, "eipgen: server %s encoding, seed %d, trace %s\n", res.Encoding, res.Seeds[0], traceID)
 	}
 	return count, err
 }

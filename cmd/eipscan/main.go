@@ -54,18 +54,24 @@ func main() {
 	}
 	var candAddrs []ip6.Addr
 	var srv *client.Client
+	var traceID string
+	srvCtx := context.Background()
 	if *server != "" {
 		if *srvModel == "" {
 			fmt.Fprintln(os.Stderr, "eipscan: -server-model is required with -server")
 			os.Exit(2)
 		}
 		srv = client.New(*server, nil)
+		// One trace spans the whole round: the candidate pull and (with
+		// -feedback) the observe push carry the same traceparent, so the
+		// server's flight recorder shows them as one connected trace.
+		srvCtx, traceID = client.WithTrace(srvCtx)
 		var err error
-		candAddrs, err = pullCandidates(srv, *srvModel, *n, *genSeed)
+		candAddrs, err = pullCandidates(srvCtx, srv, *srvModel, *n, *genSeed)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "eipscan: pulled %d candidates from %s\n", len(candAddrs), *server)
+		fmt.Fprintf(os.Stderr, "eipscan: pulled %d candidates from %s (trace %s)\n", len(candAddrs), *server, traceID)
 	} else {
 		cands, err := dataset.LoadFile(*candPath)
 		if err != nil {
@@ -122,21 +128,21 @@ func main() {
 		if srv == nil {
 			fatal(fmt.Errorf("-feedback requires -server"))
 		}
-		or, err := srv.Observe(ctx, *srvModel, res.Hits)
+		or, err := srv.Observe(srvCtx, *srvModel, res.Hits)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "eipscan: fed %d hits back to %s (%d accepted)\n",
-			len(res.Hits), *srvModel, or.Accepted)
+		fmt.Fprintf(os.Stderr, "eipscan: fed %d hits back to %s (%d accepted, trace %s)\n",
+			len(res.Hits), *srvModel, or.Accepted, traceID)
 	}
 }
 
 // pullCandidates streams n candidates from the serving farm over the
 // binary wire encoding.
-func pullCandidates(c *client.Client, model string, n int, seed int64) ([]ip6.Addr, error) {
+func pullCandidates(ctx context.Context, c *client.Client, model string, n int, seed int64) ([]ip6.Addr, error) {
 	out := make([]ip6.Addr, 0, n)
 	var streamErr error
-	_, err := c.Generate(context.Background(), model,
+	_, err := c.Generate(ctx, model,
 		client.GenerateOptions{Count: n, Seed: &seed, Binary: true},
 		func(e client.Event) bool {
 			switch e.Kind {

@@ -51,6 +51,7 @@ import (
 	"entropyip/internal/ingest"
 	"entropyip/internal/ip6"
 	"entropyip/internal/obs"
+	"entropyip/internal/obs/trace"
 	"entropyip/internal/registry"
 	"entropyip/internal/serve"
 )
@@ -71,6 +72,10 @@ func main() {
 		logFormat    = flag.String("log-format", "text", "log output format: text or json")
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn or error (access logs are debug)")
 		version      = flag.Bool("version", false, "print the version and exit")
+
+		traceCapacity = flag.Int("trace-capacity", 0, "completed traces the flight recorder retains (0 = default 512)")
+		traceSample   = flag.Int("trace-sample", 0, "keep 1 in N unremarkable traces (0 = default 64, negative = only errors/slow/forced)")
+		traceSlow     = flag.Duration("trace-slow", 0, "requests at least this slow are always retained (0 = default 250ms)")
 
 		// Online ingest + drift + refresh.
 		autoRefresh   = flag.Bool("auto-refresh", false, "retrain and rotate models automatically when drift is detected")
@@ -126,6 +131,11 @@ func main() {
 		TrainWorkers:     *trainWorkers,
 		GenerateWorkers:  *genWorkers,
 		Logger:           logger,
+		Trace: trace.Policy{
+			Capacity:      *traceCapacity,
+			SampleEvery:   *traceSample,
+			SlowThreshold: *traceSlow,
+		},
 		Refresh: serve.RefreshOptions{
 			AutoRefresh:   *autoRefresh,
 			EvaluateEvery: *evaluateEvery,
@@ -274,7 +284,7 @@ func tailIntoModel(ctx context.Context, logger *slog.Logger, reg *registry.Regis
 	}
 	logger.Info("tailing into model", "file", path, "model", model)
 	err := ingest.TailFile(ctx, path, cfg, func(batch []ip6.Addr) {
-		if _, err := r.Observe(model, batch); err != nil {
+		if _, err := r.Observe(ctx, model, batch); err != nil {
 			throttled("ingest observe failed", "model", model, "err", err)
 		}
 	})

@@ -6,11 +6,12 @@
 // log/slog-based structured-logger factory, process-unique request IDs,
 // and a lightweight stage tracer for the training pipeline.
 //
-// Hot-path contract: Counter.Inc/Add, Gauge.Inc/Dec/Add/Set and
-// Histogram.Observe never allocate and never take a lock
-// (BenchmarkMetricsHotPath is CI-gated at 0 allocs/op, the same gate the
-// serving-plane I/O paths live under). Registration and rendering are
-// scrape-rate paths, not request-rate paths; they may lock and allocate.
+// Hot-path contract: Counter.Inc/Add, Gauge.Inc/Dec/Add/Set,
+// Histogram.Observe and Histogram.ObserveExemplar never allocate and
+// never take a lock (BenchmarkMetricsHotPath is CI-gated at 0 allocs/op,
+// the same gate the serving-plane I/O paths live under). Registration and
+// rendering are scrape-rate paths, not request-rate paths; they may lock
+// and allocate.
 package obs
 
 import (
@@ -71,6 +72,49 @@ type Histogram struct {
 	counts []atomic.Uint64
 	// sum holds the math.Float64bits of the running sum, advanced by CAS.
 	sum atomic.Uint64
+	// exemplars holds one best-effort exemplar slot per bucket, filled by
+	// ObserveExemplar and rendered only in the OpenMetrics exposition.
+	exemplars []exemplar
+}
+
+// exemplarIDLen bounds a stored exemplar ID; 32 fits a hex W3C trace ID
+// exactly.
+const exemplarIDLen = 32
+
+// exemplar is one lock-free bucket exemplar slot. state is a 3-state
+// latch: 0 empty, 1 busy (one goroutine holds exclusive access to the
+// plain fields), 2 valid. Writers and readers both acquire via CAS to 1
+// and release via Store, so field access is exclusive and the CAS/Store
+// pair provides the happens-before edge; contenders skip instead of
+// spinning (exemplars are best-effort samples, not ledger data).
+type exemplar struct {
+	state atomic.Int32
+	value float64
+	idLen int
+	id    [exemplarIDLen]byte
+}
+
+// tryStore records (id, v) in the slot unless another goroutine holds it.
+func (e *exemplar) tryStore(id string, v float64) {
+	st := e.state.Load()
+	if st == 1 || !e.state.CompareAndSwap(st, 1) {
+		return
+	}
+	e.idLen = copy(e.id[:], id)
+	e.value = v
+	e.state.Store(2)
+}
+
+// tryLoad copies the slot's exemplar out, or reports false when the slot
+// is empty or busy.
+func (e *exemplar) tryLoad(id *[exemplarIDLen]byte, v *float64) bool {
+	if e.state.Load() != 2 || !e.state.CompareAndSwap(2, 1) {
+		return false
+	}
+	n := copy(id[:], e.id[:e.idLen])
+	*v = e.value
+	e.state.Store(2)
+	return n > 0
 }
 
 // newHistogram builds a histogram over the given bucket upper bounds
@@ -87,14 +131,28 @@ func newHistogram(bounds []float64) *Histogram {
 		}
 	}
 	return &Histogram{
-		bounds: own,
-		counts: make([]atomic.Uint64, len(own)+1),
+		bounds:    own,
+		counts:    make([]atomic.Uint64, len(own)+1),
+		exemplars: make([]exemplar, len(own)+1),
 	}
 }
 
 // Observe records one value. Buckets are few (≈10), so a linear scan
 // beats binary search on branch prediction and stays allocation-free.
 func (h *Histogram) Observe(v float64) {
+	h.observe(v, "")
+}
+
+// ObserveExemplar records one value and attaches exemplarID (typically a
+// hex trace ID) to the bucket the value lands in, best-effort: the slot
+// holds the latest uncontended store and is only rendered in the
+// OpenMetrics exposition (`# {trace_id="..."} value`). IDs over 32 bytes
+// or empty are recorded without an exemplar. Lock-free, 0 allocs/op.
+func (h *Histogram) ObserveExemplar(v float64, exemplarID string) {
+	h.observe(v, exemplarID)
+}
+
+func (h *Histogram) observe(v float64, exemplarID string) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
@@ -104,8 +162,11 @@ func (h *Histogram) Observe(v float64) {
 		old := h.sum.Load()
 		nv := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sum.CompareAndSwap(old, nv) {
-			return
+			break
 		}
+	}
+	if exemplarID != "" && len(exemplarID) <= exemplarIDLen {
+		h.exemplars[i].tryStore(exemplarID, v)
 	}
 }
 

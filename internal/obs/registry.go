@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -141,6 +142,23 @@ func (r *Registry) Collect(fn CollectorFunc) {
 // deterministic given deterministic values. Serve it with content type
 // "text/plain; version=0.0.4; charset=utf-8" (the ContentType constant).
 func (r *Registry) Render(buf []byte) []byte {
+	return r.render(buf, false)
+}
+
+// RenderOpenMetrics appends the OpenMetrics 1.0 exposition to buf: the
+// same families as Render, plus bucket exemplars recorded via
+// ObserveExemplar (`# {trace_id="..."} value`) and the mandatory
+// terminating `# EOF`. Counter families advertise their name without the
+// `_total` suffix in HELP/TYPE as the spec requires, while samples keep
+// it. Serve it with ContentTypeOpenMetrics, and only to scrapers that
+// asked for it via Accept — text-format v0.0.4 parsers reject exemplar
+// syntax.
+func (r *Registry) RenderOpenMetrics(buf []byte) []byte {
+	buf = r.render(buf, true)
+	return append(buf, "# EOF\n"...)
+}
+
+func (r *Registry) render(buf []byte, om bool) []byte {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e := newExpo()
@@ -159,10 +177,10 @@ func (r *Registry) Render(buf []byte) []byte {
 	sort.Strings(names)
 	for _, n := range names {
 		if f := r.families[n]; f != nil {
-			buf = f.render(buf)
+			buf = f.render(buf, om)
 			continue
 		}
-		buf = e.byName[n].render(buf)
+		buf = e.byName[n].render(buf, om)
 	}
 	return buf
 }
@@ -170,8 +188,12 @@ func (r *Registry) Render(buf []byte) []byte {
 // ContentType is the Content-Type header value for Render's output.
 const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 
-func (f *family) render(buf []byte) []byte {
-	buf = appendHeader(buf, f.name, f.help, f.typ)
+// ContentTypeOpenMetrics is the Content-Type header value for
+// RenderOpenMetrics's output.
+const ContentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+func (f *family) render(buf []byte, om bool) []byte {
+	buf = appendHeader(buf, f.name, f.help, f.typ, om)
 	for _, s := range f.series {
 		switch f.typ {
 		case typeCounter:
@@ -191,7 +213,7 @@ func (f *family) render(buf []byte) []byte {
 			}
 			buf = append(buf, '\n')
 		case typeHistogram:
-			buf = s.h.renderSeries(buf, f.name, s.labels)
+			buf = s.h.renderSeries(buf, f.name, s.labels, om)
 		}
 	}
 	return buf
@@ -202,7 +224,7 @@ func (f *family) render(buf []byte) []byte {
 // array, and _count is that same accumulated total, so the
 // `+Inf bucket == count` invariant holds by construction even while
 // observations land concurrently.
-func (h *Histogram) renderSeries(buf []byte, name, labels string) []byte {
+func (h *Histogram) renderSeries(buf []byte, name, labels string, om bool) []byte {
 	var le [32]byte
 	var cum uint64
 	for i, bound := range h.bounds {
@@ -210,11 +232,17 @@ func (h *Histogram) renderSeries(buf []byte, name, labels string) []byte {
 		b := strconv.AppendFloat(le[:0], bound, 'g', -1, 64)
 		buf = appendSamplePrefix(buf, name, "_bucket", labels, string(b))
 		buf = strconv.AppendUint(buf, cum, 10)
+		if om {
+			buf = h.appendExemplar(buf, i)
+		}
 		buf = append(buf, '\n')
 	}
 	cum += h.counts[len(h.bounds)].Load()
 	buf = appendSamplePrefix(buf, name, "_bucket", labels, "+Inf")
 	buf = strconv.AppendUint(buf, cum, 10)
+	if om {
+		buf = h.appendExemplar(buf, len(h.bounds))
+	}
 	buf = append(buf, '\n')
 	buf = appendSamplePrefix(buf, name, "_sum", labels, "")
 	buf = appendFloat(buf, h.Sum())
@@ -268,8 +296,8 @@ func (e *Expo) add(name, help string, typ metricType, v float64, labels []string
 	f.samples = append(f.samples, expoSample{labels: renderLabels(labels), value: v})
 }
 
-func (f *expoFamily) render(buf []byte) []byte {
-	buf = appendHeader(buf, f.name, f.help, f.typ)
+func (f *expoFamily) render(buf []byte, om bool) []byte {
+	buf = appendHeader(buf, f.name, f.help, f.typ, om)
 	for _, s := range f.samples {
 		buf = appendSamplePrefix(buf, f.name, "", s.labels, "")
 		buf = appendFloat(buf, s.value)
@@ -278,14 +306,38 @@ func (f *expoFamily) render(buf []byte) []byte {
 	return buf
 }
 
-// appendHeader renders the # HELP and # TYPE comment lines.
-func appendHeader(buf []byte, name, help string, typ metricType) []byte {
+// appendExemplar appends ` # {trace_id="..."} value` when bucket i's
+// exemplar slot holds one (and is not being written this instant).
+func (h *Histogram) appendExemplar(buf []byte, i int) []byte {
+	var id [exemplarIDLen]byte
+	var v float64
+	if !h.exemplars[i].tryLoad(&id, &v) {
+		return buf
+	}
+	n := 0
+	for n < len(id) && id[n] != 0 {
+		n++
+	}
+	buf = append(buf, ` # {trace_id="`...)
+	buf = append(buf, id[:n]...)
+	buf = append(buf, `"} `...)
+	return appendFloat(buf, v)
+}
+
+// appendHeader renders the # HELP and # TYPE comment lines. In
+// OpenMetrics mode a counter's MetricFamily name drops the `_total`
+// suffix (samples keep it), per the OpenMetrics 1.0 spec.
+func appendHeader(buf []byte, name, help string, typ metricType, om bool) []byte {
+	famName := name
+	if om && typ == typeCounter {
+		famName = strings.TrimSuffix(name, "_total")
+	}
 	buf = append(buf, "# HELP "...)
-	buf = append(buf, name...)
+	buf = append(buf, famName...)
 	buf = append(buf, ' ')
 	buf = appendEscapedHelp(buf, help)
 	buf = append(buf, "\n# TYPE "...)
-	buf = append(buf, name...)
+	buf = append(buf, famName...)
 	buf = append(buf, ' ')
 	buf = append(buf, typ.String()...)
 	return append(buf, '\n')

@@ -81,7 +81,7 @@ func TestExpoGroupsFamilies(t *testing.T) {
 	if len(e.fams) != 1 || len(e.fams[0].samples) != 2 {
 		t.Fatalf("expo grouping broken: %+v", e.fams)
 	}
-	out := string(e.fams[0].render(nil))
+	out := string(e.fams[0].render(nil, false))
 	if strings.Count(out, "# TYPE a gauge") != 1 {
 		t.Fatalf("TYPE line not emitted exactly once:\n%s", out)
 	}
@@ -100,5 +100,80 @@ func TestDynamicNameCollisionDropped(t *testing.T) {
 	}
 	if !strings.Contains(out, "c_total 5\n") || !strings.Contains(out, "d 1\n") {
 		t.Fatalf("expected samples missing:\n%s", out)
+	}
+}
+
+func TestRenderOpenMetricsExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("eip_lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05) // no exemplar on this bucket
+	h.ObserveExemplar(0.5, "4bf92f3577b34da6a3ce929d0e0e4736")
+	h.ObserveExemplar(5, "deadbeefdeadbeefdeadbeefdeadbeef")
+	r.Counter("eip_reqs_total", "requests").Add(3)
+
+	text := string(r.Render(nil))
+	if strings.Contains(text, "# {") || strings.Contains(text, "# EOF") {
+		t.Fatalf("text v0.0.4 output must not carry exemplars or EOF:\n%s", text)
+	}
+	if !strings.Contains(text, "# TYPE eip_reqs_total counter") {
+		t.Fatalf("text counter TYPE keeps _total:\n%s", text)
+	}
+
+	om := string(r.RenderOpenMetrics(nil))
+	if !strings.HasSuffix(om, "# EOF\n") {
+		t.Fatalf("OpenMetrics output must end with # EOF:\n%s", om)
+	}
+	if !strings.Contains(om, "# TYPE eip_reqs counter") {
+		t.Fatalf("OM counter family name must drop _total:\n%s", om)
+	}
+	if !strings.Contains(om, "eip_reqs_total 3") {
+		t.Fatalf("OM counter sample keeps _total:\n%s", om)
+	}
+	want := `eip_lat_seconds_bucket{le="1"} 2 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.5`
+	if !strings.Contains(om, want) {
+		t.Fatalf("missing exemplar line %q in:\n%s", want, om)
+	}
+	wantInf := `eip_lat_seconds_bucket{le="+Inf"} 3 # {trace_id="deadbeefdeadbeefdeadbeefdeadbeef"} 5`
+	if !strings.Contains(om, wantInf) {
+		t.Fatalf("missing +Inf exemplar line %q in:\n%s", wantInf, om)
+	}
+	// Bucket without an exemplar renders bare.
+	if !strings.Contains(om, "eip_lat_seconds_bucket{le=\"0.1\"} 1\n") {
+		t.Fatalf("exemplar-free bucket changed:\n%s", om)
+	}
+}
+
+func TestExemplarLatestWinsAndBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("eip_x_seconds", "x", []float64{1})
+	h.ObserveExemplar(0.5, "aaaa")
+	h.ObserveExemplar(0.7, "bbbb")
+	h.ObserveExemplar(0.9, strings.Repeat("c", 64)) // over cap: count, skip exemplar
+	h.ObserveExemplar(0.9, "")                      // empty: count, skip exemplar
+	om := string(r.RenderOpenMetrics(nil))
+	if !strings.Contains(om, `# {trace_id="bbbb"} 0.7`) {
+		t.Fatalf("latest exemplar did not win:\n%s", om)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+}
+
+func TestExemplarRace(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("eip_r_seconds", "r", []float64{1})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			h.ObserveExemplar(0.5, "0123456789abcdef0123456789abcdef")
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		r.RenderOpenMetrics(nil)
+	}
+	<-done
+	if h.Count() != 5000 {
+		t.Fatalf("count = %d", h.Count())
 	}
 }

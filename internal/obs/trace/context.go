@@ -1,0 +1,42 @@
+package trace
+
+import "context"
+
+type ctxKey int
+
+const (
+	spanKey ctxKey = iota
+	remoteKey
+)
+
+// ContextWithSpan returns ctx carrying the span. SpanFromContext retrieves
+// it. A nil span is stored as-is; all *Span methods are nil-safe, so
+// callers never need to check.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// ContextWithRemote returns ctx carrying a remote span context for
+// outbound propagation — used by clients that have no local tracer but
+// want their requests to join (or start) a distributed trace.
+func ContextWithRemote(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, remoteKey, sc)
+}
+
+// Outbound returns the span context that should be propagated on an
+// outgoing request from ctx: the local span's context if one is active,
+// else a remote context installed by ContextWithRemote, else the invalid
+// zero SpanContext (meaning: send no traceparent).
+func Outbound(ctx context.Context) SpanContext {
+	if s := SpanFromContext(ctx); s != nil {
+		return s.Context()
+	}
+	sc, _ := ctx.Value(remoteKey).(SpanContext)
+	return sc
+}

@@ -1,0 +1,394 @@
+package trace
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Policy defaults. A full ring retains Capacity traces of up to MaxSpans
+// spans each, so the memory bound is roughly
+// Capacity x MaxSpans x sizeof(Span) (~512 x 64 x ~200B ≈ 6.5 MiB).
+const (
+	defaultCapacity      = 512
+	defaultMaxSpans      = 64
+	defaultSlowThreshold = 250 * time.Millisecond
+	defaultSampleEvery   = 64
+)
+
+// Policy is the flight recorder's tail-sampling configuration. The keep
+// decision happens when a trace COMPLETES (Dapper-style tail sampling),
+// so the policy can look at outcome and latency, not just a coin flip at
+// the start:
+//
+//   - error:   any span marked SetError (covers panics, 5xx, failed
+//     retrains) — always kept.
+//   - forced:  ForceKeep (shadow-rejected rotations) or an inbound
+//     traceparent with the sampled flag — always kept.
+//   - slow:    root latency over SlowThreshold — always kept.
+//   - sampled: every SampleEvery-th remaining trace — kept so the ring
+//     always holds a baseline of normal traffic to compare against.
+type Policy struct {
+	// Capacity is the total number of retained traces across all shards.
+	Capacity int
+	// MaxSpans bounds each trace's span arena; spans past it are counted
+	// as dropped, not recorded.
+	MaxSpans int
+	// SlowThreshold marks a completed root span slow enough to keep.
+	SlowThreshold time.Duration
+	// SampleEvery keeps 1-in-N of traces not otherwise kept. <= 0
+	// disables probabilistic keeps (errors/forced/slow still kept).
+	SampleEvery int
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Capacity <= 0 {
+		p.Capacity = defaultCapacity
+	}
+	if p.MaxSpans <= 0 {
+		p.MaxSpans = defaultMaxSpans
+	}
+	if p.SlowThreshold <= 0 {
+		p.SlowThreshold = defaultSlowThreshold
+	}
+	if p.SampleEvery == 0 {
+		p.SampleEvery = defaultSampleEvery
+	}
+	return p
+}
+
+const recShards = 8
+
+// recShard is one lock-protected ring of retained traces. Sharding by
+// trace-ID byte keeps completion under concurrent load from serializing
+// on one mutex; readers (List/Get) take the same short locks.
+type recShard struct {
+	mu   sync.Mutex
+	ring []*traceData // fixed capacity; idx wraps
+	idx  int
+}
+
+// Recorder is the in-process flight recorder: completed traces land here
+// and the tail-sampling policy decides keep vs discard. Kept traces are
+// retained in a lock-sharded ring (evicting the oldest in that shard);
+// discarded traces return their arenas to the tracer pool.
+type Recorder struct {
+	policy    Policy
+	seq       atomic.Uint64
+	sampleCtr atomic.Uint64
+	kept      atomic.Uint64
+	discarded atomic.Uint64
+	shards    [recShards]recShard
+}
+
+// NewRecorder builds a recorder with p (zero fields take defaults).
+func NewRecorder(p Policy) *Recorder {
+	r := &Recorder{policy: p.withDefaults()}
+	per := (r.policy.Capacity + recShards - 1) / recShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range r.shards {
+		r.shards[i].ring = make([]*traceData, per)
+	}
+	return r
+}
+
+// Policy returns the recorder's effective (defaulted) policy.
+func (r *Recorder) Policy() Policy { return r.policy }
+
+// complete applies the tail-sampling policy to a finished trace. Called
+// from Span.Finish on the root span's goroutine.
+func (r *Recorder) complete(td *traceData) {
+	root := &td.spans[0]
+	reason := ""
+	for i := int32(0); i < td.next.Load() && int(i) < len(td.spans); i++ {
+		if td.spans[i].status == statusError {
+			reason = "error"
+			break
+		}
+	}
+	if reason == "" && td.forcedKeep.Load() {
+		reason = "forced"
+	}
+	if reason == "" && root.end.Sub(root.start) >= r.policy.SlowThreshold {
+		reason = "slow"
+	}
+	if reason == "" && r.policy.SampleEvery > 0 &&
+		r.sampleCtr.Add(1)%uint64(r.policy.SampleEvery) == 0 {
+		reason = "sampled"
+	}
+	if reason == "" {
+		r.discarded.Add(1)
+		if td.tracer != nil {
+			td.tracer.release(td)
+		}
+		return
+	}
+
+	// Keeping: freeze the arena. Any child span the owner goroutine
+	// failed to finish before the root (an ownership-rule violation) is
+	// closed at the root's end time so readers never observe a zero end
+	// time or race a late write.
+	n := int(td.next.Load())
+	if n > len(td.spans) {
+		n = len(td.spans)
+	}
+	for i := 1; i < n; i++ {
+		if td.spans[i].end.IsZero() {
+			td.spans[i].end = root.end
+		}
+	}
+	td.keptBecause = reason
+	td.seq = r.seq.Add(1)
+	r.kept.Add(1)
+
+	sh := &r.shards[td.traceID[0]%recShards]
+	sh.mu.Lock()
+	old := sh.ring[sh.idx]
+	sh.ring[sh.idx] = td
+	sh.idx = (sh.idx + 1) % len(sh.ring)
+	sh.mu.Unlock()
+	if old != nil && old.tracer != nil {
+		old.tracer.release(old)
+	}
+}
+
+// Summary is the list-view of one retained trace.
+type Summary struct {
+	TraceID    string  `json:"trace_id"`
+	Root       string  `json:"root"`
+	Start      string  `json:"start"`
+	DurationMS float64 `json:"duration_ms"`
+	Spans      int     `json:"spans"`
+	Dropped    int     `json:"dropped_spans,omitempty"`
+	Error      bool    `json:"error,omitempty"`
+	Kept       string  `json:"kept"`
+}
+
+// Node is one span in a fetched trace tree.
+type Node struct {
+	SpanID     string         `json:"span_id"`
+	Name       string         `json:"name"`
+	StartUS    int64          `json:"start_us"` // offset from trace start
+	DurationUS int64          `json:"duration_us"`
+	Error      string         `json:"error,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []*Node        `json:"children,omitempty"`
+}
+
+// Tree is one fully fetched trace.
+type Tree struct {
+	TraceID      string `json:"trace_id"`
+	RemoteParent string `json:"remote_parent,omitempty"`
+	Start        string `json:"start"`
+	Kept         string `json:"kept"`
+	Dropped      int    `json:"dropped_spans,omitempty"`
+	Root         *Node  `json:"root"`
+}
+
+// RecorderStats reports keep/discard counters and current retention.
+type RecorderStats struct {
+	Kept      uint64 `json:"kept"`
+	Discarded uint64 `json:"discarded"`
+	Retained  int    `json:"retained"`
+	Capacity  int    `json:"capacity"`
+}
+
+// Stats returns the recorder's counters. Retained walks the shards under
+// their locks.
+func (r *Recorder) Stats() RecorderStats {
+	st := RecorderStats{
+		Kept:      r.kept.Load(),
+		Discarded: r.discarded.Load(),
+	}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		st.Capacity += len(sh.ring)
+		for _, td := range sh.ring {
+			if td != nil {
+				st.Retained++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// snapshotSummary builds a Summary under the shard lock (td is immutable
+// once retained, but the ring slot itself must be read under the lock).
+func snapshotSummary(td *traceData) Summary {
+	root := &td.spans[0]
+	n := int(td.next.Load())
+	if n > len(td.spans) {
+		n = len(td.spans)
+	}
+	s := Summary{
+		TraceID:    td.traceID.String(),
+		Root:       root.name,
+		Start:      root.start.UTC().Format(time.RFC3339Nano),
+		DurationMS: float64(root.end.Sub(root.start).Microseconds()) / 1000,
+		Spans:      n,
+		Dropped:    int(td.dropped.Load()),
+		Kept:       td.keptBecause,
+	}
+	for i := 0; i < n; i++ {
+		if td.spans[i].status == statusError {
+			s.Error = true
+			break
+		}
+	}
+	return s
+}
+
+// List returns summaries of retained traces, newest first, up to max
+// (<= 0 means all).
+func (r *Recorder) List(max int) []Summary {
+	type seqSum struct {
+		seq uint64
+		s   Summary
+	}
+	var all []seqSum
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for _, td := range sh.ring {
+			if td != nil {
+				all = append(all, seqSum{td.seq, snapshotSummary(td)})
+			}
+		}
+		sh.mu.Unlock()
+	}
+	// Insertion sort by completion sequence, newest first: the ring is
+	// small (hundreds) and mostly ordered per shard.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j].seq > all[j-1].seq; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	if max > 0 && len(all) > max {
+		all = all[:max]
+	}
+	out := make([]Summary, len(all))
+	for i := range all {
+		out[i] = all[i].s
+	}
+	return out
+}
+
+// Get fetches one retained trace as a span tree, or false. A client that
+// propagates one traceparent across several requests (eipscan's pull +
+// feedback round) produces one retained arena per request, all under the
+// same trace ID; Get merges those onto one timeline beneath a synthetic
+// "trace" root so the round reads as a single connected trace.
+func (r *Recorder) Get(id TraceID) (Tree, bool) {
+	sh := &r.shards[id[0]%recShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var matches []*traceData
+	for _, td := range sh.ring {
+		if td != nil && td.traceID == id {
+			matches = append(matches, td)
+		}
+	}
+	switch len(matches) {
+	case 0:
+		return Tree{}, false
+	case 1:
+		return buildTree(matches[0]), true
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		return matches[i].spans[0].start.Before(matches[j].spans[0].start)
+	})
+	earliest := matches[0].spans[0].start
+	root := &Node{Name: "trace"}
+	merged := Tree{
+		TraceID: id.String(),
+		Start:   earliest.UTC().Format(time.RFC3339Nano),
+		Root:    root,
+	}
+	var end time.Time
+	for _, td := range matches {
+		sub := buildTree(td)
+		shiftNode(sub.Root, td.spans[0].start.Sub(earliest).Microseconds())
+		root.Children = append(root.Children, sub.Root)
+		merged.Dropped += sub.Dropped
+		if sub.RemoteParent != "" {
+			merged.RemoteParent = sub.RemoteParent
+		}
+		if !strings.Contains(merged.Kept, sub.Kept) {
+			if merged.Kept != "" {
+				merged.Kept += "+"
+			}
+			merged.Kept += sub.Kept
+		}
+		if e := td.spans[0].end; e.After(end) {
+			end = e
+		}
+	}
+	root.DurationUS = end.Sub(earliest).Microseconds()
+	return merged, true
+}
+
+// shiftNode moves a subtree's start offsets forward by us microseconds,
+// re-basing per-request offsets onto the merged trace's timeline.
+func shiftNode(n *Node, us int64) {
+	n.StartUS += us
+	for _, c := range n.Children {
+		shiftNode(c, us)
+	}
+}
+
+// buildTree assembles the parent/child structure. Runs under the shard
+// lock; the retained arena is immutable so this only reads.
+func buildTree(td *traceData) Tree {
+	root := &td.spans[0]
+	n := int(td.next.Load())
+	if n > len(td.spans) {
+		n = len(td.spans)
+	}
+	nodes := make([]*Node, n)
+	byID := make(map[SpanID]*Node, n)
+	for i := 0; i < n; i++ {
+		sp := &td.spans[i]
+		node := &Node{
+			SpanID:     sp.id.String(),
+			Name:       sp.name,
+			StartUS:    sp.start.Sub(root.start).Microseconds(),
+			DurationUS: sp.end.Sub(sp.start).Microseconds(),
+			Error:      sp.errMsg,
+		}
+		if sp.status == statusError && node.Error == "" {
+			node.Error = "error"
+		}
+		if sp.nattrs > 0 {
+			node.Attrs = make(map[string]any, sp.nattrs)
+			for a := int32(0); a < sp.nattrs; a++ {
+				node.Attrs[sp.attrs[a].Key()] = sp.attrs[a].Value()
+			}
+		}
+		nodes[i] = node
+		byID[sp.id] = node
+	}
+	for i := 1; i < n; i++ {
+		parent := byID[td.spans[i].parent]
+		if parent == nil || parent == nodes[i] {
+			parent = nodes[0] // orphan (shouldn't happen): hang off root
+		}
+		parent.Children = append(parent.Children, nodes[i])
+	}
+	t := Tree{
+		TraceID: td.traceID.String(),
+		Start:   root.start.UTC().Format(time.RFC3339Nano),
+		Kept:    td.keptBecause,
+		Dropped: int(td.dropped.Load()),
+		Root:    nodes[0],
+	}
+	if td.remoteParent.IsValid() {
+		t.RemoteParent = td.remoteParent.String()
+	}
+	return t
+}

@@ -336,13 +336,55 @@ func (r *Registry) Get(name string) (*core.Model, Info, error) {
 	return r.GetVersion(name, 0)
 }
 
+// LoadSource says how GetVersionOutcome satisfied a lookup.
+type LoadSource uint8
+
+const (
+	// LoadHit: served from the in-memory LRU.
+	LoadHit LoadSource = iota
+	// LoadMiss: decoded from disk by this caller.
+	LoadMiss
+	// LoadCoalesced: waited on another caller's in-flight decode.
+	LoadCoalesced
+)
+
+func (s LoadSource) String() string {
+	switch s {
+	case LoadHit:
+		return "hit"
+	case LoadMiss:
+		return "miss"
+	default:
+		return "coalesced"
+	}
+}
+
+// LoadOutcome describes how one lookup was served — callers (the serving
+// plane) turn it into span attributes without the registry knowing about
+// tracing (the layering rule: registry depends on obs for nothing).
+type LoadOutcome struct {
+	Source LoadSource
+	// LoadSeconds is the disk decode time; 0 unless Source is LoadMiss.
+	LoadSeconds float64
+	// Evicted counts models this lookup's install pushed out of the LRU.
+	Evicted int
+}
+
 // GetVersion returns the given version of the named model; version 0 means
 // the latest. The decoded model is shared between callers and must be
 // treated as read-only.
 func (r *Registry) GetVersion(name string, version int) (*core.Model, Info, error) {
+	m, info, _, err := r.GetVersionOutcome(name, version)
+	return m, info, err
+}
+
+// GetVersionOutcome is GetVersion plus a LoadOutcome describing how the
+// lookup was served (cache hit, disk load, or coalesced onto another
+// caller's load).
+func (r *Registry) GetVersionOutcome(name string, version int) (*core.Model, Info, LoadOutcome, error) {
 	info, err := r.resolve(name, version)
 	if err != nil {
-		return nil, Info{}, err
+		return nil, Info{}, LoadOutcome{}, err
 	}
 	key := cacheKey(info.Name, info.Version)
 
@@ -352,7 +394,7 @@ func (r *Registry) GetVersion(name string, version int) (*core.Model, Info, erro
 		ce := el.Value.(*cacheEntry)
 		r.hits++
 		r.cmu.Unlock()
-		return ce.model, ce.info, nil
+		return ce.model, ce.info, LoadOutcome{Source: LoadHit}, nil
 	}
 	r.misses++
 	if fl, ok := r.loading[key]; ok {
@@ -360,7 +402,7 @@ func (r *Registry) GetVersion(name string, version int) (*core.Model, Info, erro
 		r.coalesced++
 		r.cmu.Unlock()
 		<-fl.done
-		return fl.model, fl.info, fl.err
+		return fl.model, fl.info, LoadOutcome{Source: LoadCoalesced}, fl.err
 	}
 	fl := &inflight{done: make(chan struct{})}
 	r.loading[key] = fl
@@ -368,19 +410,21 @@ func (r *Registry) GetVersion(name string, version int) (*core.Model, Info, erro
 
 	loadStart := time.Now()
 	m, lerr := r.loadFromDisk(info)
+	loadSeconds := time.Since(loadStart).Seconds()
 	if lerr == nil && r.onLoad != nil {
-		r.onLoad(time.Since(loadStart).Seconds())
+		r.onLoad(loadSeconds)
 	}
 	fl.model, fl.info, fl.err = m, info, lerr
 
+	evicted := 0
 	r.cmu.Lock()
 	delete(r.loading, key)
 	if lerr == nil {
-		r.install(key, m, info)
+		evicted = r.install(key, m, info)
 	}
 	r.cmu.Unlock()
 	close(fl.done)
-	return fl.model, fl.info, fl.err
+	return fl.model, fl.info, LoadOutcome{Source: LoadMiss, LoadSeconds: loadSeconds, Evicted: evicted}, fl.err
 }
 
 // OpenRaw opens the serialized bytes of a model version for reading (e.g.
@@ -429,22 +473,26 @@ func (r *Registry) loadFromDisk(info Info) (*core.Model, error) {
 	return m, nil
 }
 
-// install inserts a decoded model into the LRU; caller holds cmu.
-func (r *Registry) install(key string, m *core.Model, info Info) {
+// install inserts a decoded model into the LRU and returns how many
+// entries it evicted; caller holds cmu.
+func (r *Registry) install(key string, m *core.Model, info Info) int {
 	if el, ok := r.items[key]; ok {
 		r.ll.MoveToFront(el)
 		el.Value.(*cacheEntry).model = m
 		el.Value.(*cacheEntry).info = info
-		return
+		return 0
 	}
 	el := r.ll.PushFront(&cacheEntry{key: key, model: m, info: info})
 	r.items[key] = el
+	evicted := 0
 	for r.ll.Len() > r.max {
 		oldest := r.ll.Back()
 		r.ll.Remove(oldest)
 		delete(r.items, oldest.Value.(*cacheEntry).key)
 		r.evictions++
+		evicted++
 	}
+	return evicted
 }
 
 func cacheKey(name string, version int) string {

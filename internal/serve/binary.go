@@ -14,6 +14,7 @@ import (
 
 	"entropyip/internal/core"
 	"entropyip/internal/ip6"
+	"entropyip/internal/obs/trace"
 	"entropyip/internal/wire"
 )
 
@@ -314,11 +315,27 @@ func (s *Server) generateBinary(w http.ResponseWriter, r *http.Request, m *core.
 	})); err != nil {
 		return
 	}
+	// The request's trace ID rides right behind the header as a Trace
+	// frame, so a client holding only the binary stream (possibly saved to
+	// disk) can still pull the matching flight-recorder trace. It shares
+	// the header's not-flushed-yet property: abandoned with the buffer if
+	// a single-stream request dies before its first data frame.
+	root := requestSpan(ctx)
+	if tid := root.TraceID(); tid.IsValid() {
+		var tb [wire.FrameHeaderSize + 16]byte
+		if _, err := bw.Write(wire.AppendTraceFrame(tb[:0], 0, tid)); err != nil {
+			return
+		}
+	}
 
 	var produced int64
 	streamErrs := make([]error, len(streams))
-	runStream := func(idx int) {
+	runStream := func(idx int, span *trace.Span) {
+		defer span.Finish()
 		st := streams[idx]
+		span.SetInt("stream", int64(idx))
+		span.SetInt("count", int64(st.count))
+		span.SetInt("seed", st.seed)
 		ww := wireWriterPool.Get().(*wire.Writer)
 		defer wireWriterPool.Put(ww)
 		ww.Reset(sink, idx, req.Prefixes, s.opts.flushEvery())
@@ -345,11 +362,13 @@ func (s *Server) generateBinary(w http.ResponseWriter, r *http.Request, m *core.
 			})
 		}
 		atomic.AddInt64(&produced, n)
+		span.SetInt("produced", n)
 		switch {
 		case werr != nil || ctx.Err() != nil:
 			// The sink is dead (client gone or write failure); nothing
 			// more to say on the wire.
 		case err != nil:
+			span.SetError(err.Error())
 			if !batch && !sink.wroteAny() {
 				// Nothing flushed yet: the caller answers with a clean
 				// error envelope instead of a binary Error frame.
@@ -358,6 +377,7 @@ func (s *Server) generateBinary(w http.ResponseWriter, r *http.Request, m *core.
 			}
 			s.logger.Error("generate failed mid-stream",
 				"request_id", requestID(ctx),
+				"trace_id", traceIDString(ctx),
 				"model", r.PathValue("name"),
 				"stream", idx,
 				"encoding", "binary",
@@ -369,7 +389,7 @@ func (s *Server) generateBinary(w http.ResponseWriter, r *http.Request, m *core.
 	}
 
 	if !batch {
-		runStream(0)
+		runStream(0, root.StartChild("generate.stream"))
 		if streamErrs[0] != nil {
 			writeError(w, r, http.StatusBadRequest, "%v", streamErrs[0])
 			return
@@ -378,13 +398,17 @@ func (s *Server) generateBinary(w http.ResponseWriter, r *http.Request, m *core.
 		sem := make(chan struct{}, maxConcurrentStreams)
 		var wg sync.WaitGroup
 		for i := range streams {
+			// Children start before the goroutine handoff (span ownership
+			// rule, DESIGN.md §9); their duration therefore includes the
+			// semaphore queue wait, which is part of what the client paid.
+			span := root.StartChild("generate.stream")
 			wg.Add(1)
-			go func(i int) {
+			go func(i int, span *trace.Span) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				runStream(i)
-			}(i)
+				runStream(i, span)
+			}(i, span)
 		}
 		wg.Wait()
 	}
@@ -410,8 +434,12 @@ func (s *Server) generateNDJSONBatch(w http.ResponseWriter, r *http.Request, m *
 	sink := &lockedSink{bw: bw, flusher: flusher, ctx: ctx, every: s.opts.flushEvery()}
 
 	var produced int64
-	runStream := func(idx int) {
+	runStream := func(idx int, span *trace.Span) {
+		defer span.Finish()
 		st := streams[idx]
+		span.SetInt("stream", int64(idx))
+		span.SetInt("count", int64(st.count))
+		span.SetInt("seed", st.seed)
 		lb := getLineBuf()
 		defer putLineBuf(lb)
 		prefix := `{"stream":` + strconv.Itoa(idx) + `,`
@@ -443,11 +471,14 @@ func (s *Server) generateNDJSONBatch(w http.ResponseWriter, r *http.Request, m *
 			})
 		}
 		atomic.AddInt64(&produced, n)
+		span.SetInt("produced", n)
 		switch {
 		case werr != nil || ctx.Err() != nil:
 		case err != nil:
+			span.SetError(err.Error())
 			s.logger.Error("generate failed mid-stream",
 				"request_id", requestID(ctx),
+				"trace_id", traceIDString(ctx),
 				"model", r.PathValue("name"),
 				"stream", idx,
 				"encoding", "ndjson",
@@ -455,6 +486,10 @@ func (s *Server) generateNDJSONBatch(w http.ResponseWriter, r *http.Request, m *
 			lb.b = append(lb.b[:0], prefix...)
 			lb.b = append(lb.b, `"error":`...)
 			lb.b = appendJSONString(lb.b, err.Error())
+			if tid := traceIDString(ctx); tid != "" {
+				lb.b = append(lb.b, `,"trace_id":`...)
+				lb.b = appendJSONString(lb.b, tid)
+			}
 			lb.b = append(lb.b, '}', '\n')
 			_, _ = sink.Write(lb.b)
 		default:
@@ -465,16 +500,18 @@ func (s *Server) generateNDJSONBatch(w http.ResponseWriter, r *http.Request, m *
 		}
 	}
 
+	root := requestSpan(ctx)
 	sem := make(chan struct{}, maxConcurrentStreams)
 	var wg sync.WaitGroup
 	for i := range streams {
+		span := root.StartChild("generate.stream")
 		wg.Add(1)
-		go func(i int) {
+		go func(i int, span *trace.Span) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			runStream(i)
-		}(i)
+			runStream(i, span)
+		}(i, span)
 	}
 	wg.Wait()
 	_ = bw.Flush()
@@ -504,6 +541,14 @@ func (s *Server) observeBinary(w http.ResponseWriter, r *http.Request, name stri
 	}
 
 	var out ObserveResponse
+	// Same ingest span as the NDJSON path: it covers the frame decode and
+	// any drift evaluation a batch trips (a child, via the context).
+	span := requestSpan(r.Context()).StartChild("observe.ingest")
+	ctx := trace.ContextWithSpan(r.Context(), span)
+	defer func() {
+		span.SetInt("accepted", int64(out.Accepted))
+		span.Finish()
+	}()
 	batchp := observeBatchPool.Get().(*[]ip6.Addr)
 	batch := (*batchp)[:0]
 	defer func() {
@@ -525,7 +570,7 @@ decode:
 			for i := 0; i < f.Count; i++ {
 				batch = append(batch, f.Addr(i))
 				if len(batch) >= observeBatchSize {
-					if !s.observeFlush(w, r, name, &batch, &out) {
+					if !s.observeFlush(ctx, w, r, name, &batch, &out) {
 						return
 					}
 				}
@@ -536,13 +581,16 @@ decode:
 		case wire.KindSeed:
 			// Seed frames are meaningful on generate responses only; a
 			// replayed capture may carry them, and they are no-ops here.
+		case wire.KindTrace:
+			// Trace frames identify the generate response they came from;
+			// a replayed capture carries one, and it is a no-op here.
 		default:
 			writeError(w, r, http.StatusBadRequest,
 				"unexpected frame kind 0x%02x in observe body", f.Kind)
 			return
 		}
 	}
-	if !s.observeFlush(w, r, name, &batch, &out) {
+	if !s.observeFlush(ctx, w, r, name, &batch, &out) {
 		return
 	}
 	out.Drift, _ = s.refresher.Status(name)
@@ -564,11 +612,11 @@ func writeWireError(w http.ResponseWriter, r *http.Request, err error) {
 // observeFlush pushes the accumulated batch into the model's window,
 // folding the result into out. On registry errors it answers the
 // request itself and returns false.
-func (s *Server) observeFlush(w http.ResponseWriter, r *http.Request, name string, batch *[]ip6.Addr, out *ObserveResponse) bool {
+func (s *Server) observeFlush(ctx context.Context, w http.ResponseWriter, r *http.Request, name string, batch *[]ip6.Addr, out *ObserveResponse) bool {
 	if len(*batch) == 0 {
 		return true
 	}
-	res, err := s.refresher.Observe(name, *batch)
+	res, err := s.refresher.Observe(ctx, name, *batch)
 	*batch = (*batch)[:0]
 	if err != nil {
 		writeRegistryError(w, r, err)

@@ -73,6 +73,9 @@ type ErrorBody struct {
 	Message string `json:"message"`
 	// RequestID echoes the X-Request-Id header for log correlation.
 	RequestID string `json:"request_id,omitempty"`
+	// TraceID echoes the X-Trace-Id header; it keys the flight recorder
+	// (GET /v1/debug/traces?trace_id=...) and the trace_id log attribute.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx answer.
@@ -95,6 +98,7 @@ func writeError(w http.ResponseWriter, r *http.Request, status int, format strin
 		Code:      errorCodeForStatus(status),
 		Message:   fmt.Sprintf(format, args...),
 		RequestID: requestID(r.Context()),
+		TraceID:   traceIDString(r.Context()),
 	}})
 }
 

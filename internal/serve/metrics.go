@@ -103,13 +103,16 @@ func (m *Metrics) route(pattern string) *routeMetrics {
 
 func (m *Metrics) begin() { m.inFlight.Inc() }
 
-func (m *Metrics) end(rm *routeMetrics, status int, dur time.Duration, bytes int64) {
+func (m *Metrics) end(rm *routeMetrics, status int, dur time.Duration, bytes int64, traceID string) {
 	m.inFlight.Dec()
 	rm.requests.Inc()
 	if status >= 400 {
 		rm.errors.Inc()
 	}
-	rm.latency.Observe(dur.Seconds())
+	// The trace ID becomes the bucket's exemplar in the OpenMetrics
+	// exposition, linking a slow latency observation to its flight-recorder
+	// trace; the text v0.0.4 exposition ignores it.
+	rm.latency.ObserveExemplar(dur.Seconds(), traceID)
 	rm.nanos.Add(int64(dur))
 	if bytes > 0 {
 		rm.bytes.Add(uint64(bytes))

@@ -110,14 +110,26 @@ func appendJSONString(dst []byte, s string) []byte {
 }
 
 // appendErrorLine formats the {"error":"..."} trailer of a mid-stream
-// generation failure, byte-identical to the old
-// json.Encoder.Encode(GenerateItem{Error: msg}) — including omitempty
-// collapsing an empty message to "{}".
-func appendErrorLine(dst []byte, msg string) []byte {
-	if msg == "" {
+// generation failure, byte-identical to
+// json.Encoder.Encode(GenerateItem{Error: msg, TraceID: traceID}) —
+// including omitempty collapsing an all-empty line to "{}". The trace ID
+// rides along so a client holding only the truncated stream can pull the
+// matching flight-recorder trace and server logs.
+func appendErrorLine(dst []byte, msg, traceID string) []byte {
+	if msg == "" && traceID == "" {
 		return append(dst, '{', '}', '\n')
 	}
-	dst = append(dst, `{"error":`...)
-	dst = appendJSONString(dst, msg)
+	dst = append(dst, '{')
+	if msg != "" {
+		dst = append(dst, `"error":`...)
+		dst = appendJSONString(dst, msg)
+		if traceID != "" {
+			dst = append(dst, ',')
+		}
+	}
+	if traceID != "" {
+		dst = append(dst, `"trace_id":`...)
+		dst = appendJSONString(dst, traceID)
+	}
 	return append(dst, '}', '\n')
 }

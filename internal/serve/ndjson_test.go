@@ -73,9 +73,14 @@ func TestGenerateNDJSONLinesMatchEncodingJSON(t *testing.T) {
 		}
 	}
 	for _, msg := range escapeCorpus {
-		got := appendErrorLine(nil, msg)
+		got := appendErrorLine(nil, msg, "")
 		if want := oldLine(GenerateItem{Error: msg}); !bytes.Equal(got, want) {
 			t.Fatalf("error line for %q = %q, old encoder = %q", msg, got, want)
+		}
+		got = appendErrorLine(nil, msg, "4bf92f3577b34da6a3ce929d0e0e4736")
+		want := oldLine(GenerateItem{Error: msg, TraceID: "4bf92f3577b34da6a3ce929d0e0e4736"})
+		if !bytes.Equal(got, want) {
+			t.Fatalf("traced error line for %q = %q, old encoder = %q", msg, got, want)
 		}
 	}
 }

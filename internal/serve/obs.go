@@ -3,11 +3,14 @@ package serve
 import (
 	"context"
 	"net/http"
+	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	"entropyip/internal/core"
 	"entropyip/internal/obs"
+	"entropyip/internal/obs/trace"
 	"entropyip/internal/parallel"
 )
 
@@ -100,6 +103,24 @@ func (s *Server) registerObservability() {
 		e.Gauge("eip_parallel_workers_running", "Scheduler workers currently executing pipeline code.", float64(pst.Running))
 	})
 
+	// Go runtime: the process itself (goroutine count, heap, GC time) —
+	// read fresh per scrape so the series cannot go stale.
+	o.Collect(func(e *obs.Expo) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		e.Gauge("eip_go_goroutines", "Goroutines currently live in the process.", float64(runtime.NumGoroutine()))
+		e.Gauge("eip_go_heap_bytes", "Heap bytes currently allocated and in use.", float64(ms.HeapAlloc))
+		e.Counter("eip_go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", float64(ms.PauseTotalNs)/1e9)
+	})
+
+	// Flight recorder: tail-sampling keep/discard counters and retention.
+	o.Collect(func(e *obs.Expo) {
+		st := s.recorder.Stats()
+		e.Counter("eip_trace_kept_total", "Completed traces retained by the flight recorder.", float64(st.Kept))
+		e.Counter("eip_trace_discarded_total", "Completed traces discarded by tail sampling.", float64(st.Discarded))
+		e.Gauge("eip_trace_retained", "Traces currently held in the flight-recorder ring.", float64(st.Retained))
+	})
+
 	// Per-model ingest/drift/refresh series.
 	o.Collect(s.refresher.collect)
 }
@@ -113,14 +134,18 @@ func (s *Server) observeStage(stage string, d time.Duration) {
 }
 
 // stageObserver builds the OnStage callback for one client-requested
-// training run: per-stage histograms plus a Debug log record carrying
-// the request ID so slow stages correlate with the request that paid
-// for them.
+// training run: per-stage histograms, retroactive child spans under the
+// request's trace (OnStage fires after each stage with its duration),
+// plus a Debug log record carrying the request and trace IDs so slow
+// stages correlate with the request that paid for them.
 func (s *Server) stageObserver(ctx context.Context, model string) func(stage string, d time.Duration) {
 	id := requestID(ctx)
+	tid := traceIDString(ctx)
+	span := requestSpan(ctx)
 	return func(stage string, d time.Duration) {
 		s.observeStage(stage, d)
-		s.logger.Debug("training stage", "request_id", id, "model", model, "stage", stage, "duration", d)
+		span.RecordChild(stage, d)
+		s.logger.Debug("training stage", "request_id", id, "trace_id", tid, "model", model, "stage", stage, "duration", d)
 	}
 }
 
@@ -134,31 +159,76 @@ var metricsBufPool = sync.Pool{
 	},
 }
 
-// handleMetrics serves GET /metrics in the Prometheus text exposition
-// format v0.0.4. The route goes through the same instrumented middleware
-// as everything else, so scrapes appear in the request metrics too.
+// handleMetrics serves GET /metrics. The default exposition is the
+// Prometheus text format v0.0.4; scrapers that ask for
+// application/openmetrics-text via Accept get the OpenMetrics 1.0
+// exposition instead, which additionally carries trace exemplars on the
+// latency histogram buckets (`# {trace_id="..."}` — a parse error for
+// v0.0.4 parsers, hence the negotiation). The route goes through the
+// same instrumented middleware as everything else, so scrapes appear in
+// the request metrics too.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	bp := metricsBufPool.Get().(*[]byte)
-	buf := s.obs.Render((*bp)[:0])
-	w.Header().Set("Content-Type", obs.ContentType)
+	var buf []byte
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		buf = s.obs.RenderOpenMetrics((*bp)[:0])
+		w.Header().Set("Content-Type", obs.ContentTypeOpenMetrics)
+	} else {
+		buf = s.obs.Render((*bp)[:0])
+		w.Header().Set("Content-Type", obs.ContentType)
+	}
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(buf)
 	*bp = buf[:0]
 	metricsBufPool.Put(bp)
 }
 
-// requestIDKey carries the middleware-assigned request ID in the request
-// context, for handlers that emit their own log records.
+// reqInfoKey carries the middleware's per-request identity — request ID,
+// rendered trace ID, and root span — in the request context, for
+// handlers that emit their own log records or open child spans.
 type ctxKey int
 
-const requestIDKey ctxKey = 0
+const reqInfoKey ctxKey = 0
 
-func withRequestID(ctx context.Context, id string) context.Context {
-	return context.WithValue(ctx, requestIDKey, id)
+// reqInfo is immutable after the middleware installs it; the trace ID
+// hex is rendered once here and shared by the response header, log
+// records, error envelopes and exemplars.
+type reqInfo struct {
+	id      string
+	traceID string
+	span    *trace.Span
+}
+
+func withReqInfo(ctx context.Context, ri *reqInfo) context.Context {
+	return context.WithValue(ctx, reqInfoKey, ri)
 }
 
 // requestID returns the request's ID, or "" outside the middleware.
 func requestID(ctx context.Context) string {
-	id, _ := ctx.Value(requestIDKey).(string)
-	return id
+	if ri, ok := ctx.Value(reqInfoKey).(*reqInfo); ok {
+		return ri.id
+	}
+	return ""
+}
+
+// traceIDString returns the request's rendered trace ID, or "" outside
+// the middleware (or when tracing is disabled).
+func traceIDString(ctx context.Context) string {
+	if ri, ok := ctx.Value(reqInfoKey).(*reqInfo); ok {
+		return ri.traceID
+	}
+	return ""
+}
+
+// requestSpan returns the request's root span (nil-safe to use directly),
+// preferring a span installed by trace.ContextWithSpan — subsystem code
+// below the handlers parents children off the innermost span.
+func requestSpan(ctx context.Context) *trace.Span {
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		return sp
+	}
+	if ri, ok := ctx.Value(reqInfoKey).(*reqInfo); ok {
+		return ri.span
+	}
+	return nil
 }

@@ -120,6 +120,14 @@ var apiOperations = []apiOperation{
 		Statuses:      []int{200, 404},
 	},
 	{
+		Method: "GET", Path: "/v1/debug/traces",
+		Summary: "Flight-recorder traces",
+		Description: "The in-process flight recorder's retained request traces (tail-sampled: errors, panics, shadow-rejected rotations and slow requests are always kept; the rest probabilistically). " +
+			"Without parameters, lists retained traces newest first (`?limit=N` caps the listing, default 50). With `?trace_id=<32 hex>` — the value of the `X-Trace-Id` response header, the `trace_id` error-envelope field, or a metrics exemplar — returns that trace's full span tree, or 404 if the recorder no longer holds it.",
+		ResponseTypes: []string{ctJSON},
+		Statuses:      []int{200, 400, 404},
+	},
+	{
 		Method: "GET", Path: "/v1/healthz",
 		Summary:       "Liveness and build info",
 		Description:   "Liveness plus build version, registry stats, request metrics and refresh-loop summary. Also served at `/healthz`.",

@@ -14,6 +14,7 @@ import (
 	"entropyip/internal/ingest"
 	"entropyip/internal/ip6"
 	"entropyip/internal/obs"
+	"entropyip/internal/obs/trace"
 	"entropyip/internal/registry"
 )
 
@@ -143,6 +144,11 @@ type Refresher struct {
 	stage          func(stage string, d time.Duration)
 	retrains       *obs.Counter
 	retrainSeconds *obs.Histogram
+	// tracer mints the refresh loop's own root traces: a retrain outlives
+	// the request that triggered it, so it gets a fresh trace linked back
+	// by a trigger_trace_id attribute instead of joining the request's.
+	// Nil (bare test Refreshers) is fine — every trace call is nil-safe.
+	tracer *trace.Tracer
 
 	mu      sync.Mutex
 	streams map[string]*modelStream
@@ -205,8 +211,9 @@ type ObserveResult struct {
 
 // Observe feeds observed addresses into the named model's window and runs
 // a drift evaluation whenever EvaluateEvery accepted observations have
-// accumulated since the last one.
-func (r *Refresher) Observe(name string, addrs []ip6.Addr) (ObserveResult, error) {
+// accumulated since the last one. The context carries the caller's trace;
+// an evaluation this batch trips appears as a child span under it.
+func (r *Refresher) Observe(ctx context.Context, name string, addrs []ip6.Addr) (ObserveResult, error) {
 	s, err := r.stream(name)
 	if err != nil {
 		return ObserveResult{}, err
@@ -224,7 +231,7 @@ func (r *Refresher) Observe(name string, addrs []ip6.Addr) (ObserveResult, error
 		return res, nil
 	}
 
-	v, err := r.Evaluate(name)
+	v, err := r.Evaluate(ctx, name)
 	if err != nil {
 		return res, err
 	}
@@ -237,20 +244,28 @@ func (r *Refresher) Observe(name string, addrs []ip6.Addr) (ObserveResult, error
 // version, feeds the detector, and — when drifted and AutoRefresh is on —
 // kicks a background retrain. It is also the hook for operators to force
 // an evaluation regardless of the observation counter.
-func (r *Refresher) Evaluate(name string) (drift.Verdict, error) {
+func (r *Refresher) Evaluate(ctx context.Context, name string) (drift.Verdict, error) {
+	span := requestSpan(ctx).StartChild("drift.evaluate")
+	defer span.Finish()
+	span.SetAttr("model", name)
 	s, err := r.stream(name)
 	if err != nil {
+		span.SetError(err.Error())
 		return drift.Verdict{}, err
 	}
 	m, _, err := r.reg.Get(name)
 	if err != nil {
+		span.SetError(err.Error())
 		return drift.Verdict{}, err
 	}
 	rep, err := drift.Score(m, s.buf.Snapshot())
 	if err != nil {
+		span.SetError(err.Error())
 		return drift.Verdict{}, err
 	}
 	v := s.det.Observe(rep)
+	span.SetFloat("score", rep.Score)
+	span.SetBool("drifting", v.Drifting)
 
 	s.mu.Lock()
 	if !v.Skipped {
@@ -270,7 +285,8 @@ func (r *Refresher) Evaluate(name string) (drift.Verdict, error) {
 		r.event(name, "drift-exited", v.Reason)
 	}
 	if shouldRetrain {
-		go r.retrain(s)
+		span.SetBool("retrain_started", true)
+		go r.retrain(s, traceIDString(ctx))
 	}
 	return v, nil
 }
@@ -279,12 +295,28 @@ func (r *Refresher) Evaluate(name string) (drift.Verdict, error) {
 // candidate against the active version, and publishes it when it wins.
 // Runs on the shared training pool; the stream's retraining flag is held
 // for the duration so only one refresh per model is in flight.
-func (r *Refresher) retrain(s *modelStream) {
+//
+// The whole chain runs under its own root trace ("refresh.retrain") with
+// the triggering request's trace ID as an attribute: pool queue wait,
+// the build with its pipeline stages as children, shadow evaluation and
+// rotation. Failures and shadow rejections force the trace into the
+// flight recorder; the trace ID becomes the retrain-latency exemplar.
+func (r *Refresher) retrain(s *modelStream, triggerTraceID string) {
+	root := r.tracer.StartRoot("refresh.retrain", trace.SpanContext{})
+	root.SetAttr("model", s.name)
+	if triggerTraceID != "" {
+		root.SetAttr("trigger_trace_id", triggerTraceID)
+	}
+	var rootID string
+	if tid := root.TraceID(); tid.IsValid() {
+		rootID = tid.String()
+	}
 	var rejected string
 	start := time.Now()
 	ran := false
 	err := r.pool.Do(context.Background(), func() error {
 		ran = true
+		root.RecordChild("pool.wait", time.Since(start))
 		active, _, err := r.reg.Get(s.name)
 		if err != nil {
 			return err // model deleted since the evaluation
@@ -295,16 +327,22 @@ func (r *Refresher) retrain(s *modelStream) {
 		}
 		opts := active.Opts
 		opts.Workers = r.opts.TrainWorkers
+		trainSpan := root.StartChild("train")
+		trainSpan.SetInt("window", int64(len(window)))
 		opts.OnStage = func(stage string, d time.Duration) {
 			if r.stage != nil {
 				r.stage(stage, d)
 			}
-			r.logger.Debug("training stage", "model", s.name, "origin", "refresh", "stage", stage, "duration", d)
+			trainSpan.RecordChild(stage, d)
+			r.logger.Debug("training stage", "model", s.name, "origin", "refresh", "trace_id", rootID, "stage", stage, "duration", d)
 		}
 		candidate, err := core.Build(window, opts)
 		if err != nil {
+			trainSpan.SetError(err.Error())
+			trainSpan.Finish()
 			return fmt.Errorf("retraining: %w", err)
 		}
+		trainSpan.Finish()
 
 		// Shadow evaluation on a fresh window: the candidate must fit the
 		// live distribution better than the model it would replace. The
@@ -313,19 +351,34 @@ func (r *Refresher) retrain(s *modelStream) {
 		// drift.MeanLogLikelihood applies the same Prefix64Only masking as
 		// Score, so the freshLL recorded as the detector baseline is on
 		// the same scale as every later evaluation's.
+		shadowSpan := root.StartChild("shadow.eval")
 		shadow := s.buf.Snapshot()
 		staleLL := drift.MeanLogLikelihood(active, shadow)
 		freshLL := drift.MeanLogLikelihood(candidate, shadow)
+		shadowSpan.SetFloat("stale_ll", staleLL)
+		shadowSpan.SetFloat("fresh_ll", freshLL)
+		shadowSpan.SetInt("window", int64(len(shadow)))
 		if freshLL <= staleLL+r.opts.ShadowMargin {
 			rejected = fmt.Sprintf("candidate mean LL %.3f <= active %.3f + margin %.3f",
 				freshLL, staleLL, r.opts.ShadowMargin)
+			shadowSpan.SetBool("rejected", true)
+			shadowSpan.Finish()
+			// A rejection means compute was burned for nothing publishable —
+			// exactly the trace an operator wants retained.
+			root.ForceKeep()
 			return nil
 		}
+		shadowSpan.Finish()
 
+		rotateSpan := root.StartChild("rotate")
 		info, err := r.reg.Put(s.name, candidate)
 		if err != nil {
+			rotateSpan.SetError(err.Error())
+			rotateSpan.Finish()
 			return fmt.Errorf("publishing: %w", err)
 		}
+		rotateSpan.SetInt("version", int64(info.Version))
+		rotateSpan.Finish()
 		rot := &RotationInfo{
 			Version:     info.Version,
 			At:          info.Created,
@@ -347,14 +400,19 @@ func (r *Refresher) retrain(s *modelStream) {
 	if ran {
 		// Count only retrains that actually ran (ErrBusy sheds before fn);
 		// the duration includes the pool queue wait — it is the drift-to-
-		// fresh-model latency an operator cares about.
+		// fresh-model latency an operator cares about. The trace ID links
+		// the latency observation to the retained trace as its exemplar.
 		if r.retrains != nil {
 			r.retrains.Inc()
 		}
 		if r.retrainSeconds != nil {
-			r.retrainSeconds.Observe(time.Since(start).Seconds())
+			r.retrainSeconds.ObserveExemplar(time.Since(start).Seconds(), rootID)
 		}
 	}
+	if err != nil {
+		root.SetError(err.Error())
+	}
+	root.Finish()
 
 	s.mu.Lock()
 	s.retraining = false

@@ -46,6 +46,7 @@ import (
 	"entropyip/internal/dataset"
 	"entropyip/internal/ip6"
 	"entropyip/internal/obs"
+	"entropyip/internal/obs/trace"
 	"entropyip/internal/registry"
 )
 
@@ -98,6 +99,10 @@ type Options struct {
 	// request, with a per-request ID) and subsystem events. Nil discards
 	// everything — instrumented code never needs a nil check.
 	Logger *slog.Logger
+	// Trace configures the request-tracing flight recorder (ring capacity,
+	// tail-sampling policy). The zero value enables tracing with defaults;
+	// see trace.Policy.
+	Trace trace.Policy
 }
 
 func (o Options) workers() int {
@@ -148,8 +153,10 @@ type Server struct {
 	refresher *Refresher
 	mux       *http.ServeMux
 
-	obs    *obs.Registry
-	logger *slog.Logger
+	obs      *obs.Registry
+	logger   *slog.Logger
+	tracer   *trace.Tracer
+	recorder *trace.Recorder
 	// patterns lists every mux pattern registered through handle, in
 	// registration order; the OpenAPI consistency test diffs it against
 	// the spec's route list.
@@ -179,6 +186,7 @@ func New(reg *registry.Registry, opts Options) *Server {
 		logger = obs.NopLogger()
 	}
 	o := obs.NewRegistry()
+	recorder := trace.NewRecorder(opts.Trace)
 	s := &Server{
 		reg:       reg,
 		opts:      opts,
@@ -188,7 +196,10 @@ func New(reg *registry.Registry, opts Options) *Server {
 		mux:       http.NewServeMux(),
 		obs:       o,
 		logger:    logger,
+		tracer:    trace.NewTracer(recorder),
+		recorder:  recorder,
 	}
+	s.refresher.tracer = s.tracer
 	s.registerObservability()
 	s.handle("GET /v1/models", s.handleList)
 	s.handle("GET /v1/models/{name}", s.handleModelInfo)
@@ -203,6 +214,7 @@ func New(reg *registry.Registry, opts Options) *Server {
 	s.handle("GET /v1/healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
 	s.handle("GET /v1/openapi.json", s.handleOpenAPI)
+	s.handle("GET /v1/debug/traces", s.handleDebugTraces)
 	return s
 }
 
@@ -219,9 +231,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // handle registers an instrumented handler under a method+path pattern:
-// per-route counters and latency histogram, a per-request ID (echoed in
-// X-Request-Id and attached to the request context for handler logging),
-// a structured access-log record per completed request, and panic
+// per-route counters and latency histogram (with trace exemplars), a
+// per-request ID (honored from a well-formed inbound X-Request-Id or
+// minted, echoed in X-Request-Id, attached to the request context for
+// handler logging), a root trace span (joining an inbound W3C
+// traceparent or minting a fresh trace, its ID echoed in X-Trace-Id), a
+// structured access-log record per completed request, and panic
 // recovery — a panicking handler answers 500 (when the header is still
 // unwritten), the in-flight gauge is decremented either way, and
 // eip_http_panics_total increments instead of the gauge wedging.
@@ -230,32 +245,47 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 	rm := s.metrics.route(pattern)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		id := obs.NextRequestID()
+		id := inboundRequestID(r)
+		sc, _ := trace.ParseTraceparent(r.Header.Get("Traceparent"))
+		root := s.tracer.StartRoot(pattern, sc)
+		ri := &reqInfo{id: id, traceID: root.TraceID().String(), span: root}
 		s.metrics.begin()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		sw.Header().Set("X-Request-Id", id)
-		r = r.WithContext(withRequestID(r.Context(), id))
+		if ri.traceID != "" {
+			sw.Header().Set("X-Trace-Id", ri.traceID)
+		}
+		r = r.WithContext(withReqInfo(r.Context(), ri))
 		defer func() {
 			dur := time.Since(start)
 			if p := recover(); p != nil {
 				if p == http.ErrAbortHandler {
 					// The sanctioned abort: account for the request, then
 					// let net/http handle the panic as designed.
-					s.metrics.end(rm, sw.status, dur, sw.bytes)
+					root.SetInt("status", int64(sw.status))
+					root.Finish()
+					s.metrics.end(rm, sw.status, dur, sw.bytes, ri.traceID)
 					panic(p)
 				}
 				s.metrics.panicked()
 				s.logger.Error("handler panic",
 					"request_id", id,
+					"trace_id", ri.traceID,
 					"route", pattern,
 					"panic", fmt.Sprint(p),
 					"stack", string(debug.Stack()))
+				root.SetError(fmt.Sprint("panic: ", p))
 				if !sw.wroteHeader {
 					writeError(sw, r, http.StatusInternalServerError, "internal server error")
 				}
 			}
-			s.metrics.end(rm, sw.status, dur, sw.bytes)
-			s.logRequest(r, pattern, id, sw, dur)
+			if sw.status >= 500 && !root.Failed() {
+				root.SetError(http.StatusText(sw.status))
+			}
+			root.SetInt("status", int64(sw.status))
+			root.Finish()
+			s.metrics.end(rm, sw.status, dur, sw.bytes, ri.traceID)
+			s.logRequest(r, pattern, ri, sw, dur)
 		}()
 		h(sw, r)
 	})
@@ -266,7 +296,7 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 // errors Error. The Enabled check skips attribute assembly entirely when
 // the level is filtered, keeping the hot path allocation-free under the
 // default Info level.
-func (s *Server) logRequest(r *http.Request, pattern, id string, sw *statusWriter, dur time.Duration) {
+func (s *Server) logRequest(r *http.Request, pattern string, ri *reqInfo, sw *statusWriter, dur time.Duration) {
 	level := slog.LevelDebug
 	switch {
 	case sw.status >= 500:
@@ -279,7 +309,9 @@ func (s *Server) logRequest(r *http.Request, pattern, id string, sw *statusWrite
 		return
 	}
 	s.logger.LogAttrs(ctx, level, "request",
-		slog.String("request_id", id),
+		slog.String("request_id", ri.id),
+		slog.String("trace_id", ri.traceID),
+		slog.String("span_id", ri.span.Context().SpanID.String()),
 		slog.String("method", r.Method),
 		slog.String("path", r.URL.Path),
 		slog.String("route", pattern),
@@ -565,7 +597,7 @@ func (s *Server) handleBrowse(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	m, info, err := s.reg.GetVersion(r.PathValue("name"), req.Version)
+	m, info, err := s.getModel(r.Context(), r.PathValue("name"), req.Version)
 	if err != nil {
 		writeRegistryError(w, r, err)
 		return
@@ -673,6 +705,9 @@ type GenerateItem struct {
 	// Done marks a batch stream's final line. Single-stream responses
 	// signal completion by ending the body instead.
 	Done bool `json:"done,omitempty"`
+	// TraceID accompanies Error on trailer lines: the request's trace ID,
+	// usable against /v1/debug/traces and server logs.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // handleGenerate streams candidates with bounded memory in the encoding
@@ -700,12 +735,16 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
-	m, info, err := s.reg.GetVersion(r.PathValue("name"), req.Version)
+	m, info, err := s.getModel(r.Context(), r.PathValue("name"), req.Version)
 	if err != nil {
 		writeRegistryError(w, r, err)
 		return
 	}
 	s.encRequests[routeGenerate][enc].Add(1)
+	if root := requestSpan(r.Context()); root != nil {
+		root.SetAttr("encoding", enc.String())
+		root.SetAttr("model", info.Name)
+	}
 	w.Header().Set("Content-Type", enc.contentType())
 	w.Header().Set("X-Model-Version", fmt.Sprint(info.Version))
 	// Always echo the seeds in force, so a seedless request can be
@@ -729,6 +768,9 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) generateNDJSON(w http.ResponseWriter, r *http.Request, m *core.Model, info registry.Info, req *GenerateRequest, st resolvedStream) {
 	ctx := r.Context()
 	opts := s.generateOptions(ctx, st, req)
+	span := requestSpan(ctx).StartChild("generate.stream")
+	span.SetInt("count", int64(st.count))
+	span.SetInt("seed", st.seed)
 	bw := bufio.NewWriter(w)
 	flusher, _ := w.(http.Flusher)
 	flushEvery := s.opts.flushEvery()
@@ -776,23 +818,30 @@ func (s *Server) generateNDJSON(w http.ResponseWriter, r *http.Request, m *core.
 			return write()
 		})
 	}
+	span.SetInt("produced", int64(lines))
 	if err != nil {
+		span.SetError(err.Error())
+		span.Finish()
 		if lines == 0 {
 			// Nothing streamed yet: a clean JSON error is still possible.
 			writeError(w, r, http.StatusBadRequest, "%v", err)
 			return
 		}
 		// Mid-stream failure: the 200 status is already on the wire, so
-		// emit an error trailer line the client can distinguish from a
-		// legitimately short stream, and log it server-side.
+		// emit an error trailer line carrying the trace ID — the client's
+		// handle into /v1/debug/traces and the server logs — that it can
+		// distinguish from a legitimately short stream.
 		s.logger.Error("generate failed mid-stream",
 			"request_id", requestID(ctx),
+			"trace_id", traceIDString(ctx),
 			"model", info.Name,
 			"version", info.Version,
 			"lines", lines,
 			"err", err)
-		lb.b = appendErrorLine(lb.b[:0], err.Error())
+		lb.b = appendErrorLine(lb.b[:0], err.Error(), traceIDString(ctx))
 		_, _ = bw.Write(lb.b)
+	} else {
+		span.Finish()
 	}
 	_ = bw.Flush()
 	s.candidates.Add(uint64(lines))
@@ -882,8 +931,18 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	var out ObserveResponse
 	// Line-outcome counters for /metrics: accepted lines are added batch
 	// by batch in flush (so early error returns still count what entered
-	// the window); invalid lines are added once on the way out.
-	defer func() { s.observeInvalid.Add(uint64(out.Invalid)) }()
+	// the window); invalid lines are added once on the way out. The ingest
+	// span covers the whole scan — including any drift evaluation a batch
+	// trips, which appears as its child (the span rides the context into
+	// the refresher).
+	span := requestSpan(r.Context()).StartChild("observe.ingest")
+	ctx := trace.ContextWithSpan(r.Context(), span)
+	defer func() {
+		s.observeInvalid.Add(uint64(out.Invalid))
+		span.SetInt("accepted", int64(out.Accepted))
+		span.SetInt("invalid", int64(out.Invalid))
+		span.Finish()
+	}()
 	batchp := observeBatchPool.Get().(*[]ip6.Addr)
 	batch := (*batchp)[:0]
 	defer func() {
@@ -894,7 +953,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		if len(batch) == 0 {
 			return true
 		}
-		res, err := s.refresher.Observe(name, batch)
+		res, err := s.refresher.Observe(ctx, name, batch)
 		batch = batch[:0]
 		if err != nil {
 			writeRegistryError(w, r, err)

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+
+	"entropyip/internal/core"
+	"entropyip/internal/obs"
+	"entropyip/internal/obs/trace"
+	"entropyip/internal/registry"
+)
+
+// This file is the serving plane's tracing surface: the inbound
+// X-Request-Id validation, the traced registry lookup the model-serving
+// handlers share, and the GET /v1/debug/traces window into the flight
+// recorder. The span machinery itself lives in internal/obs/trace; the
+// middleware that opens each request's root span is in server.go.
+
+// maxInboundRequestIDLen bounds an honored client request ID. Anything
+// longer is replaced, not truncated — a truncated ID would correlate
+// with nothing on the client's side.
+const maxInboundRequestIDLen = 128
+
+// inboundRequestID returns the request ID to use for r: the client's
+// X-Request-Id when it is well-formed (1..128 bytes of [A-Za-z0-9._-]),
+// otherwise a freshly minted one. Validation keeps hostile header values
+// out of structured logs and error envelopes — an ID is quoted into
+// both — while letting well-behaved clients stitch their own IDs through
+// server logs.
+func inboundRequestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-Id")
+	if id == "" || len(id) > maxInboundRequestIDLen {
+		return obs.NextRequestID()
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return obs.NextRequestID()
+		}
+	}
+	return id
+}
+
+// getModel resolves a model version through the registry under a
+// "registry.get" child span recording where the model came from (cache
+// hit, disk load, or a coalesced wait on another goroutine's load), the
+// disk decode time for misses, and any LRU evictions the install caused.
+// The registry itself stays trace-free; it reports the outcome and the
+// serving layer owns the span.
+func (s *Server) getModel(ctx context.Context, name string, version int) (*core.Model, registry.Info, error) {
+	span := requestSpan(ctx).StartChild("registry.get")
+	defer span.Finish()
+	span.SetAttr("model", name)
+	m, info, out, err := s.reg.GetVersionOutcome(name, version)
+	if err != nil {
+		span.SetError(err.Error())
+		return nil, registry.Info{}, err
+	}
+	span.SetAttr("outcome", out.Source.String())
+	if out.Source == registry.LoadMiss {
+		span.SetFloat("load_seconds", out.LoadSeconds)
+	}
+	if out.Evicted > 0 {
+		span.SetInt("evicted", int64(out.Evicted))
+	}
+	span.SetInt("version", int64(info.Version))
+	return m, info, nil
+}
+
+// DebugTracesResponse is the body of GET /v1/debug/traces: either a
+// newest-first listing of retained traces, or — with ?trace_id= — one
+// trace's full span tree.
+type DebugTracesResponse struct {
+	// Recorder reports the flight recorder's keep/discard counters and
+	// ring occupancy.
+	Recorder trace.RecorderStats `json:"recorder"`
+	// Traces lists retained traces, newest first (listing form).
+	Traces []trace.Summary `json:"traces,omitempty"`
+	// Trace is the requested trace's span tree (?trace_id= form).
+	Trace *trace.Tree `json:"trace,omitempty"`
+}
+
+// defaultTraceListLimit bounds a listing without an explicit ?limit.
+const defaultTraceListLimit = 50
+
+// handleDebugTraces serves GET /v1/debug/traces. Without parameters it
+// lists retained traces newest first (?limit caps the listing); with
+// ?trace_id=<32 hex> it returns that trace's span tree or 404 when the
+// recorder no longer holds it (evicted or never kept).
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	resp := DebugTracesResponse{Recorder: s.recorder.Stats()}
+	if idHex := r.URL.Query().Get("trace_id"); idHex != "" {
+		id, err := trace.ParseTraceID(idHex)
+		if err != nil {
+			writeError(w, r, http.StatusBadRequest, "invalid trace_id %q: %v", idHex, err)
+			return
+		}
+		tree, ok := s.recorder.Get(id)
+		if !ok {
+			writeError(w, r, http.StatusNotFound,
+				"trace %s not retained (discarded by tail sampling, or evicted from the ring)", idHex)
+			return
+		}
+		resp.Trace = &tree
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	limit := defaultTraceListLimit
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n <= 0 {
+			writeError(w, r, http.StatusBadRequest, "limit must be a positive integer, got %q", ls)
+			return
+		}
+		limit = n
+	}
+	resp.Traces = s.recorder.List(limit)
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -43,6 +43,14 @@
 //	Seed     1                   8-byte seed of this stream (batch mode)
 //	End      0                   stream completed (short = support exhausted)
 //	Error    message length      UTF-8 error message; stream failed
+//	Trace    1                   16-byte W3C trace ID correlating this body
+//	                             with server logs and /v1/debug/traces
+//
+// A Trace frame is metadata, not data: decoders that predate it treat an
+// unknown kind as ErrBadFrame, so writers only emit it when the peer
+// negotiated wire version >= 1 (this package's first public version
+// already decodes it; the frame was added before any cross-version
+// deployment existed).
 //
 // Frames of different streams interleave arbitrarily; frames of one
 // stream are in order. A reader demultiplexes on the stream index. Data
@@ -94,6 +102,7 @@ const (
 	KindSeed     = 0x03
 	KindEnd      = 0x04
 	KindError    = 0x05
+	KindTrace    = 0x06
 )
 
 const (
@@ -291,6 +300,29 @@ func (w *Writer) Seed(seed int64) error {
 	return err
 }
 
+// Trace emits a Trace frame carrying the request's 16-byte W3C trace ID,
+// so binary-stream consumers can correlate a mid-stream Error frame with
+// server logs and /v1/debug/traces. Servers send it right after the
+// stream header, before any data frame.
+func (w *Writer) Trace(id [16]byte) error {
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	// Built in w.buf for the same escape-allocation reason as Seed.
+	w.buf = append(w.buf[:0], KindTrace, w.stream, 0, 1)
+	w.buf = append(w.buf, id[:]...)
+	_, err := w.sink.Write(w.buf)
+	w.buf = w.buf[:FrameHeaderSize]
+	return err
+}
+
+// AppendTraceFrame appends a complete Trace frame to dst — for callers
+// that write the frame alongside the stream header without a Writer.
+func AppendTraceFrame(dst []byte, stream int, id [16]byte) []byte {
+	dst = append(dst, KindTrace, byte(stream), 0, 1)
+	return append(dst, id[:]...)
+}
+
 // End flushes pending records and emits the stream's End frame.
 func (w *Writer) End() error {
 	if err := w.Flush(); err != nil {
@@ -353,6 +385,13 @@ func (f Frame) Seed() int64 {
 
 // Message returns the message of an Error frame.
 func (f Frame) Message() string { return string(f.Payload) }
+
+// TraceID returns the 16-byte trace ID of a Trace frame.
+func (f Frame) TraceID() [16]byte {
+	var id [16]byte
+	copy(id[:], f.Payload)
+	return id
+}
 
 // Reader decodes a binary stream from an io.Reader into one fixed
 // internal buffer. The zero Reader is not usable; call Reset, which
@@ -450,6 +489,11 @@ func (r *Reader) Next() (Frame, error) {
 		}
 	case KindError:
 		payload = f.Count // count is the message byte length
+	case KindTrace:
+		if f.Count != 1 {
+			return Frame{}, fmt.Errorf("%w: trace frame count %d", ErrBadFrame, f.Count)
+		}
+		payload = 16
 	default:
 		return Frame{}, fmt.Errorf("%w: unknown kind 0x%02x", ErrBadFrame, f.Kind)
 	}

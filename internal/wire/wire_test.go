@@ -424,3 +424,55 @@ func TestWriterZeroAlloc(t *testing.T) {
 		t.Errorf("encode path allocates %.1f/run, want 0", allocs)
 	}
 }
+
+func TestTraceFrameRoundTrip(t *testing.T) {
+	id := [16]byte{0x4b, 0xf9, 0x2f, 0x35, 0x77, 0xb3, 0x4d, 0xa6,
+		0xa3, 0xce, 0x92, 0x9d, 0x0e, 0x0e, 0x47, 0x36}
+	var body bytes.Buffer
+	body.Write(AppendHeader(nil, Header{Streams: 1}))
+	body.Write(AppendTraceFrame(nil, 0, id))
+	w := NewWriter(&body, 0, false, 0)
+	if err := w.AddAddr(ip6.Addr{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Trace(id); err != nil { // Trace must flush pending data first
+		t.Fatal(err)
+	}
+	if err := w.End(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := r.Next()
+	if err != nil || f.Kind != KindTrace || f.Count != 1 {
+		t.Fatalf("first frame = %+v, %v", f, err)
+	}
+	if f.TraceID() != id {
+		t.Fatalf("trace id = %x, want %x", f.TraceID(), id)
+	}
+	f, err = r.Next()
+	if err != nil || f.Kind != KindAddrs || f.Count != 1 {
+		t.Fatalf("second frame = %+v, %v", f, err)
+	}
+	f, err = r.Next()
+	if err != nil || f.Kind != KindTrace || f.TraceID() != id {
+		t.Fatalf("third frame = %+v, %v (Writer.Trace)", f, err)
+	}
+	if f, err = r.Next(); err != nil || f.Kind != KindEnd {
+		t.Fatalf("fourth frame = %+v, %v", f, err)
+	}
+}
+
+func TestTraceFrameRejectsBadCount(t *testing.T) {
+	body := AppendHeader(nil, Header{Streams: 1})
+	body = append(body, KindTrace, 0, 0, 2) // count must be 1
+	r, err := NewReader(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v, want ErrBadFrame", err)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"entropyip/internal/ip6"
+	"entropyip/internal/obs/trace"
 	"entropyip/internal/wire"
 )
 
@@ -43,6 +44,26 @@ func New(baseURL string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
 }
 
+// WithTrace returns ctx carrying a fresh client-minted trace context and
+// the trace ID it will propagate. Every request the Client makes with the
+// returned context sends the same trace ID in its traceparent header, so
+// a multi-request round (generate, scan, feed results back) appears as
+// one connected trace in the server's flight recorder — retrievable via
+// GET /v1/debug/traces?trace_id=<returned ID>. The minted context is
+// sampled, which the server honors as a forced keep.
+func WithTrace(ctx context.Context) (context.Context, string) {
+	sc := trace.NewSpanContext()
+	return trace.ContextWithRemote(ctx, sc), sc.TraceID.String()
+}
+
+// traceparent injects the outbound W3C traceparent header when ctx
+// carries a trace (from WithTrace, or a server-side span upstream).
+func traceparent(ctx context.Context, req *http.Request) {
+	if sc := trace.Outbound(ctx); sc.IsValid() {
+		req.Header.Set("Traceparent", trace.Traceparent(sc))
+	}
+}
+
 // APIError is a non-2xx answer decoded from the v1 error envelope.
 type APIError struct {
 	// Status is the HTTP status code.
@@ -54,6 +75,9 @@ type APIError struct {
 	Message string
 	// RequestID names the server-side log records of this request.
 	RequestID string
+	// TraceID keys the server's flight recorder (/v1/debug/traces) and
+	// trace_id log attribute.
+	TraceID string
 }
 
 func (e *APIError) Error() string {
@@ -71,6 +95,7 @@ func decodeAPIError(resp *http.Response) error {
 			Code      string `json:"code"`
 			Message   string `json:"message"`
 			RequestID string `json:"request_id"`
+			TraceID   string `json:"trace_id"`
 		} `json:"error"`
 	}
 	e := &APIError{Status: resp.StatusCode}
@@ -78,6 +103,7 @@ func decodeAPIError(resp *http.Response) error {
 		e.Code = envelope.Error.Code
 		e.Message = envelope.Error.Message
 		e.RequestID = envelope.Error.RequestID
+		e.TraceID = envelope.Error.TraceID
 	} else {
 		e.Message = strings.TrimSpace(string(body))
 		if e.Message == "" {
@@ -158,6 +184,9 @@ type GenerateResult struct {
 	ModelVersion int
 	// Candidates counts KindCandidate events delivered.
 	Candidates int64
+	// TraceID is the server's trace of this request (X-Trace-Id header,
+	// or the binary stream's Trace frame), for /v1/debug/traces lookups.
+	TraceID string
 }
 
 // generateRequest mirrors serve.GenerateRequest.
@@ -198,6 +227,7 @@ func (c *Client) Generate(ctx context.Context, model string, opts GenerateOption
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	traceparent(ctx, req)
 	if opts.Binary {
 		req.Header.Set("Accept", wire.ContentType)
 	} else {
@@ -212,7 +242,10 @@ func (c *Client) Generate(ctx context.Context, model string, opts GenerateOption
 		return nil, decodeAPIError(resp)
 	}
 
-	res := &GenerateResult{Encoding: resp.Header.Get("X-Encoding")}
+	res := &GenerateResult{
+		Encoding: resp.Header.Get("X-Encoding"),
+		TraceID:  resp.Header.Get("X-Trace-Id"),
+	}
 	res.ModelVersion, _ = strconv.Atoi(resp.Header.Get("X-Model-Version"))
 	for _, part := range strings.Split(resp.Header.Get("X-Seed"), ",") {
 		if seed, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64); err == nil {
@@ -258,6 +291,12 @@ func decodeBinaryStream(body io.Reader, res *GenerateResult, yield func(Event) b
 			}
 		case wire.KindSeed:
 			// Seeds are already in res.Seeds via X-Seed.
+		case wire.KindTrace:
+			// The in-band copy of the trace ID; authoritative when the
+			// stream was saved to disk and replayed without its headers.
+			if res.TraceID == "" {
+				res.TraceID = trace.TraceID(f.TraceID()).String()
+			}
 		case wire.KindEnd:
 			if !yield(Event{Kind: KindStreamEnd, Stream: f.Stream}) {
 				return nil
@@ -349,6 +388,8 @@ type ObserveResult struct {
 	Invalid int `json:"invalid"`
 	// Evaluated is true when the batch triggered a drift evaluation.
 	Evaluated bool `json:"evaluated"`
+	// TraceID is the server's trace of this request (X-Trace-Id header).
+	TraceID string `json:"-"`
 }
 
 // Observe pushes observed addresses into the model's ingest window over
@@ -372,6 +413,7 @@ func (c *Client) Observe(ctx context.Context, model string, addrs []ip6.Addr) (*
 		return nil, err
 	}
 	req.Header.Set("Content-Type", wire.ContentType)
+	traceparent(ctx, req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -384,5 +426,6 @@ func (c *Client) Observe(ctx context.Context, model string, addrs []ip6.Addr) (*
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return nil, fmt.Errorf("decoding observe response: %w", err)
 	}
+	out.TraceID = resp.Header.Get("X-Trace-Id")
 	return &out, nil
 }

@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -34,6 +35,14 @@ func testAddrs(n int, seed int64) []ip6.Addr {
 // and returns a Client pointed at it.
 func newServer(t *testing.T) *Client {
 	t.Helper()
+	c, _ := newServerURL(t)
+	return c
+}
+
+// newServerURL is newServer plus the base URL, for tests that hit
+// endpoints the client doesn't wrap (the trace debug endpoint).
+func newServerURL(t *testing.T) (*Client, string) {
+	t.Helper()
 	reg, err := registry.Open(t.TempDir(), 8)
 	if err != nil {
 		t.Fatal(err)
@@ -47,7 +56,7 @@ func newServer(t *testing.T) *Client {
 	}
 	srv := httptest.NewServer(serve.New(reg, serve.Options{}))
 	t.Cleanup(srv.Close)
-	return New(srv.URL, srv.Client())
+	return New(srv.URL, srv.Client()), srv.URL
 }
 
 // collect gathers every event of one Generate call.
@@ -197,6 +206,77 @@ func TestGenerateEarlyStop(t *testing.T) {
 		t.Errorf("saw %d candidates after stop, want 10", seen)
 	}
 	_ = res
+}
+
+// TestTraceRoundTrip pins the propagation contract the CLIs rely on:
+// WithTrace mints a trace context, every request under that ctx carries
+// it as a traceparent, the server joins it (results echo the trace ID),
+// and a generate + observe round comes back from /v1/debug/traces as one
+// connected trace under the minted ID.
+func TestTraceRoundTrip(t *testing.T) {
+	c, base := newServerURL(t)
+	ctx, id := WithTrace(context.Background())
+	if len(id) != 32 {
+		t.Fatalf("minted trace ID %q, want 32 hex chars", id)
+	}
+
+	res, err := c.Generate(ctx, "web",
+		GenerateOptions{Count: 50, Seed: seed(9), Binary: true},
+		func(Event) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID != id {
+		t.Errorf("generate trace ID = %q, want minted %q", res.TraceID, id)
+	}
+	or, err := c.Observe(ctx, "web", testAddrs(10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if or.TraceID != id {
+		t.Errorf("observe trace ID = %q, want minted %q", or.TraceID, id)
+	}
+
+	// Both requests merged into one connected trace in the flight
+	// recorder, fetchable by the minted ID.
+	resp, err := http.Get(base + "/v1/debug/traces?trace_id=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/traces status = %d", resp.StatusCode)
+	}
+	var dbg serve.DebugTracesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dbg); err != nil {
+		t.Fatal(err)
+	}
+	if dbg.Trace == nil || dbg.Trace.Root == nil {
+		t.Fatal("no trace tree returned for minted ID")
+	}
+	if dbg.Trace.TraceID != id {
+		t.Errorf("tree trace ID = %q, want %q", dbg.Trace.TraceID, id)
+	}
+	if dbg.Trace.Root.Name != "trace" {
+		t.Fatalf("root = %q, want synthetic merge root \"trace\"", dbg.Trace.Root.Name)
+	}
+	names := map[string]bool{}
+	for _, ch := range dbg.Trace.Root.Children {
+		names[ch.Name] = true
+	}
+	if !names["POST /v1/models/{name}/generate"] || !names["POST /v1/models/{name}/observe"] {
+		t.Errorf("merged round missing request spans; have %v", names)
+	}
+
+	// Error envelopes under the same ctx carry the trace ID too.
+	_, err = c.Generate(ctx, "web", GenerateOptions{Count: 0}, func(Event) bool { return true })
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.TraceID != id {
+		t.Errorf("APIError trace ID = %q, want %q", apiErr.TraceID, id)
+	}
 }
 
 func seed(v int64) *int64 { return &v }

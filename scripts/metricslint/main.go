@@ -1,0 +1,252 @@
+// Command metricslint boots the serving plane in-process against a
+// throwaway registry, exercises enough routes to materialize the
+// per-route series, scrapes GET /metrics and lints every family in the
+// exposition against the repo's metric-naming contract:
+//
+//   - every family carries a non-empty # HELP line
+//   - every sample's family is declared with # TYPE before its samples
+//   - names are eip_-prefixed snake_case
+//   - counters end in _total; gauges and histograms must not
+//   - label keys are snake_case and bounded (no unbounded cardinality
+//     creeping in through a new label)
+//
+// CI runs it with `go run ./scripts/metricslint`; any violation exits 1
+// with one line per finding. The lint needs no network and no deps — it
+// drives the real http.Handler through httptest.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strings"
+
+	"entropyip/internal/core"
+	"entropyip/internal/ip6"
+	"entropyip/internal/registry"
+	"entropyip/internal/serve"
+)
+
+// maxLabelKeys bounds label-set width per series; more keys than this is
+// almost always a cardinality accident, not a design choice.
+const maxLabelKeys = 5
+
+var (
+	nameRE  = regexp.MustCompile(`^eip_[a-z][a-z0-9_]*$`)
+	labelRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+)
+
+func main() {
+	body, err := scrape()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricslint:", err)
+		os.Exit(1)
+	}
+	problems := lint(body)
+	for _, p := range problems {
+		fmt.Println("metricslint:", p)
+	}
+	if len(problems) > 0 {
+		fmt.Printf("metricslint: %d violation(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("metricslint: ok")
+}
+
+// scrape builds a server over a temp registry with one small trained
+// model, drives a few requests through it (success, error, generate,
+// observe) so lazily-created route series exist, and returns the
+// /metrics exposition.
+func scrape() (string, error) {
+	dir, err := os.MkdirTemp("", "metricslint")
+	if err != nil {
+		return "", err
+	}
+	defer os.RemoveAll(dir)
+	reg, err := registry.Open(dir, 4)
+	if err != nil {
+		return "", err
+	}
+	rng := rand.New(rand.NewSource(1))
+	base := ip6.MustParseAddr("2001:db8::")
+	addrs := make([]ip6.Addr, 500)
+	for i := range addrs {
+		a := base.SetField(8, 2, uint64(rng.Intn(4)))
+		addrs[i] = a.SetField(16, 16, rng.Uint64())
+	}
+	m, err := core.Build(addrs, core.Options{})
+	if err != nil {
+		return "", err
+	}
+	if _, err := reg.Put("lint", m); err != nil {
+		return "", err
+	}
+	s := serve.New(reg, serve.Options{})
+	do := func(method, path, body string) {
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		if body != "" {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		s.ServeHTTP(httptest.NewRecorder(), req)
+	}
+	do("GET", "/healthz", "")
+	do("GET", "/v1/models", "")
+	do("GET", "/v1/models/absent", "") // 404: error-path series
+	do("POST", "/v1/models/lint/generate", `{"count":50,"seed":1}`)
+	do("POST", "/v1/models/lint/observe", `{"addrs":["2001:db8::1"]}`)
+	do("GET", "/v1/debug/traces", "")
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != 200 {
+		return "", fmt.Errorf("GET /metrics: status %d", w.Code)
+	}
+	return w.Body.String(), nil
+}
+
+// family strips a sample's name down to its declaring family: histogram
+// samples render as name_bucket/_sum/_count under a # TYPE name
+// histogram header.
+func family(sample string, histograms map[string]bool) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base := strings.TrimSuffix(sample, suf); base != sample && histograms[base] {
+			return base
+		}
+	}
+	return sample
+}
+
+func lint(body string) []string {
+	var problems []string
+	types := map[string]string{}
+	helps := map[string]bool{}
+	histograms := map[string]bool{}
+	seriesLabels := map[string][]string{}
+
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if strings.TrimSpace(help) == "" {
+				problems = append(problems, fmt.Sprintf("%s: empty HELP text", name))
+			}
+			helps[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				problems = append(problems, fmt.Sprintf("malformed TYPE line: %q", line))
+				continue
+			}
+			name, typ := fields[0], fields[1]
+			types[name] = typ
+			if typ == "histogram" {
+				histograms[name] = true
+			}
+			if !nameRE.MatchString(name) {
+				problems = append(problems, fmt.Sprintf("%s: name not eip_-prefixed snake_case", name))
+			}
+			switch typ {
+			case "counter":
+				if !strings.HasSuffix(name, "_total") {
+					problems = append(problems, fmt.Sprintf("%s: counter must end in _total", name))
+				}
+			case "gauge", "histogram":
+				if strings.HasSuffix(name, "_total") {
+					problems = append(problems, fmt.Sprintf("%s: %s must not end in _total", name, typ))
+				}
+			default:
+				problems = append(problems, fmt.Sprintf("%s: unknown type %q", name, typ))
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments (e.g. OpenMetrics EOF) are fine
+		}
+
+		// Sample line: name{labels} value
+		sample := line
+		if i := strings.IndexAny(sample, "{ "); i >= 0 {
+			sample = sample[:i]
+		}
+		fam := family(sample, histograms)
+		if _, ok := types[fam]; !ok {
+			problems = append(problems, fmt.Sprintf("%s: sample without a preceding # TYPE declaration", sample))
+			continue
+		}
+		if !helps[fam] {
+			problems = append(problems, fmt.Sprintf("%s: family has no # HELP line", fam))
+			helps[fam] = true // report once
+		}
+		if open := strings.Index(line, "{"); open >= 0 {
+			// Label values may contain literal braces (route="GET
+			// /v1/models/{name}"), so the block ends at the LAST brace.
+			closing := strings.LastIndex(line, "}")
+			if closing < open {
+				problems = append(problems, fmt.Sprintf("%s: malformed label block: %q", fam, line))
+				continue
+			}
+			keys := labelKeys(line[open+1 : closing])
+			if len(keys) > maxLabelKeys {
+				problems = append(problems, fmt.Sprintf("%s: %d label keys (max %d): %v", fam, len(keys), maxLabelKeys, keys))
+			}
+			for _, k := range keys {
+				if !labelRE.MatchString(k) {
+					problems = append(problems, fmt.Sprintf("%s: label key %q not snake_case", fam, k))
+				}
+			}
+			// Keyed by sample name, not family: histogram _bucket rows
+			// legitimately carry an extra "le" vs their _sum/_count rows.
+			if prev, ok := seriesLabels[sample]; ok && strings.Join(prev, ",") != strings.Join(keys, ",") {
+				problems = append(problems, fmt.Sprintf("%s: inconsistent label keys across series: %v vs %v", sample, prev, keys))
+				delete(seriesLabels, sample) // report once
+			} else if !ok {
+				seriesLabels[sample] = keys
+			}
+		}
+	}
+	if len(types) == 0 {
+		problems = append(problems, "exposition declared no metric families at all")
+	}
+	return problems
+}
+
+// labelKeys extracts the keys of one label block, skipping over quoted
+// values (which may contain commas or escaped quotes).
+func labelKeys(block string) []string {
+	var keys []string
+	for i := 0; i < len(block); {
+		eq := strings.IndexByte(block[i:], '=')
+		if eq < 0 {
+			break
+		}
+		keys = append(keys, strings.TrimSpace(block[i:i+eq]))
+		i += eq + 1
+		if i < len(block) && block[i] == '"' {
+			i++
+			for i < len(block) {
+				if block[i] == '\\' {
+					i += 2
+					continue
+				}
+				if block[i] == '"' {
+					i++
+					break
+				}
+				i++
+			}
+		}
+		if i < len(block) && block[i] == ',' {
+			i++
+		}
+	}
+	return keys
+}
