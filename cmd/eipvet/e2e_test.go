@@ -1,0 +1,183 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildTool builds the eipvet binary once per test run.
+var buildTool = sync.OnceValues(func() (string, error) {
+	dir, err := os.MkdirTemp("", "eipvet-e2e-*")
+	if err != nil {
+		return "", err
+	}
+	bin := filepath.Join(dir, "eipvet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return "", &buildError{out: string(out), err: err}
+	}
+	return bin, nil
+})
+
+type buildError struct {
+	out string
+	err error
+}
+
+func (e *buildError) Error() string { return e.err.Error() + "\n" + e.out }
+
+// writeModule lays out a synthetic module with its own eipvet config
+// (no layers.json: the layers analyzer must quietly stay out).
+func writeModule(t *testing.T, mainSrc string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module example.com/synthetic\n\ngo 1.22\n",
+		"docs/eipvet.json": `{
+  "detrand": {"packages": ["example.com/synthetic"]},
+  "loghygiene": {"packages": ["example.com/synthetic"]}
+}`,
+		"main.go": mainSrc,
+	}
+	for name, content := range files {
+		p := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// Lines are significant: the test asserts diagnostic positions.
+const dirtyMain = `package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	fmt.Println(stamp())
+}
+
+func stamp() time.Time {
+	return time.Now()
+}
+`
+
+const cleanMain = `package main
+
+import (
+	"log/slog"
+	"os"
+	"time"
+)
+
+func main() {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	logger.Info("started", "pid", os.Getpid())
+	_ = stamp(time.Now)
+}
+
+func stamp(now func() time.Time) time.Time {
+	return now()
+}
+`
+
+func runTool(t *testing.T, dir string, args ...string) (string, int) {
+	t.Helper()
+	bin, err := buildTool()
+	if err != nil {
+		t.Fatalf("building eipvet: %v", err)
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running eipvet: %v\n%s", err, out)
+		}
+		code = ee.ExitCode()
+	}
+	return string(out), code
+}
+
+func TestStandaloneDirtyModule(t *testing.T) {
+	dir := writeModule(t, dirtyMain)
+	out, code := runTool(t, dir, "./...")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\n%s", code, out)
+	}
+	for _, want := range []string{
+		"main.go:9:2: loghygiene: fmt.Println",
+		"main.go:13:9: detrand: time.Now",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStandaloneCleanModule(t *testing.T) {
+	dir := writeModule(t, cleanMain)
+	out, code := runTool(t, dir, "./...")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("expected no output, got:\n%s", out)
+	}
+}
+
+func TestVersionHandshake(t *testing.T) {
+	out, code := runTool(t, t.TempDir(), "-V=full")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out)
+	}
+	if !strings.HasPrefix(out, "eipvet version ") {
+		t.Errorf("unexpected -V=full output: %q", out)
+	}
+}
+
+// TestGoVetDirtyModule drives the real `go vet -vettool=` path, which
+// exercises the .cfg unitchecker protocol end to end.
+func TestGoVetDirtyModule(t *testing.T) {
+	bin, err := buildTool()
+	if err != nil {
+		t.Fatalf("building eipvet: %v", err)
+	}
+	dir := writeModule(t, dirtyMain)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet succeeded on a dirty module:\n%s", out)
+	}
+	for _, want := range []string{"loghygiene: fmt.Println", "detrand: time.Now"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("go vet output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGoVetCleanModule(t *testing.T) {
+	bin, err := buildTool()
+	if err != nil {
+		t.Fatalf("building eipvet: %v", err)
+	}
+	dir := writeModule(t, cleanMain)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,259 @@
+// Command eipvet runs the repo's analyzer suite (detrand, hotpath,
+// layers, pooledbuf, loghygiene — see DESIGN.md "Static analysis").
+//
+// Standalone, over package patterns:
+//
+//	go run ./cmd/eipvet ./...
+//	eipvet -config docs/eipvet.json -layers docs/layers.json ./...
+//
+// or as a go vet tool, which feeds it one compilation unit at a time
+// through vet's .cfg protocol:
+//
+//	go build -o /tmp/eipvet ./cmd/eipvet
+//	go vet -vettool=/tmp/eipvet ./...
+//
+// Exit codes: 0 clean, 1 operational error (bad flags, packages fail to
+// load or type-check), 2 diagnostics reported.
+//
+// Configuration resolves, in order: explicit -config/-layers flags, the
+// EIPVET_CONFIG/EIPVET_LAYERS environment variables (the only channel
+// available under go vet, which owns the tool's argv), then
+// docs/eipvet.json and docs/layers.json at the analyzed module's root,
+// then compiled-in defaults.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"entropyip/internal/analysis"
+	"entropyip/internal/analysis/load"
+	"entropyip/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// go vet probes its tool with -V=full (the output becomes part of
+	// the build cache key) and may probe -flags for supported options.
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			fmt.Println("eipvet version v1 (entropyip analyzer suite)")
+			return 0
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+
+	fs := flag.NewFlagSet("eipvet", flag.ContinueOnError)
+	configPath := fs.String("config", os.Getenv("EIPVET_CONFIG"), "path to eipvet.json (default: docs/eipvet.json at the module root)")
+	layersPath := fs.String("layers", os.Getenv("EIPVET_LAYERS"), "path to layers.json (default: docs/layers.json at the module root)")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	rest := fs.Args()
+
+	// go vet invokes the tool with a single *.cfg argument describing
+	// one package.
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runUnit(rest[0], *configPath, *layersPath)
+	}
+	return runStandalone(rest, *configPath, *layersPath)
+}
+
+func runStandalone(patterns []string, configPath, layersPath string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eipvet:", err)
+		return 1
+	}
+	pkgs, err := load.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eipvet:", err)
+		return 1
+	}
+
+	moduleDir := ""
+	for _, p := range pkgs {
+		if p.ModuleDir != "" {
+			moduleDir = p.ModuleDir
+			break
+		}
+	}
+	analyzers, err := suite.Analyzers(moduleDir, configPath, layersPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eipvet:", err)
+		return 1
+	}
+
+	found := false
+	for _, pkg := range pkgs {
+		pass := &analysis.Pass{
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.TypesInfo,
+			ModulePath: pkg.ModulePath,
+			ModuleDir:  pkg.ModuleDir,
+		}
+		diags, err := analysis.RunAnalyzers(pass, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eipvet:", err)
+			return 1
+		}
+		if printDiags(pkg.Fset, diags) {
+			found = true
+		}
+	}
+	if found {
+		return 2
+	}
+	return 0
+}
+
+func printDiags(fset *token.FileSet, diags []analysis.Diagnostic) bool {
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	return len(diags) > 0
+}
+
+// vetConfig is the subset of cmd/go's vet .cfg schema eipvet consumes.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnit(cfgPath, configPath, layersPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eipvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "eipvet: %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The tool exports no facts, but vet expects the output file to
+	// appear regardless.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "eipvet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "eipvet:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok && mapped != "" {
+			path = mapped
+		}
+		exp := cfg.PackageFile[path]
+		if exp == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	}
+	tconf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "eipvet:", err)
+		return 1
+	}
+
+	moduleDir := findModuleRoot(cfg.Dir)
+	analyzers, err := suite.Analyzers(moduleDir, configPath, layersPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eipvet:", err)
+		return 1
+	}
+	pass := &analysis.Pass{
+		Fset:      fset,
+		Files:     files,
+		Pkg:       tpkg,
+		TypesInfo: info,
+		ModuleDir: moduleDir,
+	}
+	diags, err := analysis.RunAnalyzers(pass, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eipvet:", err)
+		return 1
+	}
+	if printDiags(fset, diags) {
+		return 2
+	}
+	return 0
+}
+
+func findModuleRoot(dir string) string {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return ""
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}

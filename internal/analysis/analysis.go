@@ -1,0 +1,180 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface this repo needs: an Analyzer
+// runs over one type-checked package at a time and reports position-
+// anchored diagnostics. The build environment pins the module to the
+// standard library (see DESIGN.md "Static analysis"), so instead of
+// importing x/tools the repo carries this ~200-line core plus a
+// go-list-based loader (internal/analysis/load) and a `// want`-comment
+// test harness (internal/analysis/analysistest). The analyzer packages
+// themselves (detrand, hotpath, layers, pooledbuf, loghygiene) are
+// written against this API exactly as they would be against the real
+// one, so a future switch to x/tools is mechanical.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and test output.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+
+	// SuppressKey, when non-empty, names the //eip: directive that
+	// suppresses this analyzer's diagnostics on the annotated line (for
+	// example "nondeterministic-ok"). The directive requires a non-empty
+	// justification; a bare directive suppresses nothing and is itself
+	// reported.
+	SuppressKey string
+
+	// Run executes the analyzer over one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// ModulePath and ModuleDir locate the module the package belongs to
+	// ("" when unknown, e.g. ad-hoc file sets in tests).
+	ModulePath string
+	ModuleDir  string
+
+	// Report receives each diagnostic. The framework wraps it with
+	// directive-based suppression before the analyzer runs.
+	Report func(Diagnostic)
+
+	suppressions map[string]map[int]*Directive // filename -> line -> directive
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Directive is one parsed //eip:<key> comment.
+type Directive struct {
+	Pos           token.Pos
+	Key           string // e.g. "nondeterministic-ok"
+	Justification string // text after the key; required for suppression
+}
+
+const directivePrefix = "//eip:"
+
+// parseDirectives extracts //eip: directives from a file. A directive
+// suppresses matching diagnostics on its own line (trailing-comment
+// style) and on the line directly below it (annotate-above style).
+func parseDirectives(fset *token.FileSet, f *ast.File) []*Directive {
+	var out []*Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, directivePrefix)
+			key := rest
+			just := ""
+			if i := strings.IndexAny(rest, " \t"); i >= 0 {
+				key, just = rest[:i], strings.TrimSpace(rest[i+1:])
+			}
+			out = append(out, &Directive{
+				Pos:           c.Pos(),
+				Key:           key,
+				Justification: just,
+			})
+		}
+	}
+	return out
+}
+
+// prepare builds the per-file suppression index and wraps report with
+// suppression and directive-hygiene checks.
+func (p *Pass) prepare(report func(Diagnostic)) {
+	p.suppressions = make(map[string]map[int]*Directive)
+	key := p.Analyzer.SuppressKey
+	for _, f := range p.Files {
+		for _, d := range parseDirectives(p.Fset, f) {
+			if d.Key != key || key == "" {
+				continue
+			}
+			posn := p.Fset.Position(d.Pos)
+			m := p.suppressions[posn.Filename]
+			if m == nil {
+				m = make(map[int]*Directive)
+				p.suppressions[posn.Filename] = m
+			}
+			m[posn.Line] = d
+			if d.Justification == "" {
+				report(Diagnostic{
+					Pos: d.Pos,
+					Message: fmt.Sprintf(
+						"//eip:%s directive requires a justification (//eip:%s <why>)",
+						key, key),
+				})
+			}
+		}
+	}
+	p.Report = func(d Diagnostic) {
+		posn := p.Fset.Position(d.Pos)
+		if m := p.suppressions[posn.Filename]; m != nil {
+			// Same line, or a directive alone on the line above.
+			if dir := m[posn.Line]; dir != nil && dir.Justification != "" {
+				return
+			}
+			if dir := m[posn.Line-1]; dir != nil && dir.Justification != "" {
+				return
+			}
+		}
+		report(d)
+	}
+}
+
+// RunAnalyzers applies each analyzer to the package described by tmpl
+// (a Pass with every field but Analyzer/Report populated) and returns
+// the diagnostics sorted by position.
+func RunAnalyzers(tmpl *Pass, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := *tmpl
+		pass.Analyzer = a
+		name := a.Name
+		collect := func(d Diagnostic) {
+			d.Message = name + ": " + d.Message
+			diags = append(diags, d)
+		}
+		pass.prepare(collect)
+		if err := a.Run(&pass); err != nil {
+			return diags, fmt.Errorf("analyzer %s on %s: %w", a.Name, tmpl.Pkg.Path(), err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// IsTestFile reports whether the file's name has the _test.go suffix.
+// The suite's invariants target production code: the loader's standalone
+// mode never feeds test files, but the go vet -vettool path does, and
+// analyzers skip them to match the CI contract the suite replaces.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}

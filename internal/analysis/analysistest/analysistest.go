@@ -1,0 +1,171 @@
+// Package analysistest runs an analyzer over a checked-in fixture
+// package and compares its diagnostics against `// want` comments, the
+// same golden convention as golang.org/x/tools/go/analysis/analysistest:
+//
+//	counts[k]++ // want `map iteration`
+//
+// Each backquoted segment after "want" is a regular expression; every
+// expectation on a line must be matched by a diagnostic reported on that
+// line of that file, and every diagnostic must match an expectation.
+// Fixtures live under internal/analysis/testdata/src/<name> and are
+// ordinary buildable packages inside this module (wildcard patterns like
+// ./... never descend into testdata, so their deliberate violations are
+// invisible to the real lint runs).
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+
+	"entropyip/internal/analysis"
+	"entropyip/internal/analysis/load"
+)
+
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+type expectation struct {
+	file    string // base name
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture package at dir (relative paths are resolved
+// against the caller's source directory, like x/tools analysistest) and
+// checks the analyzer's diagnostics against the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	run(t, resolveDir(t, dir), a, false)
+}
+
+// RunExpectClean loads the fixture like Run but asserts the analyzer
+// reports nothing, ignoring the fixture's want comments. It exercises
+// configuration scoping: the same fixture that produces diagnostics
+// under the test config must stay silent when the analyzer is
+// configured for other packages. Directive-hygiene reports (a bare
+// //eip: directive with no justification) are exempt — the framework
+// checks those wherever the directive appears, independent of any
+// analyzer configuration.
+func RunExpectClean(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	run(t, resolveDir(t, dir), a, true)
+}
+
+func resolveDir(t *testing.T, dir string) string {
+	t.Helper()
+	if !filepath.IsAbs(dir) {
+		_, caller, _, ok := runtime.Caller(2)
+		if !ok {
+			t.Fatal("analysistest: cannot locate caller to resolve relative dir")
+		}
+		dir = filepath.Join(filepath.Dir(caller), dir)
+	}
+	return dir
+}
+
+func run(t *testing.T, dir string, a *analysis.Analyzer, expectClean bool) {
+	t.Helper()
+	pkgs, err := load.Load(dir, []string{"."})
+	if err != nil {
+		t.Fatalf("analysistest: load %s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	var fset *token.FileSet
+	for _, pkg := range pkgs {
+		fset = pkg.Fset
+		pass := &analysis.Pass{
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.TypesInfo,
+			ModulePath: pkg.ModulePath,
+			ModuleDir:  pkg.ModuleDir,
+		}
+		ds, err := analysis.RunAnalyzers(pass, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		diags = append(diags, ds...)
+	}
+
+	if expectClean {
+		for _, d := range diags {
+			if strings.Contains(d.Message, "directive requires a justification") {
+				continue
+			}
+			posn := fset.Position(d.Pos)
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(posn.Filename), posn.Line, d.Message)
+		}
+		return
+	}
+
+	expects := collectWants(t, pkgs)
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		file, line := filepath.Base(posn.Filename), posn.Line
+		ok := false
+		for _, e := range expects {
+			if e.file == file && e.line == line && e.re.MatchString(d.Message) {
+				e.matched = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", file, line, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// collectWants scans fixture comments for want expectations.
+func collectWants(t *testing.T, pkgs []*load.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					// Both comment forms carry expectations; the block form
+					// exists for lines whose trailing comment slot is taken
+					// by the directive under test:
+					//	x() /* want `...` */ //eip:alloc-ok
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimPrefix(text, "/*")
+					text = strings.TrimSuffix(text, "*/")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "want ") && text != "want" {
+						continue
+					}
+					posn := pkg.Fset.Position(c.Pos())
+					ms := wantRE.FindAllStringSubmatch(text, -1)
+					if len(ms) == 0 {
+						t.Fatalf("%s:%d: want comment without a backquoted pattern", posn.Filename, posn.Line)
+					}
+					for _, m := range ms {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", posn.Filename, posn.Line, m[1], err)
+						}
+						out = append(out, &expectation{
+							file: filepath.Base(posn.Filename),
+							line: posn.Line,
+							re:   re,
+							raw:  m[1],
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+// Package detrand flags sources of run-to-run nondeterminism inside the
+// packages whose outputs must be bit-identical across runs and worker
+// counts (the training/generation pipeline: entropy profiling, segment
+// mining, structure learning, model serialization — see DESIGN.md
+// "Determinism").
+//
+// Three constructs are flagged:
+//
+//   - ranging over a map, whose iteration order is randomized. The one
+//     recognized safe shape is append-then-sort: a loop that appends map
+//     keys/values to a slice that is later passed to a sort.* or
+//     slices.Sort* call in the same function (the ShannonMap idiom).
+//     Writing map entries into another map commutes too, but the
+//     idiomatic deterministic spelling is maps.Copy, which contains no
+//     range statement at all.
+//   - calls to math/rand's (or math/rand/v2's) package-level functions,
+//     which draw from the shared global source. Constructing explicit
+//     sources (rand.New, rand.NewSource, …) is fine: seeded *rand.Rand
+//     values are how the pipeline injects reproducible randomness.
+//   - time.Now / time.Since / time.Until, which leak the wall clock.
+//
+// Intentional nondeterminism is annotated in place:
+//
+//	now := time.Now() //eip:nondeterministic-ok model metadata, not in the determinism contract
+//
+// The justification string is mandatory.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"entropyip/internal/analysis"
+)
+
+// Config declares where the determinism contract applies.
+type Config struct {
+	// Packages are import-path patterns ("entropyip/internal/bayes",
+	// "entropyip/internal/core/...") the analyzer runs on. Packages not
+	// matching any pattern are skipped entirely.
+	Packages []string `json:"packages"`
+}
+
+// DefaultConfig covers the repo's declared deterministic packages.
+var DefaultConfig = Config{
+	Packages: []string{
+		"entropyip/internal/bayes",
+		"entropyip/internal/entropy",
+		"entropyip/internal/mining",
+		"entropyip/internal/core",
+	},
+}
+
+// New returns the analyzer for a configuration.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:        "detrand",
+		Doc:         "flags map-range iteration, global math/rand and wall-clock reads in packages whose output must be bit-deterministic",
+		SuppressKey: "nondeterministic-ok",
+		Run: func(pass *analysis.Pass) error {
+			run(pass, cfg)
+			return nil
+		},
+	}
+}
+
+func run(pass *analysis.Pass, cfg Config) {
+	if !analysis.MatchAnyPath(cfg.Packages, pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			checkMapRange(pass, fd, n)
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		}
+		return true
+	})
+}
+
+func checkMapRange(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if feedsSortedSink(pass, fd, rng) {
+		return
+	}
+	pass.Reportf(rng.Pos(),
+		"map iteration order is nondeterministic and can reach the output; iterate sorted keys (or append-then-sort), or annotate //eip:nondeterministic-ok <why>")
+}
+
+// feedsSortedSink recognizes the append-then-sort idiom: every slice the
+// range body appends to is passed to a sort.*/slices.Sort* call later in
+// the same function, and the body performs nothing but those appends
+// (assignments whose right side is an append call, plus trivial
+// filtering around them).
+func feedsSortedSink(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) bool {
+	appended := make(map[types.Object]bool)
+	pure := true
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				pure = false
+				return false
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := analysis.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltin(pass, call.Fun, "append") {
+					pure = false
+					return false
+				}
+				lhs, ok := analysis.Unparen(n.Lhs[i]).(*ast.Ident)
+				if !ok {
+					pure = false
+					return false
+				}
+				if obj := pass.TypesInfo.Uses[lhs]; obj != nil {
+					appended[obj] = true
+				} else if obj := pass.TypesInfo.Defs[lhs]; obj != nil {
+					appended[obj] = true
+				}
+			}
+		case *ast.CallExpr:
+			// Only side-effect-free builtins and type conversions keep
+			// the body "append-only".
+			if isBuiltin(pass, n.Fun, "append") || isBuiltin(pass, n.Fun, "len") ||
+				isBuiltin(pass, n.Fun, "cap") {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() {
+				return true
+			}
+			pure = false
+			return false
+		}
+		return true
+	})
+	if !pure || len(appended) == 0 {
+		return false
+	}
+	// Every appended slice must hit a sort call after the loop.
+	sorted := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := analysis.Unparen(arg).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					sorted[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	for obj := range appended {
+		if !sorted[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+// isBuiltin reports whether fun is a use of the named predeclared
+// builtin (not shadowed by a local declaration).
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := analysis.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// randConstructors are math/rand package-level functions that build
+// explicit sources or generators rather than drawing from the global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn) are explicit-source
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"%s.%s draws from the global random source; use a seeded *rand.Rand, or annotate //eip:nondeterministic-ok <why>",
+				fn.Pkg().Path(), fn.Name())
+		}
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock inside a deterministic package; thread timestamps in from the caller, or annotate //eip:nondeterministic-ok <why>",
+				fn.Name())
+		}
+	}
+}

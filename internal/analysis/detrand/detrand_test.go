@@ -1,0 +1,24 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"entropyip/internal/analysis/analysistest"
+	"entropyip/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	a := detrand.New(detrand.Config{Packages: []string{
+		"entropyip/internal/analysis/testdata/src/detrand",
+	}})
+	analysistest.Run(t, "../testdata/src/detrand", a)
+}
+
+// TestDetrandUnconfigured checks that packages outside the declared
+// deterministic set are never flagged.
+func TestDetrandUnconfigured(t *testing.T) {
+	a := detrand.New(detrand.Config{Packages: []string{
+		"entropyip/internal/some/other/pkg",
+	}})
+	analysistest.RunExpectClean(t, "../testdata/src/detrand", a)
+}

@@ -1,0 +1,113 @@
+// Package layers checks the package import DAG against a checked-in
+// rule file (docs/layers.json), turning the repo's layering conventions
+// — "no obs import below serve", "core never sees the serving plane",
+// "pkg/client speaks only public surfaces" — into merge-blocking
+// diagnostics at the offending import line.
+//
+// Rule semantics: a rule fires for a package P when P matches `from`,
+// does not match `allow`, and imports a path matching `deny`. Patterns
+// use the go tool's convention ("path", "path/...", "...").
+package layers
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+
+	"entropyip/internal/analysis"
+)
+
+// Rule is one import prohibition.
+type Rule struct {
+	// Name labels the rule in diagnostics.
+	Name string `json:"name"`
+	// From are the packages the rule constrains.
+	From []string `json:"from"`
+	// Allow exempts packages that would otherwise match From.
+	Allow []string `json:"allow"`
+	// Deny are the import paths the constrained packages must not import.
+	Deny []string `json:"deny"`
+	// Only, when non-empty, turns Deny into a universe filter: imports
+	// matching Deny are legal only if they also match Only ("pkg/client
+	// may import internal packages only from this allow-list").
+	Only []string `json:"only"`
+	// Why is the rationale, echoed in the diagnostic.
+	Why string `json:"why"`
+}
+
+// Config is the parsed rule file.
+type Config struct {
+	Rules []Rule `json:"rules"`
+}
+
+// LoadConfig reads and validates a layers.json file.
+func LoadConfig(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return Config{}, fmt.Errorf("%s: %w", path, err)
+	}
+	for i, r := range cfg.Rules {
+		if r.Name == "" {
+			return Config{}, fmt.Errorf("%s: rule %d has no name", path, i)
+		}
+		if len(r.From) == 0 || len(r.Deny) == 0 {
+			return Config{}, fmt.Errorf("%s: rule %q needs non-empty from and deny", path, r.Name)
+		}
+	}
+	return cfg, nil
+}
+
+// New returns the analyzer for a rule set.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "layers",
+		Doc:  "checks the package import DAG against the checked-in layering rules (docs/layers.json)",
+		Run: func(pass *analysis.Pass) error {
+			run(pass, cfg)
+			return nil
+		},
+	}
+}
+
+func run(pass *analysis.Pass, cfg Config) {
+	path := pass.Pkg.Path()
+	var active []Rule
+	for _, r := range cfg.Rules {
+		if analysis.MatchAnyPath(r.From, path) && !analysis.MatchAnyPath(r.Allow, path) {
+			active = append(active, r)
+		}
+	}
+	if len(active) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			target, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			for _, r := range active {
+				if !analysis.MatchAnyPath(r.Deny, target) {
+					continue
+				}
+				if len(r.Only) > 0 && analysis.MatchAnyPath(r.Only, target) {
+					continue
+				}
+				why := ""
+				if r.Why != "" {
+					why = ": " + r.Why
+				}
+				pass.Reportf(imp.Pos(),
+					"%s must not import %s (rule %q%s)", path, target, r.Name, why)
+			}
+		}
+	}
+}

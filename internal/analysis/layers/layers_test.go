@@ -1,0 +1,64 @@
+package layers_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"entropyip/internal/analysis/analysistest"
+	"entropyip/internal/analysis/layers"
+)
+
+const fixtureTree = "entropyip/internal/analysis/testdata/src/layers"
+
+func testConfig() layers.Config {
+	return layers.Config{Rules: []layers.Rule{
+		{
+			Name: "no-depbad",
+			From: []string{fixtureTree + "/app"},
+			Deny: []string{fixtureTree + "/depbad"},
+			Why:  "fixture: app must stay off depbad",
+		},
+		{
+			Name: "deps-allowlist",
+			From: []string{fixtureTree + "/app"},
+			Deny: []string{fixtureTree + "/..."},
+			Only: []string{fixtureTree + "/depgood"},
+		},
+	}}
+}
+
+func TestLayers(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/layers/app", layers.New(testConfig()))
+}
+
+// TestLayersDependenciesClean checks that the dependency packages
+// themselves (not matched by any rule's from) are never flagged.
+func TestLayersDependenciesClean(t *testing.T) {
+	a := layers.New(testConfig())
+	analysistest.RunExpectClean(t, "../testdata/src/layers/depgood", a)
+	analysistest.RunExpectClean(t, "../testdata/src/layers/depbad", a)
+}
+
+func TestLoadConfigValidates(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := layers.LoadConfig(write("ok.json",
+		`{"rules":[{"name":"r","from":["a"],"deny":["b"]}]}`)); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if _, err := layers.LoadConfig(write("noname.json",
+		`{"rules":[{"from":["a"],"deny":["b"]}]}`)); err == nil {
+		t.Error("rule without name accepted")
+	}
+	if _, err := layers.LoadConfig(write("nodeny.json",
+		`{"rules":[{"name":"r","from":["a"]}]}`)); err == nil {
+		t.Error("rule without deny accepted")
+	}
+}

@@ -1,0 +1,177 @@
+// Package load turns package patterns into parsed, type-checked
+// packages for the analysis suite, using only the standard library.
+//
+// Discovery and dependency resolution are delegated to `go list -e
+// -deps -export -json`, which compiles (or reuses from the build cache)
+// export data for every dependency. Only the packages named by the
+// patterns are parsed and type-checked from source; every import is
+// satisfied from compiler export data through go/importer's gc support,
+// so loading the whole repository costs roughly one `go build ./...`
+// that is usually already cached.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one parsed, type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	ModulePath string
+	ModuleDir  string
+}
+
+type listModule struct {
+	Path string
+	Dir  string
+}
+
+type listError struct {
+	Err string
+}
+
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Module     *listModule
+	Error      *listError
+}
+
+// Load lists patterns relative to dir and returns the matched packages
+// parsed and type-checked. Test files are not part of `go list`'s
+// GoFiles and are therefore never loaded here.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,GoFiles,Imports,ImportMap,Export,DepOnly,Standard,Module,Error",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	index := make(map[string]*listPkg)
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		index[p.ImportPath] = p
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("no packages matched %s", strings.Join(patterns, " "))
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", t.ImportPath, t.Error.Err)
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := check(fset, index, t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func check(fset *token.FileSet, index map[string]*listPkg, t *listPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(t.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("package %s: %w", t.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := t.ImportMap[path]; ok && mapped != "" {
+			path = mapped
+		}
+		lp := index[path]
+		if lp == nil || lp.Export == "" {
+			return nil, fmt.Errorf("no export data for %q (imported by %s)", path, t.ImportPath)
+		}
+		return os.Open(lp.Export)
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("package %s: %w", t.ImportPath, err)
+	}
+	out := &Package{
+		ImportPath: t.ImportPath,
+		Dir:        t.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	if t.Module != nil {
+		out.ModulePath = t.Module.Path
+		out.ModuleDir = t.Module.Dir
+	}
+	return out, nil
+}

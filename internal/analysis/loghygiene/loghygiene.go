@@ -1,0 +1,202 @@
+// Package loghygiene keeps the serving plane on the structured slog
+// logger (replacing the grep-based CI step that banned log.Printf /
+// fmt.Printf there), and checks that slog attribute keys are snake_case
+// string constants so the log stream stays machine-parseable and
+// greppable.
+//
+// In the configured packages (non-test files):
+//
+//   - the print families of "log" (Print*, Fatal*, Panic*) and "fmt"
+//     (Print, Printf, Println) are banned: they bypass -log-format and
+//     lose the request-ID correlation;
+//   - every slog attribute key — in Logger.Debug/Info/Warn/Error/Log/
+//     With, the slog package-level equivalents, and the slog.String/Int/
+//     …/Group attr constructors — must be a constant string matching
+//     ^[a-z][a-z0-9]*(_[a-z0-9]+)*$. Dynamic keys are flagged too: a key
+//     the reader cannot grep for is a key that may as well not exist.
+//
+// Suppression: //eip:log-ok <why> (e.g. a deliberate stdout banner in a
+// CLI entry point).
+package loghygiene
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+
+	"entropyip/internal/analysis"
+)
+
+// Config declares where the logging contract applies.
+type Config struct {
+	Packages []string `json:"packages"`
+}
+
+// DefaultConfig covers the serving plane (the packages the old grep
+// step guarded).
+var DefaultConfig = Config{
+	Packages: []string{
+		"entropyip/internal/serve",
+		"entropyip/internal/registry",
+	},
+}
+
+// New returns the analyzer for a configuration.
+func New(cfg Config) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:        "loghygiene",
+		Doc:         "bans unstructured logging in the serving plane and checks slog attribute keys are snake_case constants",
+		SuppressKey: "log-ok",
+		Run: func(pass *analysis.Pass) error {
+			run(pass, cfg)
+			return nil
+		},
+	}
+}
+
+var keyRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// bannedPrint maps package path to its banned function names.
+var bannedPrint = map[string]map[string]bool{
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+	},
+	"fmt": {
+		"Print": true, "Printf": true, "Println": true,
+	},
+}
+
+// attrCtors are slog package-level Attr constructors whose first
+// argument is the key.
+var attrCtors = map[string]bool{
+	"String": true, "Int": true, "Int64": true, "Uint64": true,
+	"Float64": true, "Bool": true, "Duration": true, "Time": true,
+	"Any": true, "Group": true,
+}
+
+// logMethods maps slog logging entry points to the index of their first
+// key/value argument.
+var logMethods = map[string]int{
+	"Debug": 1, "Info": 1, "Warn": 1, "Error": 1,
+	"DebugContext": 2, "InfoContext": 2, "WarnContext": 2, "ErrorContext": 2,
+	"Log":  3, // (ctx, level, msg, args...)
+	"With": 0,
+}
+
+func run(pass *analysis.Pass, cfg Config) {
+	if !analysis.MatchAnyPath(cfg.Packages, pass.Pkg.Path()) {
+		return
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+	}
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkg := fn.Pkg().Path()
+	sig, _ := fn.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+
+	if !isMethod {
+		if banned := bannedPrint[pkg]; banned != nil && banned[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"%s.%s bypasses the structured slog logger (-log-format, request-ID correlation); log through *slog.Logger, or annotate //eip:log-ok <why>",
+				pkg, fn.Name())
+			return
+		}
+	}
+
+	if pkg != "log/slog" {
+		return
+	}
+	// Attr constructors: key is the first argument.
+	if !isMethod && attrCtors[fn.Name()] && len(call.Args) > 0 {
+		checkKey(pass, call.Args[0])
+		return
+	}
+	// Logging entry points: package-level functions and *Logger methods
+	// share names; the key/value tail starts after msg (and ctx/level
+	// where present).
+	start, ok := logMethods[fn.Name()]
+	if !ok {
+		return
+	}
+	if isMethod {
+		recv := sig.Recv().Type()
+		if ptr, okp := recv.(*types.Pointer); okp {
+			recv = ptr.Elem()
+		}
+		named, okn := recv.(*types.Named)
+		if !okn || named.Obj().Name() != "Logger" {
+			return
+		}
+	}
+	args := call.Args
+	if call.Ellipsis.IsValid() && len(args) > 0 {
+		// logger.Info(msg, attrs...) forwards a built slice; its contents
+		// are out of static reach.
+		args = args[:len(args)-1]
+	}
+	checkKeyValueTail(pass, args, start)
+}
+
+// checkKeyValueTail walks slog's mixed ...any tail: a slog.Attr consumes
+// one slot, anything else is a key consuming two.
+func checkKeyValueTail(pass *analysis.Pass, args []ast.Expr, start int) {
+	for i := start; i < len(args); {
+		arg := args[i]
+		if isSlogAttr(pass, arg) {
+			i++
+			continue
+		}
+		checkKey(pass, arg)
+		i += 2
+	}
+}
+
+func isSlogAttr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		return obj.Name() == "Attr" && obj.Pkg() != nil && obj.Pkg().Path() == "log/slog"
+	}
+	return false
+}
+
+func checkKey(pass *analysis.Pass, arg ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(),
+			"slog attribute key must be a string constant (a dynamic key cannot be grepped or indexed); hoist it to a const, or annotate //eip:log-ok <why>")
+		return
+	}
+	key := constant.StringVal(tv.Value)
+	if !keyRE.MatchString(key) {
+		pass.Reportf(arg.Pos(),
+			"slog attribute key %q is not snake_case ([a-z0-9_], starting with a letter); rename it, or annotate //eip:log-ok <why>", key)
+	}
+}

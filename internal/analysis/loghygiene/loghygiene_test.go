@@ -1,0 +1,24 @@
+package loghygiene_test
+
+import (
+	"testing"
+
+	"entropyip/internal/analysis/analysistest"
+	"entropyip/internal/analysis/loghygiene"
+)
+
+func TestLoghygiene(t *testing.T) {
+	a := loghygiene.New(loghygiene.Config{Packages: []string{
+		"entropyip/internal/analysis/testdata/src/loghygiene",
+	}})
+	analysistest.Run(t, "../testdata/src/loghygiene", a)
+}
+
+// TestLoghygieneUnconfigured checks that packages outside the declared
+// set keep their printing habits unflagged.
+func TestLoghygieneUnconfigured(t *testing.T) {
+	a := loghygiene.New(loghygiene.Config{Packages: []string{
+		"entropyip/internal/some/other/pkg",
+	}})
+	analysistest.RunExpectClean(t, "../testdata/src/loghygiene", a)
+}

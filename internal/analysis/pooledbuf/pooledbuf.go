@@ -1,0 +1,214 @@
+// Package pooledbuf enforces the sync.Pool ownership rules of
+// DESIGN.md §7: a value taken out of a pool is either returned by the
+// same function (a get-wrapper that hands ownership to its caller) or
+// put back by that function — and it must not escape through a struct
+// field, package variable or channel while pooled.
+//
+// The check is intentionally syntactic, not a full escape analysis:
+//
+//   - a (*sync.Pool).Get call whose enclosing function contains no Put
+//     on the same pool expression (anywhere, including inside defers and
+//     closures) and does not return the gotten value is flagged;
+//   - an identifier bound to a Get result that is later assigned into a
+//     selector (x.f = buf) or sent on a channel is flagged as a retained
+//     alias.
+//
+// Ownership handoffs the analyzer cannot see (a put that happens in a
+// callee, a batch whose consumer copies before return) are annotated:
+//
+//	buf := p.Get().(*[]byte) //eip:pool-ok consumer copies before return; put happens in flush
+package pooledbuf
+
+import (
+	"go/ast"
+	"go/types"
+
+	"entropyip/internal/analysis"
+)
+
+// New returns the analyzer. It is configured entirely by source
+// directives — the sync.Pool contract is global, not per-package.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:        "pooledbuf",
+		Doc:         "flags sync.Pool Gets without a matching Put in the same function and pooled values escaping via retained aliases",
+		SuppressKey: "pool-ok",
+		Run: func(pass *analysis.Pass) error {
+			run(pass)
+			return nil
+		},
+	}
+}
+
+func run(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+}
+
+// poolMethodCall returns the receiver expression of a (*sync.Pool).Get
+// or Put call, or nil.
+func poolMethodCall(pass *analysis.Pass, call *ast.CallExpr, name string) ast.Expr {
+	sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sel.X
+}
+
+// exprKey renders a pool expression for identity comparison
+// ("lineBufPool", "s.pool"). types.ExprString is stable for the
+// selector/ident shapes pools are stored in.
+func exprKey(e ast.Expr) string {
+	return types.ExprString(analysis.Unparen(e))
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// First pass: collect the pools Put anywhere in this function
+	// (defers and closures included).
+	puts := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if recv := poolMethodCall(pass, call, "Put"); recv != nil {
+				puts[exprKey(recv)] = true
+			}
+		}
+		return true
+	})
+
+	// Second pass: audit every Get.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv := poolMethodCall(pass, call, "Get")
+		if recv == nil {
+			return true
+		}
+		if returnsValue(fd, call) {
+			return true // get-wrapper: ownership moves to the caller
+		}
+		pool := exprKey(recv)
+		if !puts[pool] {
+			pass.Reportf(call.Pos(),
+				"%s.Get has no matching %s.Put in this function; balance it (defer works) or annotate //eip:pool-ok <why>",
+				pool, pool)
+		}
+		if obj := boundIdent(pass, fd, call); obj != nil {
+			reportEscapes(pass, fd, obj, pool)
+		}
+		return true
+	})
+}
+
+// returnsValue reports whether the Get call's value is produced by a
+// return statement of the function (possibly through a type assertion
+// or pointer indirection).
+func returnsValue(fd *ast.FuncDecl, get *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || found {
+			return !found
+		}
+		for _, res := range ret.Results {
+			if containsNode(res, get) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func containsNode(root ast.Node, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// boundIdent returns the object of the single identifier the Get result
+// is assigned to (v := pool.Get().(*T) and variants), or nil.
+func boundIdent(pass *analysis.Pass, fd *ast.FuncDecl, get *ast.CallExpr) types.Object {
+	var obj types.Object
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || obj != nil {
+			return obj == nil
+		}
+		if len(as.Lhs) < 1 || len(as.Rhs) != 1 || !containsNode(as.Rhs[0], get) {
+			return true
+		}
+		id, ok := analysis.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if o := pass.TypesInfo.Defs[id]; o != nil {
+			obj = o
+		} else if o := pass.TypesInfo.Uses[id]; o != nil {
+			obj = o
+		}
+		return true
+	})
+	return obj
+}
+
+// reportEscapes flags stores of the pooled value into selectors (struct
+// fields, including fields of captured structs) and channel sends.
+func reportEscapes(pass *analysis.Pass, fd *ast.FuncDecl, obj types.Object, pool string) {
+	usesObj := func(e ast.Expr) bool {
+		used := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				used = true
+			}
+			return !used
+		})
+		return used
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if _, isSel := analysis.Unparen(lhs).(*ast.SelectorExpr); isSel && usesObj(n.Rhs[i]) {
+					pass.Reportf(n.Pos(),
+						"pooled value from %s is retained through a field assignment; pooled buffers must not outlive the function (DESIGN.md §7), or annotate //eip:pool-ok <why>",
+						pool)
+				}
+			}
+		case *ast.SendStmt:
+			if usesObj(n.Value) {
+				pass.Reportf(n.Pos(),
+					"pooled value from %s is sent on a channel; pooled buffers must not outlive the function (DESIGN.md §7), or annotate //eip:pool-ok <why>",
+					pool)
+			}
+		}
+		return true
+	})
+}

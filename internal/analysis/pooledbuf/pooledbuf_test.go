@@ -1,0 +1,12 @@
+package pooledbuf_test
+
+import (
+	"testing"
+
+	"entropyip/internal/analysis/analysistest"
+	"entropyip/internal/analysis/pooledbuf"
+)
+
+func TestPooledbuf(t *testing.T) {
+	analysistest.Run(t, "../testdata/src/pooledbuf", pooledbuf.New())
+}

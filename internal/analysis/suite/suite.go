@@ -1,0 +1,91 @@
+// Package suite assembles the repo's analyzer set from its checked-in
+// configuration (docs/eipvet.json + docs/layers.json), for use by the
+// cmd/eipvet driver in both its standalone and go vet -vettool modes.
+package suite
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"entropyip/internal/analysis"
+	"entropyip/internal/analysis/detrand"
+	"entropyip/internal/analysis/hotpath"
+	"entropyip/internal/analysis/layers"
+	"entropyip/internal/analysis/loghygiene"
+	"entropyip/internal/analysis/pooledbuf"
+)
+
+// Config is the docs/eipvet.json schema.
+type Config struct {
+	Detrand    detrand.Config    `json:"detrand"`
+	Hotpath    hotpath.Config    `json:"hotpath"`
+	Loghygiene loghygiene.Config `json:"loghygiene"`
+}
+
+// ConfigFile and LayersFile are the default config locations, relative
+// to the module root.
+const (
+	ConfigFile = "docs/eipvet.json"
+	LayersFile = "docs/layers.json"
+)
+
+// LoadConfig reads an eipvet.json file.
+func LoadConfig(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return Config{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// Analyzers builds the full suite. configPath and layersPath may be ""
+// to resolve the defaults under moduleDir; a missing eipvet.json falls
+// back to the compiled-in defaults, a missing layers.json simply
+// disables the layers analyzer (ad-hoc modules have no layer contract).
+func Analyzers(moduleDir, configPath, layersPath string) ([]*analysis.Analyzer, error) {
+	cfg := Config{
+		Detrand:    detrand.DefaultConfig,
+		Loghygiene: loghygiene.DefaultConfig,
+	}
+	explicit := configPath != ""
+	if !explicit && moduleDir != "" {
+		configPath = filepath.Join(moduleDir, ConfigFile)
+	}
+	if configPath != "" {
+		c, err := LoadConfig(configPath)
+		switch {
+		case err == nil:
+			cfg = c
+		case explicit || !os.IsNotExist(err):
+			return nil, err
+		}
+	}
+
+	out := []*analysis.Analyzer{
+		detrand.New(cfg.Detrand),
+		hotpath.New(cfg.Hotpath),
+		pooledbuf.New(),
+		loghygiene.New(cfg.Loghygiene),
+	}
+
+	explicitLayers := layersPath != ""
+	if !explicitLayers && moduleDir != "" {
+		layersPath = filepath.Join(moduleDir, LayersFile)
+	}
+	if layersPath != "" {
+		lcfg, err := layers.LoadConfig(layersPath)
+		switch {
+		case err == nil:
+			out = append(out, layers.New(lcfg))
+		case explicitLayers || !os.IsNotExist(err):
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,67 @@
+package suite_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"entropyip/internal/analysis/suite"
+)
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate caller")
+	}
+	return filepath.Join(filepath.Dir(file), "..", "..", "..")
+}
+
+func names(t *testing.T, moduleDir, configPath, layersPath string) []string {
+	t.Helper()
+	as, err := suite.Analyzers(moduleDir, configPath, layersPath)
+	if err != nil {
+		t.Fatalf("Analyzers: %v", err)
+	}
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}
+
+func TestAnalyzersFromRepoConfig(t *testing.T) {
+	got := names(t, repoRoot(t), "", "")
+	want := []string{"detrand", "hotpath", "pooledbuf", "loghygiene", "layers"}
+	if len(got) != len(want) {
+		t.Fatalf("analyzers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("analyzers = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestAnalyzersWithoutConfigFiles checks the ad-hoc module path: missing
+// eipvet.json falls back to compiled-in defaults and a missing
+// layers.json just drops the layers analyzer.
+func TestAnalyzersWithoutConfigFiles(t *testing.T) {
+	got := names(t, t.TempDir(), "", "")
+	want := []string{"detrand", "hotpath", "pooledbuf", "loghygiene"}
+	if len(got) != len(want) {
+		t.Fatalf("analyzers = %v, want %v", got, want)
+	}
+}
+
+// TestExplicitMissingConfigFails checks that an explicitly named config
+// file that does not exist is an error, not a silent fallback.
+func TestExplicitMissingConfigFails(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := suite.Analyzers(dir, filepath.Join(dir, "nope.json"), ""); err == nil {
+		t.Error("missing explicit config accepted")
+	}
+	if _, err := suite.Analyzers(dir, "", filepath.Join(dir, "nope.json")); err == nil {
+		t.Error("missing explicit layers file accepted")
+	}
+}

@@ -1,0 +1,81 @@
+// Package detrandtest is the golden fixture for the detrand analyzer.
+// It is a buildable package; the `// want` comments are the expected
+// diagnostics (see internal/analysis/analysistest).
+package detrandtest
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Keys leaks map iteration order into its result.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order is nondeterministic`
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the blessed append-then-sort shape: the ranged body only
+// appends, and the slice is sorted before use.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Draw uses the global random source.
+func Draw() int {
+	return rand.Intn(10) // want `math/rand\.Intn draws from the global random source`
+}
+
+// DrawSeeded threads an explicit source; methods on *rand.Rand are fine.
+func DrawSeeded(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+// NewSeeded may construct generators; only draws from the global source
+// are flagged.
+func NewSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Stamp reads the wall clock.
+func Stamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// StampJustified carries an annotate-above escape hatch.
+func StampJustified() time.Time {
+	//eip:nondeterministic-ok fixture: timestamps here never reach the model
+	return time.Now()
+}
+
+// StampTrailing carries a trailing escape hatch on the flagged line.
+func StampTrailing() time.Time {
+	return time.Now() //eip:nondeterministic-ok fixture: advisory timestamp only
+}
+
+// StampBare shows that a directive without a justification suppresses
+// nothing and is itself reported.
+func StampBare() time.Time {
+	return time.Now() /* want `requires a justification` `time\.Now reads the wall clock` */ //eip:nondeterministic-ok
+}
+
+// MaxValue is order-dependent in its intermediate state only; the
+// analyzer cannot prove that, so the justified directive documents it.
+func MaxValue(m map[string]int) int {
+	max := 0
+	//eip:nondeterministic-ok integer max over the values is order-independent
+	for _, v := range m {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

@@ -1,0 +1,15 @@
+// Package app is the constrained package in the layers fixture: the
+// test's rule set denies depbad outright and allow-lists only depgood
+// from the fixture subtree.
+package app
+
+import (
+	"entropyip/internal/analysis/testdata/src/layers/depbad" // want `must not import .*depbad \(rule "no-depbad"` `\(rule "deps-allowlist"\)`
+	"entropyip/internal/analysis/testdata/src/layers/depgood"
+)
+
+// Use anchors both imports.
+func Use() {
+	depbad.Marker()
+	depgood.Marker()
+}

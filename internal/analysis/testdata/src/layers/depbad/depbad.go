@@ -1,0 +1,5 @@
+// Package depbad is the forbidden dependency in the layers fixture.
+package depbad
+
+// Marker anchors the import.
+func Marker() {}

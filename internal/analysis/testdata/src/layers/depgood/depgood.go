@@ -1,0 +1,5 @@
+// Package depgood is an allow-listed dependency in the layers fixture.
+package depgood
+
+// Marker anchors the import.
+func Marker() {}

@@ -1,0 +1,41 @@
+// Package loghygienetest is the golden fixture for the loghygiene
+// analyzer: no unstructured printing, snake_case constant slog keys.
+package loghygienetest
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"log/slog"
+)
+
+const keyRequestID = "request_id"
+
+func serveOnce(logger *slog.Logger, n int) {
+	log.Printf("served %d", n) // want `log\.Printf bypasses the structured slog logger`
+	fmt.Println("served", n)   // want `fmt\.Println bypasses the structured slog logger`
+
+	logger.Info("served", keyRequestID, n)
+	logger.Info("served", "batch_size", n)
+	logger.Info("served", slog.Int("queue_depth", n))
+
+	logger.Info("served", "requestCount", n)     // want `"requestCount" is not snake_case`
+	logger.Info("served", dynamicKey(), n)       // want `must be a string constant`
+	logger.Info("served", slog.Int("badKey", n)) // want `"badKey" is not snake_case`
+	logger.Log(context.Background(), slog.LevelWarn, "served",
+		"Mixed_Case", n) // want `"Mixed_Case" is not snake_case`
+}
+
+func dynamicKey() string { return "computed" }
+
+// forwarded attrs arrive as a spread slice; their keys are the caller's
+// responsibility, not this call site's.
+func forward(logger *slog.Logger, attrs []any) {
+	logger.Log(context.Background(), slog.LevelInfo, "forwarded", attrs...)
+}
+
+// banner runs before the logger exists; the escape hatch documents it.
+func banner(version string) {
+	//eip:log-ok fixture: startup banner predates logger construction
+	fmt.Println("entropyip", version)
+}

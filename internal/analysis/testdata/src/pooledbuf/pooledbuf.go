@@ -1,0 +1,52 @@
+// Package pooledbuftest is the golden fixture for the pooledbuf
+// analyzer: sync.Pool Get/Put balance and escaping pooled values.
+package pooledbuftest
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+type server struct {
+	pool sync.Pool
+	held *[]byte
+	ch   chan *[]byte
+}
+
+// balanced gets and puts back, via defer.
+func balanced() int {
+	buf := bufPool.Get().(*[]byte)
+	defer bufPool.Put(buf)
+	return cap(*buf)
+}
+
+// wrapper returns the pooled value: ownership moves to the caller, no
+// local Put required.
+func wrapper() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// leak neither puts the value back nor returns it.
+func leak() {
+	buf := bufPool.Get().(*[]byte) // want `bufPool\.Get has no matching bufPool\.Put`
+	_ = buf
+}
+
+// retain parks the pooled value in a field, outliving the function.
+func (s *server) retain() {
+	buf := s.pool.Get().(*[]byte)
+	defer s.pool.Put(buf)
+	s.held = buf // want `retained through a field assignment`
+}
+
+// send ships the pooled value over a channel.
+func (s *server) send() {
+	buf := s.pool.Get().(*[]byte)
+	defer s.pool.Put(buf)
+	s.ch <- buf // want `sent on a channel`
+}
+
+// handoff documents an ownership transfer the analyzer cannot see.
+func handoff(sink func(*[]byte)) {
+	buf := bufPool.Get().(*[]byte) //eip:pool-ok fixture: sink puts the buffer back after use
+	sink(buf)
+}

@@ -2,9 +2,23 @@ package bayes
 
 import (
 	"fmt"
+	"maps"
 	"math"
 	"math/rand"
+	"sort"
 )
+
+// sortedVars returns the evidence variable indices in ascending order.
+// Validation walks use it so that which error surfaces first does not
+// depend on map iteration order.
+func sortedVars(evidence map[int]int) []int {
+	vars := make([]int, 0, len(evidence))
+	for v := range evidence {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+	return vars
+}
 
 // nodeFactor builds the factor representation of node i's CPT: a factor
 // over (parents..., i).
@@ -49,11 +63,11 @@ func (n *Network) Query(target int, evidence map[int]int) ([]float64, error) {
 		out[ev] = 1
 		return out, nil
 	}
-	for v, ev := range evidence {
+	for _, v := range sortedVars(evidence) {
 		if v < 0 || v >= len(n.Vars) {
 			return nil, fmt.Errorf("bayes: evidence variable %d out of range", v)
 		}
-		if ev < 0 || ev >= n.Vars[v].Arity {
+		if ev := evidence[v]; ev < 0 || ev >= n.Vars[v].Arity {
 			return nil, fmt.Errorf("bayes: evidence value %d out of range for variable %d", ev, v)
 		}
 	}
@@ -146,8 +160,8 @@ func (n *Network) Posteriors(evidence map[int]int) ([][]float64, error) {
 // ProbEvidence returns the probability of the evidence configuration,
 // P(evidence), computed by variable elimination.
 func (n *Network) ProbEvidence(evidence map[int]int) (float64, error) {
-	for v, ev := range evidence {
-		if v < 0 || v >= len(n.Vars) || ev < 0 || ev >= n.Vars[v].Arity {
+	for _, v := range sortedVars(evidence) {
+		if ev := evidence[v]; v < 0 || v >= len(n.Vars) || ev < 0 || ev >= n.Vars[v].Arity {
 			return 0, fmt.Errorf("bayes: invalid evidence %d=%d", v, ev)
 		}
 	}
@@ -220,9 +234,7 @@ func (n *Network) MutualInformation(a, b int, evidence map[int]int) (float64, er
 			continue
 		}
 		ev := make(map[int]int, len(evidence)+1)
-		for k, v := range evidence {
-			ev[k] = v
-		}
+		maps.Copy(ev, evidence)
 		ev[a] = va
 		pbGivenA, err := n.Query(b, ev)
 		if err != nil {

@@ -144,8 +144,9 @@ type condNode struct {
 // returns an error for invalid evidence or evidence with zero
 // probability under the network.
 func (n *Network) NewCondSampler(evidence map[int]int) (*CondSampler, error) {
-	for v, ev := range evidence {
-		if v < 0 || v >= len(n.Vars) || ev < 0 || ev >= n.Vars[v].Arity {
+	vars := sortedVars(evidence)
+	for _, v := range vars {
+		if ev := evidence[v]; v < 0 || v >= len(n.Vars) || ev < 0 || ev >= n.Vars[v].Arity {
 			return nil, fmt.Errorf("bayes: invalid evidence %d=%d", v, ev)
 		}
 	}
@@ -156,8 +157,8 @@ func (n *Network) NewCondSampler(evidence map[int]int) (*CondSampler, error) {
 	for v := range cs.fixed {
 		cs.fixed[v] = -1
 	}
-	for v, ev := range evidence {
-		cs.fixed[v] = ev
+	for _, v := range vars {
+		cs.fixed[v] = evidence[v]
 	}
 
 	// One backward variable-elimination pass. Eliminating in descending

@@ -63,6 +63,7 @@ func buildStage(on func(string, time.Duration), name string, start time.Time) ti
 	if on == nil {
 		return start
 	}
+	//eip:nondeterministic-ok stage durations feed only the OnStage observer, never the model
 	now := time.Now()
 	on(name, now.Sub(start))
 	return now
@@ -124,6 +125,7 @@ func Build(addrs []ip6.Addr, opts Options) (*Model, error) {
 	// genuinely sequential build and Workers=N bounds the whole pipeline.
 	workers := parallel.Workers(opts.Workers)
 
+	//eip:nondeterministic-ok stopwatch start for the OnStage observer; no timestamp enters the model
 	now := time.Now()
 	profile := entropy.NewProfileWorkers(train, workers)
 	acr := mra.NewWorkers(train, workers)
@@ -198,8 +200,14 @@ type Evidence map[string]string
 // evidenceIndices resolves label/code evidence into variable/category
 // indices for the Bayesian network.
 func (m *Model) evidenceIndices(ev Evidence) (map[int]int, error) {
+	labels := make([]string, 0, len(ev))
+	for label := range ev {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
 	out := make(map[int]int, len(ev))
-	for label, code := range ev {
+	for _, label := range labels {
+		code := ev[label]
 		idx, sm, ok := m.SegmentByLabel(label)
 		if !ok {
 			return nil, fmt.Errorf("core: unknown segment %q", label)

@@ -78,6 +78,7 @@ func applyMeasure(counts map[string]int, total int, measure Measure) float64 {
 			return 0
 		}
 		max := 0
+		//eip:nondeterministic-ok integer max over the values is the same in any iteration order
 		for _, c := range counts {
 			if c > max {
 				max = c

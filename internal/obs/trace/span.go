@@ -161,6 +161,7 @@ func (t *Tracer) StartRoot(name string, parent SpanContext) *Span {
 	if t == nil {
 		return nil
 	}
+	//eip:pool-ok arena ownership moves to the returned Span; release() puts it back on Finish or drop
 	td := t.pool.Get().(*traceData)
 	td.tracer = t
 	td.next.Store(0)

@@ -395,7 +395,7 @@ func (s *Server) handleDownload(w http.ResponseWriter, r *http.Request) {
 	}
 	defer rc.Close()
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Model-Version", fmt.Sprint(info.Version))
+	w.Header().Set("X-Model-Version", strconv.Itoa(info.Version))
 	w.WriteHeader(http.StatusOK)
 	_, _ = io.Copy(w, rc)
 }
@@ -746,7 +746,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		root.SetAttr("model", info.Name)
 	}
 	w.Header().Set("Content-Type", enc.contentType())
-	w.Header().Set("X-Model-Version", fmt.Sprint(info.Version))
+	w.Header().Set("X-Model-Version", strconv.Itoa(info.Version))
 	// Always echo the seeds in force, so a seedless request can be
 	// replayed exactly by passing the header's value(s) back as "seed".
 	w.Header().Set("X-Seed", seedHeader(streams))
@@ -973,6 +973,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		switch line[0] {
 		case '{':
 			var ol observeLine
+			//eip:alloc-ok observe ingest is the documented slow path; object lines are schema-flexible
 			if err := json.Unmarshal(line, &ol); err != nil || ol.Addr == "" {
 				out.Invalid++
 				continue
@@ -985,6 +986,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 			a = addr
 		case '"':
 			var raw string
+			//eip:alloc-ok bare-string lines need full JSON unescaping; same slow path
 			if err := json.Unmarshal(line, &raw); err != nil {
 				out.Invalid++
 				continue
