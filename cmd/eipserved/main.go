@@ -12,6 +12,7 @@
 //	eipserved -addr :8080 -dir /var/lib/eipserved
 //	eipserved -auto-refresh -ingest-file /var/log/addrs.txt -ingest-model live
 //	eipserved -log-format json -log-level debug
+//	eipserved -rate-limit 50 -gen-budget 2e6 -tenant-slots 4 -queue-depth 32
 //
 // Endpoints (see internal/serve for the full API):
 //
@@ -46,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"entropyip/internal/admission"
 	"entropyip/internal/buildinfo"
 	"entropyip/internal/drift"
 	"entropyip/internal/ingest"
@@ -68,6 +70,13 @@ func main() {
 		maxBodyMB    = flag.Int("max-body-mb", 64, "request body limit in MiB")
 		maxGenerate  = flag.Int("max-generate", serve.DefaultMaxGenerateCount, "largest count one generate request may ask for")
 		drainWait    = flag.Duration("drain", 30*time.Second, "graceful shutdown timeout")
+
+		// Per-tenant admission control (tenant = X-Tenant header, falling
+		// back to the client IP). All zero = admission disabled.
+		rateLimit   = flag.Float64("rate-limit", 0, "per-tenant request rate on /v1 model routes, requests/second (0 = unlimited)")
+		genBudget   = flag.Float64("gen-budget", 0, "per-tenant generation budget, candidates/second (0 = unlimited)")
+		admQueue    = flag.Int("queue-depth", 0, "slot waiters one tenant may queue before requests shed with 429 (0 = default)")
+		tenantSlots = flag.Int("tenant-slots", 0, "concurrent generation streams one tenant may run (0 = unlimited)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060); empty disables profiling")
 		logFormat    = flag.String("log-format", "text", "log output format: text or json")
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn or error (access logs are debug)")
@@ -136,6 +145,12 @@ func main() {
 			SampleEvery:   *traceSample,
 			SlowThreshold: *traceSlow,
 		},
+		Admission: admission.Config{
+			RequestRate: *rateLimit,
+			GenBudget:   *genBudget,
+			QueueDepth:  *admQueue,
+			TenantSlots: *tenantSlots,
+		},
 		Refresh: serve.RefreshOptions{
 			AutoRefresh:   *autoRefresh,
 			EvaluateEvery: *evaluateEvery,
@@ -155,13 +170,7 @@ func main() {
 		},
 	})
 
-	srv := &http.Server{
-		Addr:    *addr,
-		Handler: handler,
-		// No WriteTimeout: generate responses stream for as long as the
-		// client keeps reading. Header reads are still bounded.
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	srv := newHTTPServer(*addr, handler)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -217,6 +226,11 @@ func main() {
 		}
 	case <-ctx.Done():
 		logger.Info("shutting down", "drain", *drainWait)
+		// Drain first: http.Server.Shutdown only waits for handlers to
+		// return, and a streaming generate would otherwise run to
+		// completion or the timeout. Drain makes in-flight streams stop
+		// after their current candidate with an in-band shutdown error.
+		handler.Drain()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -225,6 +239,23 @@ func main() {
 		}
 		st := reg.Stats()
 		logger.Info("bye", "cache_hits", st.Hits, "cache_misses", st.Misses)
+	}
+}
+
+// newHTTPServer builds the API server with its connection-hygiene
+// timeouts. ReadHeaderTimeout bounds the slowloris window (a client
+// dribbling header bytes) and IdleTimeout reclaims keep-alive
+// connections parked between requests. WriteTimeout and ReadTimeout
+// stay ZERO deliberately: generate responses stream for as long as the
+// client keeps reading, and observe bodies may upload for minutes — an
+// absolute deadline on either would cut legitimate long transfers
+// (TestNewHTTPServerTimeouts pins all four).
+func newHTTPServer(addr string, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 }
 

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNewHTTPServerTimeouts pins the API server's connection-hygiene
+// configuration: slowloris protection (ReadHeaderTimeout) and keep-alive
+// reclamation (IdleTimeout) must be on, while ReadTimeout and
+// WriteTimeout must stay zero — an absolute deadline on either would cut
+// long-lived streaming generate responses and multi-minute observe
+// uploads.
+func TestNewHTTPServerTimeouts(t *testing.T) {
+	srv := newHTTPServer(":0", http.NewServeMux())
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset: slowloris-exposed")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset: idle keep-alive connections never reclaimed")
+	}
+	if srv.ReadTimeout != 0 {
+		t.Errorf("ReadTimeout = %v, want 0 (observe bodies may upload for minutes)", srv.ReadTimeout)
+	}
+	if srv.WriteTimeout != 0 {
+		t.Errorf("WriteTimeout = %v, want 0 (generate responses stream indefinitely)", srv.WriteTimeout)
+	}
+}
+
+// TestHTTPServerStreamsPastReadHeaderTimeout proves the timeouts do not
+// break long-lived streaming responses: a response that trickles bytes
+// for longer than ReadHeaderTimeout still completes.
+func TestHTTPServerStreamsPastReadHeaderTimeout(t *testing.T) {
+	const chunks = 6
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f := w.(http.Flusher)
+		for i := 0; i < chunks; i++ {
+			fmt.Fprintf(w, "chunk %d\n", i)
+			f.Flush()
+			time.Sleep(20 * time.Millisecond)
+		}
+	})
+	srv := newHTTPServer(":0", h)
+	// Shrink the header timeout so the streaming response provably
+	// outlives it without a slow test.
+	srv.ReadHeaderTimeout = 50 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading streamed body: %v", err)
+	}
+	if got := strings.Count(string(body), "chunk"); got != chunks {
+		t.Fatalf("streamed %d chunks, want %d (timeout cut the stream?)", got, chunks)
+	}
+}
+
+// TestHTTPServerReadHeaderTimeoutCutsSlowClients is the other half: a
+// connection that never finishes its request headers is dropped at the
+// ReadHeaderTimeout rather than held open forever.
+func TestHTTPServerReadHeaderTimeoutCutsSlowClients(t *testing.T) {
+	srv := newHTTPServer(":0", http.NewServeMux())
+	srv.ReadHeaderTimeout = 50 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Start a request but never finish the headers (the slowloris shape).
+	if _, err := io.WriteString(conn, "GET / HTTP/1.1\r\nHost: x\r\nX-Dribble: "); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	// The server must close the connection; a read unblocks with EOF (or
+	// a reset) instead of hanging until our own deadline.
+	if _, err := bufio.NewReader(conn).ReadByte(); err == nil {
+		t.Fatal("server answered a half-sent request; want the connection cut")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server held the half-open connection past ReadHeaderTimeout")
+	}
+}
+
+// TestNewHTTPServerServesHandler is a plain wiring check: the configured
+// server routes requests to the supplied handler.
+func TestNewHTTPServerServesHandler(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /ping", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, "pong")
+	})
+	srv := newHTTPServer(":0", mux)
+	rr := httptest.NewRecorder()
+	srv.Handler.ServeHTTP(rr, httptest.NewRequest("GET", "/ping", nil))
+	if rr.Code != http.StatusOK || rr.Body.String() != "pong" {
+		t.Fatalf("got %d %q, want 200 pong", rr.Code, rr.Body.String())
+	}
+}

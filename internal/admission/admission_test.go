@@ -1,0 +1,354 @@
+package admission
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic bucket math.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+func TestDisabledConfigReturnsNil(t *testing.T) {
+	if c := New(Config{}); c != nil {
+		t.Fatalf("New(zero Config) = %v, want nil", c)
+	}
+	// Every gate on the nil controller admits and is callable.
+	var c *Controller
+	if d := c.AllowRequest("a"); !d.OK {
+		t.Errorf("nil AllowRequest = %+v", d)
+	}
+	if d := c.ChargeGenerate("a", 1<<30); !d.OK {
+		t.Errorf("nil ChargeGenerate = %+v", d)
+	}
+	release, d := c.AcquireSlot(context.Background(), "a")
+	if !d.OK {
+		t.Errorf("nil AcquireSlot = %+v", d)
+	}
+	release()
+	release, ok := c.WaitSlot(context.Background(), "a")
+	if !ok {
+		t.Error("nil WaitSlot refused")
+	}
+	release()
+	if st := c.Stats(); st != (Stats{}) {
+		t.Errorf("nil Stats = %+v", st)
+	}
+}
+
+func TestRequestRateBucket(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{RequestRate: 2, RequestBurst: 2, Now: clk.Now})
+
+	// The bucket starts full: burst admits back to back.
+	for i := 0; i < 2; i++ {
+		if d := c.AllowRequest("t"); !d.OK {
+			t.Fatalf("request %d shed: %+v", i, d)
+		}
+	}
+	d := c.AllowRequest("t")
+	if d.OK || d.Reason != ReasonRate {
+		t.Fatalf("over-burst request = %+v, want rate shed", d)
+	}
+	if d.RetryAfter <= 0 || d.RetryAfter > time.Second {
+		t.Fatalf("RetryAfter = %v, want (0, 1s] at 2 req/s", d.RetryAfter)
+	}
+
+	// Tokens refill at the configured rate.
+	clk.Advance(500 * time.Millisecond) // one token at 2/s
+	if d := c.AllowRequest("t"); !d.OK {
+		t.Fatalf("after refill: %+v", d)
+	}
+	if d := c.AllowRequest("t"); d.OK {
+		t.Fatal("second request after half-second refill admitted, want shed")
+	}
+
+	// Tenants are isolated: a fresh tenant has a full bucket.
+	if d := c.AllowRequest("other"); !d.OK {
+		t.Fatalf("fresh tenant shed: %+v", d)
+	}
+
+	st := c.Stats()
+	if st.Admitted != 4 || st.ShedRate != 2 {
+		t.Errorf("stats = %+v, want 4 admitted / 2 rate sheds", st)
+	}
+}
+
+func TestGenerateBudgetLends(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{GenBudget: 1000, GenBurst: 1000, Now: clk.Now})
+
+	// A charge far beyond burst is admitted (lending) and drives the
+	// tenant into debt.
+	if d := c.ChargeGenerate("t", 5000); !d.OK {
+		t.Fatalf("first charge shed: %+v", d)
+	}
+	d := c.ChargeGenerate("t", 1)
+	if d.OK || d.Reason != ReasonBudget {
+		t.Fatalf("charge while in debt = %+v, want budget shed", d)
+	}
+	// Debt is 4000 tokens at 1000/s: cleared in 4s, not before.
+	if d.RetryAfter < 3*time.Second || d.RetryAfter > 5*time.Second {
+		t.Fatalf("RetryAfter = %v, want ~4s", d.RetryAfter)
+	}
+	clk.Advance(2 * time.Second)
+	if d := c.ChargeGenerate("t", 1); d.OK {
+		t.Fatal("charge with debt half repaid admitted, want shed")
+	}
+	clk.Advance(2500 * time.Millisecond)
+	if d := c.ChargeGenerate("t", 100); !d.OK {
+		t.Fatalf("charge after debt repaid shed: %+v", d)
+	}
+	if st := c.Stats(); st.GenCharged != 5100 {
+		t.Errorf("GenCharged = %d, want 5100", st.GenCharged)
+	}
+}
+
+func TestSlotsQueueAndShed(t *testing.T) {
+	c := New(Config{TenantSlots: 1, QueueDepth: 1, MaxWait: 50 * time.Millisecond})
+	ctx := context.Background()
+
+	release1, d := c.AcquireSlot(ctx, "t")
+	if !d.OK {
+		t.Fatalf("first slot: %+v", d)
+	}
+
+	// Second acquire queues; it must get the slot once released.
+	got := make(chan Decision, 1)
+	var release2 func()
+	go func() {
+		var d Decision
+		release2, d = c.AcquireSlot(ctx, "t")
+		got <- d
+	}()
+	// Wait until the waiter is queued so the third acquire sees a full
+	// queue deterministically.
+	deadline := time.Now().Add(time.Second)
+	for c.Stats().QueueDepth == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Third acquire: queue (depth 1) is full — immediate shed.
+	_, d = c.AcquireSlot(ctx, "t")
+	if d.OK || d.Reason != ReasonQueueFull {
+		t.Fatalf("over-queue acquire = %+v, want queue_full shed", d)
+	}
+	if d.RetryAfter <= 0 {
+		t.Fatalf("queue_full RetryAfter = %v, want positive", d.RetryAfter)
+	}
+
+	release1()
+	if d := <-got; !d.OK {
+		t.Fatalf("queued waiter = %+v, want admitted", d)
+	}
+	release2()
+
+	// With the slot free again, an acquire succeeds immediately.
+	release3, d := c.AcquireSlot(ctx, "t")
+	if !d.OK {
+		t.Fatalf("post-release acquire: %+v", d)
+	}
+	release3()
+
+	st := c.Stats()
+	if st.ShedQueueFull != 1 {
+		t.Errorf("ShedQueueFull = %d, want 1", st.ShedQueueFull)
+	}
+	if st.SlotsInUse != 0 || st.QueueDepth != 0 {
+		t.Errorf("slots/queue not drained: %+v", st)
+	}
+}
+
+func TestSlotDeadlineShed(t *testing.T) {
+	c := New(Config{TenantSlots: 1, MaxWait: 20 * time.Millisecond})
+	release, d := c.AcquireSlot(context.Background(), "t")
+	if !d.OK {
+		t.Fatalf("first slot: %+v", d)
+	}
+	defer release()
+
+	start := time.Now()
+	_, d = c.AcquireSlot(context.Background(), "t")
+	if d.OK || d.Reason != ReasonDeadline {
+		t.Fatalf("deadline acquire = %+v, want deadline shed", d)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline shed took %v, want ~MaxWait", elapsed)
+	}
+	if st := c.Stats(); st.ShedDeadline != 1 {
+		t.Errorf("ShedDeadline = %d, want 1", st.ShedDeadline)
+	}
+}
+
+func TestWaitSlotHonorsContext(t *testing.T) {
+	c := New(Config{TenantSlots: 1})
+	release, d := c.AcquireSlot(context.Background(), "t")
+	if !d.OK {
+		t.Fatalf("first slot: %+v", d)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := c.WaitSlot(ctx, "t")
+		done <- ok
+	}()
+	cancel()
+	if ok := <-done; ok {
+		t.Fatal("WaitSlot admitted after context cancel")
+	}
+	release()
+
+	// With the slot free, WaitSlot admits immediately.
+	rel, ok := c.WaitSlot(context.Background(), "t")
+	if !ok {
+		t.Fatal("WaitSlot refused a free slot")
+	}
+	rel()
+}
+
+func TestTenantIsolationAcrossSlots(t *testing.T) {
+	c := New(Config{TenantSlots: 1, MaxWait: 20 * time.Millisecond})
+	release, d := c.AcquireSlot(context.Background(), "greedy")
+	if !d.OK {
+		t.Fatalf("greedy slot: %+v", d)
+	}
+	defer release()
+
+	// The greedy tenant saturating its slot must not delay another
+	// tenant's acquire at all.
+	start := time.Now()
+	rel, d := c.AcquireSlot(context.Background(), "polite")
+	if !d.OK {
+		t.Fatalf("polite tenant shed: %+v", d)
+	}
+	rel()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("polite acquire took %v", elapsed)
+	}
+}
+
+func TestIdleTenantEviction(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{RequestRate: 1, IdleTTL: time.Minute, Now: clk.Now})
+	c.AllowRequest("a")
+	c.AllowRequest("b")
+	if st := c.Stats(); st.Tenants != 2 {
+		t.Fatalf("tenants = %d, want 2", st.Tenants)
+	}
+
+	// Past the TTL, "a" stays hot while "b" idles; the sweep (triggered
+	// by a new tenant's creation) evicts only "b".
+	clk.Advance(61 * time.Second)
+	c.AllowRequest("a")
+	clk.Advance(61 * time.Second)
+	c.AllowRequest("fresh")
+	st := c.Stats()
+	if st.Evicted == 0 {
+		t.Fatalf("no evictions after TTL: %+v", st)
+	}
+	c.mu.RLock()
+	_, aAlive := c.tenants["a"]
+	_, bAlive := c.tenants["b"]
+	c.mu.RUnlock()
+	if bAlive {
+		t.Error("idle tenant b survived the sweep")
+	}
+	if !aAlive {
+		// a's last activity was 61s before the sweep — also evictable.
+		// What matters is that eviction resets its bucket rather than
+		// leaking state; re-admit must work.
+		if d := c.AllowRequest("a"); !d.OK {
+			t.Errorf("re-created tenant shed: %+v", d)
+		}
+	}
+}
+
+func TestBusyTenantSurvivesSweep(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{TenantSlots: 1, IdleTTL: time.Minute, Now: clk.Now})
+	release, d := c.AcquireSlot(context.Background(), "busy")
+	if !d.OK {
+		t.Fatalf("slot: %+v", d)
+	}
+	clk.Advance(2 * time.Minute)
+	c.AllowRequest("fresh") // triggers a sweep
+	c.mu.RLock()
+	_, alive := c.tenants["busy"]
+	c.mu.RUnlock()
+	if !alive {
+		t.Fatal("tenant holding a slot was evicted")
+	}
+	release()
+}
+
+func TestMaxTenantsForcesSweep(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{RequestRate: 1, MaxTenants: 2, IdleTTL: time.Minute, Now: clk.Now})
+	c.AllowRequest("a")
+	c.AllowRequest("b")
+	clk.Advance(2 * time.Minute)
+	c.AllowRequest("c") // map at cap: sweep runs, a and b are stale
+	st := c.Stats()
+	if st.Tenants != 1 || st.Evicted != 2 {
+		t.Errorf("after forced sweep: %+v, want 1 tenant / 2 evicted", st)
+	}
+}
+
+func TestConcurrentGatesRaceClean(t *testing.T) {
+	c := New(Config{
+		RequestRate: 1000, GenBudget: 1_000_000,
+		TenantSlots: 2, QueueDepth: 4, MaxWait: 10 * time.Millisecond,
+	})
+	tenants := []string{"a", "b", "c"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := tenants[g%len(tenants)]
+			ctx := context.Background()
+			for i := 0; i < 200; i++ {
+				c.AllowRequest(key)
+				c.ChargeGenerate(key, 100)
+				if release, d := c.AcquireSlot(ctx, key); d.OK {
+					release()
+				}
+				if release, ok := c.WaitSlot(ctx, key); ok {
+					release()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.SlotsInUse != 0 || st.QueueDepth != 0 {
+		t.Errorf("slots/queue leaked: %+v", st)
+	}
+	if st.Shed() == 0 && st.Admitted == 0 {
+		t.Error("no decisions recorded")
+	}
+}

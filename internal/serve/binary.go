@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"entropyip/internal/admission"
 	"entropyip/internal/core"
 	"entropyip/internal/ip6"
 	"entropyip/internal/obs/trace"
@@ -210,7 +211,39 @@ func (s *Server) generateOptions(ctx context.Context, st resolvedStream, req *Ge
 		MaxAttemptsFactor: st.maxAttempts,
 		Workers:           workers,
 		Unordered:         req.Unordered,
-		Stop:              func() bool { return ctx.Err() != nil },
+		Stop:              func() bool { return ctx.Err() != nil || s.isDraining() },
+	}
+}
+
+// streamGate bounds how many of a batch request's streams generate at
+// once. With admission slot gating on, every producer claims one of the
+// TENANT's slots — per-tenant isolation, so a greedy batch queues behind
+// its own tenant's work, not everyone's. Otherwise a per-request
+// semaphore of maxConcurrentStreams preserves the PR 7 behavior.
+type streamGate struct {
+	adm    *admission.Controller
+	tenant string
+	sem    chan struct{}
+}
+
+func (s *Server) newStreamGate(ctx context.Context) *streamGate {
+	if s.adm != nil && s.opts.Admission.TenantSlots > 0 {
+		return &streamGate{adm: s.adm, tenant: tenantFrom(ctx)}
+	}
+	return &streamGate{sem: make(chan struct{}, maxConcurrentStreams)}
+}
+
+// acquire claims one generation slot, blocking until a slot frees or the
+// context dies; ok=false means the stream must not run.
+func (g *streamGate) acquire(ctx context.Context) (func(), bool) {
+	if g.adm != nil {
+		return g.adm.WaitSlot(ctx, g.tenant)
+	}
+	select {
+	case g.sem <- struct{}{}:
+		return func() { <-g.sem }, true
+	case <-ctx.Done():
+		return func() {}, false
 	}
 }
 
@@ -289,8 +322,17 @@ var wireReaderPool = sync.Pool{
 // fails after bytes are on the wire reports in-band through its Error
 // frame; a single-stream request that fails before anything was flushed
 // still gets a clean error envelope.
-func (s *Server) generateBinary(w http.ResponseWriter, r *http.Request, m *core.Model, req *GenerateRequest, streams []resolvedStream, batch bool) {
+func (s *Server) generateBinary(w http.ResponseWriter, r *http.Request, m *core.Model, req *GenerateRequest, streams []resolvedStream, batch bool, release func()) {
 	ctx := r.Context()
+	if batch {
+		// The request-level admission slot goes back before fan-out: each
+		// producer claims its own tenant slot through the stream gate, and
+		// holding the request's would deadlock a one-slot tenant against
+		// its own batch.
+		release()
+	} else {
+		defer release()
+	}
 	flusher, _ := w.(http.Flusher)
 	bw := bufio.NewWriterSize(w, 32<<10)
 	// Data frames are kilobytes each, so flushing every frame keeps
@@ -384,7 +426,13 @@ func (s *Server) generateBinary(w http.ResponseWriter, r *http.Request, m *core.
 				"err", err)
 			_ = ww.Error(err.Error())
 		default:
-			_ = ww.End()
+			if s.isDraining() && n < int64(st.count) {
+				// Drain cut this stream short: say so in-band, so the
+				// client can tell the cut from exhausted model support.
+				_ = ww.Error(drainMessage)
+			} else {
+				_ = ww.End()
+			}
 		}
 	}
 
@@ -395,18 +443,22 @@ func (s *Server) generateBinary(w http.ResponseWriter, r *http.Request, m *core.
 			return
 		}
 	} else {
-		sem := make(chan struct{}, maxConcurrentStreams)
+		gate := s.newStreamGate(ctx)
 		var wg sync.WaitGroup
 		for i := range streams {
 			// Children start before the goroutine handoff (span ownership
 			// rule, DESIGN.md §9); their duration therefore includes the
-			// semaphore queue wait, which is part of what the client paid.
+			// slot queue wait, which is part of what the client paid.
 			span := root.StartChild("generate.stream")
 			wg.Add(1)
 			go func(i int, span *trace.Span) {
 				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
+				done, ok := gate.acquire(ctx)
+				if !ok {
+					span.Finish()
+					return
+				}
+				defer done()
 				runStream(i, span)
 			}(i, span)
 		}
@@ -427,8 +479,11 @@ func (s *Server) generateBinary(w http.ResponseWriter, r *http.Request, m *core.
 // Lines of different streams interleave arbitrarily; lines of one
 // stream are in its deterministic order. Stream seeds are echoed
 // comma-joined in X-Seed (GenerateItem decodes these lines client-side).
-func (s *Server) generateNDJSONBatch(w http.ResponseWriter, r *http.Request, m *core.Model, req *GenerateRequest, streams []resolvedStream) {
+func (s *Server) generateNDJSONBatch(w http.ResponseWriter, r *http.Request, m *core.Model, req *GenerateRequest, streams []resolvedStream, release func()) {
 	ctx := r.Context()
+	// Same slot handoff as the binary batch path: producers claim their
+	// own tenant slots, so the request-level one goes back first.
+	release()
 	flusher, _ := w.(http.Flusher)
 	bw := bufio.NewWriterSize(w, 32<<10)
 	sink := &lockedSink{bw: bw, flusher: flusher, ctx: ctx, every: s.opts.flushEvery()}
@@ -494,22 +549,34 @@ func (s *Server) generateNDJSONBatch(w http.ResponseWriter, r *http.Request, m *
 			_, _ = sink.Write(lb.b)
 		default:
 			lb.b = append(lb.b[:0], prefix...)
-			lb.b = append(lb.b, `"done":true}`...)
-			lb.b = append(lb.b, '\n')
+			if s.isDraining() && n < int64(st.count) {
+				// Drain cut this stream short: an in-band error line, so
+				// the client can tell it from exhausted model support.
+				lb.b = append(lb.b, `"error":`...)
+				lb.b = appendJSONString(lb.b, drainMessage)
+				lb.b = append(lb.b, '}', '\n')
+			} else {
+				lb.b = append(lb.b, `"done":true}`...)
+				lb.b = append(lb.b, '\n')
+			}
 			_, _ = sink.Write(lb.b)
 		}
 	}
 
 	root := requestSpan(ctx)
-	sem := make(chan struct{}, maxConcurrentStreams)
+	gate := s.newStreamGate(ctx)
 	var wg sync.WaitGroup
 	for i := range streams {
 		span := root.StartChild("generate.stream")
 		wg.Add(1)
 		go func(i int, span *trace.Span) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+			done, ok := gate.acquire(ctx)
+			if !ok {
+				span.Finish()
+				return
+			}
+			defer done()
 			runStream(i, span)
 		}(i, span)
 	}

@@ -35,6 +35,7 @@ const (
 	CodePayloadTooLarge      = "payload_too_large"      // 413
 	CodeUnsupportedMediaType = "unsupported_media_type" // 415
 	CodeUnprocessable        = "unprocessable"          // 422
+	CodeRateLimited          = "rate_limited"           // 429
 	CodeInternal             = "internal"               // 500
 	CodeUnavailable          = "unavailable"            // 503
 )
@@ -56,6 +57,8 @@ func errorCodeForStatus(status int) string {
 		return CodeUnsupportedMediaType
 	case http.StatusUnprocessableEntity:
 		return CodeUnprocessable
+	case http.StatusTooManyRequests:
+		return CodeRateLimited
 	case http.StatusServiceUnavailable:
 		return CodeUnavailable
 	}

@@ -19,11 +19,11 @@ func TestErrorCodeForStatus(t *testing.T) {
 		{http.StatusRequestEntityTooLarge, "payload_too_large"},
 		{http.StatusUnsupportedMediaType, "unsupported_media_type"},
 		{http.StatusUnprocessableEntity, "unprocessable"},
+		{http.StatusTooManyRequests, "rate_limited"},
 		{http.StatusInternalServerError, "internal"},
 		{http.StatusServiceUnavailable, "unavailable"},
 		// Unmapped statuses collapse to their class's generic code.
 		{http.StatusConflict, "invalid_request"},
-		{http.StatusTooManyRequests, "invalid_request"},
 		{http.StatusBadGateway, "internal"},
 	}
 	for _, tc := range cases {

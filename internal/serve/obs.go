@@ -121,6 +121,27 @@ func (s *Server) registerObservability() {
 		e.Gauge("eip_trace_retained", "Traces currently held in the flight-recorder ring.", float64(st.Retained))
 	})
 
+	// Admission control: aggregate series only — tenant identity is an
+	// unbounded key space, so no per-tenant labels; the shed-reason label
+	// set is the four fixed gate names. Registered only when admission is
+	// on, so a default server's exposition is unchanged.
+	if s.adm != nil {
+		o.Collect(func(e *obs.Expo) {
+			st := s.adm.Stats()
+			e.Counter("eip_admission_admitted_total", "Requests admitted past the rate gate.", float64(st.Admitted))
+			e.Counter("eip_admission_shed_total", "Requests shed, by admission gate.", float64(st.ShedRate), "reason", "rate")
+			e.Counter("eip_admission_shed_total", "Requests shed, by admission gate.", float64(st.ShedBudget), "reason", "budget")
+			e.Counter("eip_admission_shed_total", "Requests shed, by admission gate.", float64(st.ShedQueueFull), "reason", "queue_full")
+			e.Counter("eip_admission_shed_total", "Requests shed, by admission gate.", float64(st.ShedDeadline), "reason", "deadline")
+			e.Counter("eip_admission_gen_candidates_total", "Candidates charged against generation budgets.", float64(st.GenCharged))
+			e.Counter("eip_admission_gen_refunded_total", "Charged candidates refunded by later-gate sheds.", float64(st.GenRefunded))
+			e.Counter("eip_admission_evicted_tenants_total", "Idle tenants evicted by TTL sweeps.", float64(st.Evicted))
+			e.Gauge("eip_admission_tenants", "Tenants currently holding limiter state.", float64(st.Tenants))
+			e.Gauge("eip_admission_queue_depth", "Requests currently waiting for a tenant slot.", float64(st.QueueDepth))
+			e.Gauge("eip_admission_slots_in_use", "Generation streams currently holding tenant slots.", float64(st.SlotsInUse))
+		})
+	}
+
 	// Per-model ingest/drift/refresh series.
 	o.Collect(s.refresher.collect)
 }
@@ -197,6 +218,10 @@ type reqInfo struct {
 	id      string
 	traceID string
 	span    *trace.Span
+	// tenant is the admission identity (X-Tenant header or remote IP);
+	// always set by the middleware, even with admission disabled, so log
+	// records and spans carry it uniformly.
+	tenant string
 }
 
 func withReqInfo(ctx context.Context, ri *reqInfo) context.Context {
@@ -207,6 +232,15 @@ func withReqInfo(ctx context.Context, ri *reqInfo) context.Context {
 func requestID(ctx context.Context) string {
 	if ri, ok := ctx.Value(reqInfoKey).(*reqInfo); ok {
 		return ri.id
+	}
+	return ""
+}
+
+// tenantFrom returns the request's tenant identity, or "" outside the
+// middleware.
+func tenantFrom(ctx context.Context) string {
+	if ri, ok := ctx.Value(reqInfoKey).(*reqInfo); ok {
+		return ri.tenant
 	}
 	return ""
 }

@@ -55,21 +55,21 @@ var apiOperations = []apiOperation{
 		Summary:       "List models",
 		Description:   "Returns the latest version of every model, sorted by name.",
 		ResponseTypes: []string{ctJSON},
-		Statuses:      []int{200},
+		Statuses:      []int{200, 429},
 	},
 	{
 		Method: "GET", Path: "/v1/models/{name}",
 		Summary:       "Model info",
 		Description:   "Returns the latest version's info plus every stored version, oldest first.",
 		ResponseTypes: []string{ctJSON},
-		Statuses:      []int{200, 404},
+		Statuses:      []int{200, 404, 429},
 	},
 	{
 		Method: "GET", Path: "/v1/models/{name}/model",
 		Summary:       "Download the serialized model",
 		Description:   "Streams the stored model document (the core.Save format). `?version=N` selects a version; absent or 0 means latest. The `X-Model-Version` response header names the version served.",
 		ResponseTypes: []string{ctJSON},
-		Statuses:      []int{200, 400, 404},
+		Statuses:      []int{200, 400, 404, 429},
 	},
 	{
 		Method: "PUT", Path: "/v1/models/{name}",
@@ -77,13 +77,13 @@ var apiOperations = []apiOperation{
 		Description:   "Body carries either `model` (a pre-trained document) or `addresses` (a training set built server-side on a bounded worker pool; 503 with Retry-After when the training queue is full).",
 		RequestTypes:  []string{ctJSON},
 		ResponseTypes: []string{ctJSON},
-		Statuses:      []int{201, 400, 413, 422, 500, 503},
+		Statuses:      []int{201, 400, 413, 422, 429, 500, 503},
 	},
 	{
 		Method: "DELETE", Path: "/v1/models/{name}",
 		Summary:     "Delete all versions of a model",
 		Description: "Removes every stored version and the model's ingest/drift state.",
-		Statuses:    []int{204, 404},
+		Statuses:    []int{204, 404, 429},
 	},
 	{
 		Method: "POST", Path: "/v1/models/{name}/browse",
@@ -91,7 +91,7 @@ var apiOperations = []apiOperation{
 		Description:   "One click state of the paper's conditional probability browser: posts evidence (fixed segment values), returns every segment's posterior distribution.",
 		RequestTypes:  []string{ctJSON},
 		ResponseTypes: []string{ctJSON},
-		Statuses:      []int{200, 400, 404},
+		Statuses:      []int{200, 400, 404, 429},
 	},
 	{
 		Method: "POST", Path: "/v1/models/{name}/generate",
@@ -101,7 +101,7 @@ var apiOperations = []apiOperation{
 			"Response headers: `X-Seed` (effective seed(s), comma-joined), `X-Encoding` (`ndjson`/`binary`), `X-Model-Version`. 406 when `Accept` admits neither encoding.",
 		RequestTypes:  []string{ctJSON},
 		ResponseTypes: []string{ctNDJSON, wire.ContentType},
-		Statuses:      []int{200, 400, 404, 406, 413},
+		Statuses:      []int{200, 400, 404, 406, 413, 429},
 	},
 	{
 		Method: "POST", Path: "/v1/models/{name}/observe",
@@ -110,14 +110,14 @@ var apiOperations = []apiOperation{
 			"Responds with accept/invalid counts and the model's drift status; `X-Encoding` names the decoded encoding.",
 		RequestTypes:  []string{ctNDJSON, wire.ContentType},
 		ResponseTypes: []string{ctJSON},
-		Statuses:      []int{200, 400, 404, 413},
+		Statuses:      []int{200, 400, 404, 413, 429},
 	},
 	{
 		Method: "GET", Path: "/v1/models/{name}/drift",
 		Summary:       "Drift status",
 		Description:   "Returns the model's drift state (ingest window, divergence scores, refresh history).",
 		ResponseTypes: []string{ctJSON},
-		Statuses:      []int{200, 404},
+		Statuses:      []int{200, 404, 429},
 	},
 	{
 		Method: "GET", Path: "/v1/debug/traces",
@@ -165,7 +165,7 @@ func openAPIDocument() map[string]interface{} {
 			"error": map[string]interface{}{
 				"type": "object",
 				"properties": map[string]interface{}{
-					"code":       map[string]interface{}{"type": "string", "description": "stable machine-matchable class: invalid_request, not_found, not_acceptable, payload_too_large, unsupported_media_type, unprocessable, internal, unavailable"},
+					"code":       map[string]interface{}{"type": "string", "description": "stable machine-matchable class: invalid_request, not_found, not_acceptable, payload_too_large, unsupported_media_type, unprocessable, rate_limited, internal, unavailable"},
 					"message":    map[string]interface{}{"type": "string"},
 					"request_id": map[string]interface{}{"type": "string", "description": "matches the X-Request-Id response header"},
 				},
@@ -276,11 +276,23 @@ func renderAPIMarkdown() []byte {
 	b.WriteString("```json\n{\"error\": {\"code\": \"not_found\", \"message\": \"...\", \"request_id\": \"req-42\"}}\n```\n\n")
 	b.WriteString("`code` is a stable machine-matchable class (`invalid_request`,\n")
 	b.WriteString("`not_found`, `not_acceptable`, `payload_too_large`,\n")
-	b.WriteString("`unsupported_media_type`, `unprocessable`, `internal`, `unavailable`);\n")
-	b.WriteString("`message` is human-readable and free to change; `request_id` matches the\n")
-	b.WriteString("`X-Request-Id` response header and the server's structured logs.\n")
+	b.WriteString("`unsupported_media_type`, `unprocessable`, `rate_limited`, `internal`,\n")
+	b.WriteString("`unavailable`); `message` is human-readable and free to change;\n")
+	b.WriteString("`request_id` matches the `X-Request-Id` response header and the\n")
+	b.WriteString("server's structured logs.\n")
 	b.WriteString("Earlier releases answered with ad-hoc `{\"error\": \"<string>\"}` bodies —\n")
 	b.WriteString("those shapes are gone; match on the envelope.\n\n")
+	b.WriteString("## Admission control\n\n")
+	b.WriteString("With admission control configured (see `eipserved -rate-limit`,\n")
+	b.WriteString("`-gen-budget`, `-queue-depth`, `-tenant-slots`), every `/v1/models`\n")
+	b.WriteString("route is gated per tenant. Tenant identity is the `X-Tenant` request\n")
+	b.WriteString("header (1–64 bytes of `[A-Za-z0-9._-]`), falling back to the client\n")
+	b.WriteString("IP. A request refused at any gate — request rate, generation budget,\n")
+	b.WriteString("queue full, or slot-wait deadline — answers `429` with the\n")
+	b.WriteString("`rate_limited` envelope code and a `Retry-After` header (whole\n")
+	b.WriteString("seconds) hinting when to retry; `pkg/client` honors it via\n")
+	b.WriteString("`WithRetry`. Health, metrics and introspection routes are never\n")
+	b.WriteString("gated.\n\n")
 	b.WriteString("## Routes\n\n")
 	b.WriteString("| Route | Summary | Statuses |\n|---|---|---|\n")
 	for _, op := range apiOperations {

@@ -35,12 +35,14 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
 
+	"entropyip/internal/admission"
 	"entropyip/internal/buildinfo"
 	"entropyip/internal/core"
 	"entropyip/internal/dataset"
@@ -103,6 +105,12 @@ type Options struct {
 	// tail-sampling policy). The zero value enables tracing with defaults;
 	// see trace.Policy.
 	Trace trace.Policy
+	// Admission configures per-tenant admission control on the /v1 model
+	// routes: request-rate token buckets, generation budgets
+	// (candidates/second), and per-tenant concurrency slots with bounded
+	// queueing. The zero value disables every gate. Tenant identity is the
+	// X-Tenant request header (validated), falling back to the remote IP.
+	Admission admission.Config
 }
 
 func (o Options) workers() int {
@@ -157,6 +165,13 @@ type Server struct {
 	logger   *slog.Logger
 	tracer   *trace.Tracer
 	recorder *trace.Recorder
+	// adm gates the /v1 model routes; nil (admission disabled) admits
+	// everything at zero cost.
+	adm *admission.Controller
+	// draining is closed by Drain: in-flight generate streams stop after
+	// their current candidate and emit an in-band shutdown error.
+	draining  chan struct{}
+	drainOnce sync.Once
 	// patterns lists every mux pattern registered through handle, in
 	// registration order; the OpenAPI consistency test diffs it against
 	// the spec's route list.
@@ -198,18 +213,23 @@ func New(reg *registry.Registry, opts Options) *Server {
 		logger:    logger,
 		tracer:    trace.NewTracer(recorder),
 		recorder:  recorder,
+		adm:       admission.New(opts.Admission),
+		draining:  make(chan struct{}),
 	}
 	s.refresher.tracer = s.tracer
 	s.registerObservability()
-	s.handle("GET /v1/models", s.handleList)
-	s.handle("GET /v1/models/{name}", s.handleModelInfo)
-	s.handle("GET /v1/models/{name}/model", s.handleDownload)
-	s.handle("PUT /v1/models/{name}", s.handlePut)
-	s.handle("DELETE /v1/models/{name}", s.handleDelete)
-	s.handle("POST /v1/models/{name}/browse", s.handleBrowse)
-	s.handle("POST /v1/models/{name}/generate", s.handleGenerate)
-	s.handle("POST /v1/models/{name}/observe", s.handleObserve)
-	s.handle("GET /v1/models/{name}/drift", s.handleDriftStatus)
+	// Model routes go through the admission rate gate; health, metrics and
+	// introspection stay ungated so load balancers and operators observe
+	// saturation instead of being shed by it.
+	s.handleGated("GET /v1/models", s.handleList)
+	s.handleGated("GET /v1/models/{name}", s.handleModelInfo)
+	s.handleGated("GET /v1/models/{name}/model", s.handleDownload)
+	s.handleGated("PUT /v1/models/{name}", s.handlePut)
+	s.handleGated("DELETE /v1/models/{name}", s.handleDelete)
+	s.handleGated("POST /v1/models/{name}/browse", s.handleBrowse)
+	s.handleGated("POST /v1/models/{name}/generate", s.handleGenerate)
+	s.handleGated("POST /v1/models/{name}/observe", s.handleObserve)
+	s.handleGated("GET /v1/models/{name}/drift", s.handleDriftStatus)
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /v1/healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
@@ -241,6 +261,18 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // unwritten), the in-flight gauge is decremented either way, and
 // eip_http_panics_total increments instead of the gauge wedging.
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.register(pattern, h, false)
+}
+
+// handleGated registers like handle but additionally runs the admission
+// request-rate gate before the handler: shed requests answer 429 with
+// Retry-After (still metered, traced and logged) without entering the
+// handler.
+func (s *Server) handleGated(pattern string, h http.HandlerFunc) {
+	s.register(pattern, h, true)
+}
+
+func (s *Server) register(pattern string, h http.HandlerFunc, gated bool) {
 	s.patterns = append(s.patterns, pattern)
 	rm := s.metrics.route(pattern)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
@@ -248,7 +280,8 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 		id := inboundRequestID(r)
 		sc, _ := trace.ParseTraceparent(r.Header.Get("Traceparent"))
 		root := s.tracer.StartRoot(pattern, sc)
-		ri := &reqInfo{id: id, traceID: root.TraceID().String(), span: root}
+		ri := &reqInfo{id: id, traceID: root.TraceID().String(), span: root, tenant: tenantID(r)}
+		root.SetAttr("tenant", ri.tenant)
 		s.metrics.begin()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		sw.Header().Set("X-Request-Id", id)
@@ -287,9 +320,90 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 			s.metrics.end(rm, sw.status, dur, sw.bytes, ri.traceID)
 			s.logRequest(r, pattern, ri, sw, dur)
 		}()
+		if gated {
+			if d := s.adm.AllowRequest(ri.tenant); !d.OK {
+				s.shedResponse(sw, r, d)
+				return
+			}
+		}
 		h(sw, r)
 	})
 }
+
+// tenantID derives the request's tenant identity: a well-formed
+// X-Tenant header, else the remote IP (the port is stripped so one
+// client's keep-alive connections share a bucket).
+func tenantID(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" && validTenant(t) {
+		return t
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// validTenant bounds self-declared tenant names to 64 bytes of
+// [A-Za-z0-9._-]: a hostile header must not mint arbitrary limiter keys
+// or smuggle structure into logs and trace attributes. Invalid names
+// silently fall back to the remote IP rather than erroring — the header
+// is advisory identity, not authentication.
+func validTenant(t string) bool {
+	if len(t) > 64 {
+		return false
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// shedResponse answers one refused admission decision: 429, a
+// Retry-After hint, and the v1 error envelope naming the gate that
+// refused (the Reason strings are stable, same set as the shed metric's
+// reason label).
+func (s *Server) shedResponse(w http.ResponseWriter, r *http.Request, d admission.Decision) {
+	w.Header().Set("Retry-After", retryAfterValue(d.RetryAfter))
+	writeError(w, r, http.StatusTooManyRequests, "request shed at the %s gate; retry after %v", d.Reason, d.RetryAfter)
+}
+
+// retryAfterValue renders a Retry-After header value: whole seconds,
+// rounded up, at least 1 (a zero would invite an immediate retry storm).
+func retryAfterValue(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// Drain moves the server into shutdown mode: in-flight generate streams
+// stop after their current candidate and emit an in-band shutdown error
+// (a binary Error frame, or an NDJSON error line) so clients can tell
+// the cut from a legitimately short stream. Call it before
+// http.Server.Shutdown, which only waits for handlers to return.
+// Idempotent.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() { close(s.draining) })
+}
+
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// drainMessage is the in-band error emitted on streams Drain cuts short.
+const drainMessage = "server shutting down"
 
 // logRequest emits the per-request access-log record. Success is Debug
 // so request-rate logging is opt-in; client errors are Warn and server
@@ -315,6 +429,7 @@ func (s *Server) logRequest(r *http.Request, pattern string, ri *reqInfo, sw *st
 		slog.String("method", r.Method),
 		slog.String("path", r.URL.Path),
 		slog.String("route", pattern),
+		slog.String("tenant", ri.tenant),
 		slog.Int("status", sw.status),
 		slog.Int64("bytes", sw.bytes),
 		slog.Duration("duration", dur),
@@ -735,8 +850,30 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Admission, gates 2 and 3 (the rate gate ran in the middleware):
+	// charge the tenant's generation budget with the request's full
+	// candidate count, then claim a tenant concurrency slot with bounded
+	// queueing. A shed after the charge refunds it — the tenant generated
+	// nothing.
+	tenant := tenantFrom(r.Context())
+	total := 0
+	for _, st := range streams {
+		total += st.count
+	}
+	if d := s.adm.ChargeGenerate(tenant, total); !d.OK {
+		s.shedResponse(w, r, d)
+		return
+	}
+	releaseSlot, d := s.adm.AcquireSlot(r.Context(), tenant)
+	if !d.OK {
+		s.adm.RefundGenerate(tenant, total)
+		s.shedResponse(w, r, d)
+		return
+	}
 	m, info, err := s.getModel(r.Context(), r.PathValue("name"), req.Version)
 	if err != nil {
+		releaseSlot()
+		s.adm.RefundGenerate(tenant, total)
 		writeRegistryError(w, r, err)
 		return
 	}
@@ -753,11 +890,11 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Encoding", enc.String())
 	switch {
 	case enc == encBinary:
-		s.generateBinary(w, r, m, &req, streams, batch)
+		s.generateBinary(w, r, m, &req, streams, batch, releaseSlot)
 	case batch:
-		s.generateNDJSONBatch(w, r, m, &req, streams)
+		s.generateNDJSONBatch(w, r, m, &req, streams, releaseSlot)
 	default:
-		s.generateNDJSON(w, r, m, info, &req, streams[0])
+		s.generateNDJSON(w, r, m, info, &req, streams[0], releaseSlot)
 	}
 }
 
@@ -765,7 +902,8 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 // original wire format, byte-identical since PR 5 (pinned by
 // TestGenerateNDJSONMatchesEncodingJSON and the cross-encoding
 // equivalence tests).
-func (s *Server) generateNDJSON(w http.ResponseWriter, r *http.Request, m *core.Model, info registry.Info, req *GenerateRequest, st resolvedStream) {
+func (s *Server) generateNDJSON(w http.ResponseWriter, r *http.Request, m *core.Model, info registry.Info, req *GenerateRequest, st resolvedStream, release func()) {
+	defer release()
 	ctx := r.Context()
 	opts := s.generateOptions(ctx, st, req)
 	span := requestSpan(ctx).StartChild("generate.stream")
@@ -841,6 +979,12 @@ func (s *Server) generateNDJSON(w http.ResponseWriter, r *http.Request, m *core.
 		lb.b = appendErrorLine(lb.b[:0], err.Error(), traceIDString(ctx))
 		_, _ = bw.Write(lb.b)
 	} else {
+		if ctx.Err() == nil && s.isDraining() && lines < st.count {
+			// Drain cut the stream short: emit the in-band shutdown error
+			// so the client can tell this from exhausted model support.
+			lb.b = appendErrorLine(lb.b[:0], drainMessage, traceIDString(ctx))
+			_, _ = bw.Write(lb.b)
+		}
 		span.Finish()
 	}
 	_ = bw.Flush()
@@ -1060,15 +1204,53 @@ type HealthResponse struct {
 	Metrics MetricsSnapshot `json:"metrics"`
 	// Refresh summarizes the online ingest/drift/refresh loop.
 	Refresh RefreshSummary `json:"refresh"`
+	// Admission summarizes admission control, so load-balancer health
+	// checks can see saturation (rising shed counts, deep queues) before
+	// hard failure.
+	Admission AdmissionSummary `json:"admission"`
+}
+
+// AdmissionSummary is the admission-control section of /healthz.
+type AdmissionSummary struct {
+	// Enabled is false when no admission gate is configured (the other
+	// fields then stay zero).
+	Enabled bool `json:"enabled"`
+	// Tenants is how many tenants currently hold limiter state.
+	Tenants int `json:"tenants"`
+	// QueueDepth is how many requests are waiting for a tenant slot
+	// right now, across all tenants.
+	QueueDepth int `json:"queue_depth"`
+	// SlotsInUse is how many generation streams hold tenant slots.
+	SlotsInUse int `json:"slots_in_use"`
+	// Admitted counts requests past the rate gate since startup.
+	Admitted uint64 `json:"admitted"`
+	// Shed counts refused requests since startup, all gates combined.
+	Shed uint64 `json:"shed"`
+}
+
+func (s *Server) admissionSummary() AdmissionSummary {
+	if s.adm == nil {
+		return AdmissionSummary{}
+	}
+	st := s.adm.Stats()
+	return AdmissionSummary{
+		Enabled:    true,
+		Tenants:    st.Tenants,
+		QueueDepth: st.QueueDepth,
+		SlotsInUse: st.SlotsInUse,
+		Admitted:   st.Admitted,
+		Shed:       st.Shed(),
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:   "ok",
-		Version:  buildinfo.Version(),
-		Registry: s.reg.Stats(),
-		Metrics:  s.metrics.Snapshot(),
-		Refresh:  s.refresher.Summary(),
+		Status:    "ok",
+		Version:   buildinfo.Version(),
+		Registry:  s.reg.Stats(),
+		Metrics:   s.metrics.Snapshot(),
+		Refresh:   s.refresher.Summary(),
+		Admission: s.admissionSummary(),
 	})
 }
 

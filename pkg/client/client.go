@@ -33,15 +33,24 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+	// retry/retryOn hold the WithRetry policy; off by default, so a 429
+	// surfaces immediately unless the caller opted in.
+	retry   RetryPolicy
+	retryOn bool
 }
 
 // New returns a Client for the server at baseURL (e.g.
 // "http://localhost:8080"). A nil httpClient uses http.DefaultClient.
-func New(baseURL string, httpClient *http.Client) *Client {
+// Options (e.g. WithRetry) refine behavior.
+func New(baseURL string, httpClient *http.Client, opts ...Option) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 // WithTrace returns ctx carrying a fresh client-minted trace context and
@@ -233,7 +242,7 @@ func (c *Client) Generate(ctx context.Context, model string, opts GenerateOption
 	} else {
 		req.Header.Set("Accept", "application/x-ndjson")
 	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.do(req, body)
 	if err != nil {
 		return nil, err
 	}
@@ -408,13 +417,13 @@ func (c *Client) Observe(ctx context.Context, model string, addrs []ip6.Addr) (*
 		return nil, err
 	}
 	req, err := http.NewRequestWithContext(ctx, "POST",
-		c.base+"/v1/models/"+model+"/observe", &buf)
+		c.base+"/v1/models/"+model+"/observe", bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", wire.ContentType)
 	traceparent(ctx, req)
-	resp, err := c.hc.Do(req)
+	resp, err := c.do(req, buf.Bytes())
 	if err != nil {
 		return nil, err
 	}

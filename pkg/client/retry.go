@@ -1,0 +1,146 @@
+package client
+
+import (
+	"bytes"
+	crand "crypto/rand"
+	"encoding/binary"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Retry defaults used when RetryPolicy fields are zero.
+const (
+	// DefaultRetryAttempts is the total number of tries (first attempt
+	// included) under WithRetry's zero policy.
+	DefaultRetryAttempts = 4
+	// DefaultRetryBase is the first backoff delay; later delays double.
+	DefaultRetryBase = 100 * time.Millisecond
+	// DefaultRetryMax caps one backoff delay.
+	DefaultRetryMax = 2 * time.Second
+)
+
+// RetryPolicy configures WithRetry. The zero value means the defaults
+// above.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, first attempt included.
+	// Zero means DefaultRetryAttempts; 1 disables retrying.
+	MaxAttempts int
+	// BaseDelay is the first backoff delay; each further attempt doubles
+	// it. Zero means DefaultRetryBase.
+	BaseDelay time.Duration
+	// MaxDelay caps a single delay (a server's Retry-After may still
+	// exceed it — the server knows better). Zero means DefaultRetryMax.
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return DefaultRetryAttempts
+	}
+	return p.MaxAttempts
+}
+
+func (p RetryPolicy) base() time.Duration {
+	if p.BaseDelay <= 0 {
+		return DefaultRetryBase
+	}
+	return p.BaseDelay
+}
+
+func (p RetryPolicy) max() time.Duration {
+	if p.MaxDelay <= 0 {
+		return DefaultRetryMax
+	}
+	return p.MaxDelay
+}
+
+// Option configures a Client (see New).
+type Option func(*Client)
+
+// WithRetry makes the Client retry requests answered 429 or 503 — the
+// admission-shed and queue-full statuses — with jittered exponential
+// backoff, honoring the server's Retry-After header when present.
+// Other statuses (including every other 4xx) are never retried: they are
+// deterministic request errors, not transient load. Streaming requests
+// are only retried before any response byte arrived (a 429/503 is always
+// pre-stream), so no candidate is ever delivered twice. When the request
+// context's deadline would expire before the next delay, the Client
+// gives up immediately and returns the last refusal as its *APIError
+// instead of sleeping into a guaranteed context error.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p; c.retryOn = true }
+}
+
+// retryableStatus reports whether a status signals transient load
+// shedding rather than a request defect.
+func retryableStatus(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// retryDelay picks the wait before attempt+2: the server's Retry-After
+// when it sent one (the server knows its own refill schedule), else
+// jittered exponential backoff — base·2^attempt capped at max, scaled by
+// a random factor in [0.5, 1.5) so a shed burst of clients does not
+// reconverge on the same instant.
+func (c *Client) retryDelay(attempt int, resp *http.Response) time.Duration {
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	d := c.retry.base() << uint(attempt)
+	if max := c.retry.max(); d > max || d <= 0 {
+		d = max
+	}
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		// frac in [0, 1): 53 random bits over 2^53.
+		frac := float64(binary.LittleEndian.Uint64(b[:])>>11) / (1 << 53)
+		d = time.Duration(float64(d) * (0.5 + frac))
+	}
+	return d
+}
+
+// do sends one request, retrying under the configured policy. body is
+// the full request payload, replayed on every attempt (nil for bodyless
+// requests); the caller still owns resp.Body on every non-nil return.
+func (c *Client) do(req *http.Request, body []byte) (*http.Response, error) {
+	if !c.retryOn {
+		return c.hc.Do(req)
+	}
+	ctx := req.Context()
+	attempts := c.retry.attempts()
+	for attempt := 0; ; attempt++ {
+		if body != nil {
+			req.Body = io.NopCloser(bytes.NewReader(body))
+			req.ContentLength = int64(len(body))
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			// Transport errors are not retried: the request may have
+			// reached the server (an observe could double-ingest).
+			return nil, err
+		}
+		if !retryableStatus(resp.StatusCode) || attempt+1 >= attempts {
+			return resp, nil
+		}
+		delay := c.retryDelay(attempt, resp)
+		if deadline, ok := ctx.Deadline(); ok && time.Now().Add(delay).After(deadline) {
+			// Sleeping would outlive the caller's deadline: hand back the
+			// refusal itself rather than a bare context error.
+			return resp, nil
+		}
+		// Drain so the connection can be reused, then back off.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		_ = resp.Body.Close()
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// shedThenServe answers n requests with the given status (and a 1-second
+// Retry-After on 429/503), then succeeds with an empty NDJSON stream.
+func shedThenServe(t *testing.T, shed int, status int, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(shed) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			_, _ = w.Write([]byte(`{"error":{"code":"rate_limited","message":"shed"}}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Seed", "7")
+		w.Header().Set("X-Encoding", "ndjson")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte(`{"addr":"2001:db8::1"}` + "\n"))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func generateOnce(t *testing.T, c *Client, ctx context.Context) (*GenerateResult, error) {
+	t.Helper()
+	return c.Generate(ctx, "m", GenerateOptions{Count: 1}, func(Event) bool { return true })
+}
+
+// TestRetryOn429HonorsRetryAfter: two sheds with Retry-After: 0, then
+// success — WithRetry must ride through both and deliver the stream.
+// Retry-After of 0 seconds keeps the test fast while proving the header
+// is what set the delay (the default backoff base would be measurable).
+func TestRetryOn429HonorsRetryAfter(t *testing.T) {
+	srv, calls := shedThenServe(t, 2, http.StatusTooManyRequests, "0")
+	c := New(srv.URL, nil, WithRetry(RetryPolicy{MaxAttempts: 4, BaseDelay: 30 * time.Second}))
+	start := time.Now()
+	res, err := generateOnce(t, c, context.Background())
+	if err != nil {
+		t.Fatalf("Generate after retries: %v", err)
+	}
+	if res.Candidates != 1 {
+		t.Fatalf("Candidates = %d, want 1", res.Candidates)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 sheds + success)", got)
+	}
+	// With BaseDelay at 30s, finishing fast proves Retry-After (0s) won.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retries took %v; Retry-After was not honored", elapsed)
+	}
+}
+
+// TestRetryOn503 covers the other retryable status (the training queue's
+// shed status).
+func TestRetryOn503(t *testing.T) {
+	srv, calls := shedThenServe(t, 1, http.StatusServiceUnavailable, "0")
+	c := New(srv.URL, nil, WithRetry(RetryPolicy{}))
+	if _, err := generateOnce(t, c, context.Background()); err != nil {
+		t.Fatalf("Generate after 503 retry: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2", got)
+	}
+}
+
+// TestNoRetryOn400: a deterministic request error must surface on the
+// first attempt — retrying a bad request can never fix it.
+func TestNoRetryOn400(t *testing.T) {
+	srv, calls := shedThenServe(t, 100, http.StatusBadRequest, "")
+	c := New(srv.URL, nil, WithRetry(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}))
+	_, err := generateOnce(t, c, context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want *APIError with status 400", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no retry on 400)", got)
+	}
+}
+
+// TestRetryGivesUpBeforeDeadline: when the next delay would outlive the
+// context deadline, the client returns the last 429 as an *APIError
+// immediately instead of sleeping into a guaranteed context error.
+func TestRetryGivesUpBeforeDeadline(t *testing.T) {
+	srv, calls := shedThenServe(t, 100, http.StatusTooManyRequests, "30")
+	c := New(srv.URL, nil, WithRetry(RetryPolicy{MaxAttempts: 5}))
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	start := time.Now()
+	_, err := generateOnce(t, c, ctx)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want the 429 *APIError", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (delay exceeds deadline)", got)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("gave up after %v; want immediate (no sleep into the deadline)", elapsed)
+	}
+}
+
+// TestRetryExhaustsAttempts: a server that never recovers yields the
+// final 429 after exactly MaxAttempts tries.
+func TestRetryExhaustsAttempts(t *testing.T) {
+	srv, calls := shedThenServe(t, 100, http.StatusTooManyRequests, "0")
+	c := New(srv.URL, nil, WithRetry(RetryPolicy{MaxAttempts: 3}))
+	_, err := generateOnce(t, c, context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want the 429 *APIError", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want MaxAttempts = 3", got)
+	}
+}
+
+// TestNoRetryWithoutOptIn: the default Client surfaces the first 429 —
+// WithRetry is opt-in.
+func TestNoRetryWithoutOptIn(t *testing.T) {
+	srv, calls := shedThenServe(t, 100, http.StatusTooManyRequests, "0")
+	c := New(srv.URL, nil)
+	if _, err := generateOnce(t, c, context.Background()); err == nil {
+		t.Fatal("want an error without retry opt-in")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1", got)
+	}
+}
+
+// TestRetryReplaysRequestBody: every attempt must carry the full JSON
+// body — a consumed reader would send an empty body on attempt 2.
+func TestRetryReplaysRequestBody(t *testing.T) {
+	var bodies atomic.Int64
+	var shed atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Count int `json:"count"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Count != 1 {
+			t.Errorf("attempt body missing count=1: err=%v count=%d", err, req.Count)
+		}
+		bodies.Add(1)
+		if shed.CompareAndSwap(false, true) {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	c := New(srv.URL, nil, WithRetry(RetryPolicy{}))
+	if _, err := generateOnce(t, c, context.Background()); err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if got := bodies.Load(); got != 2 {
+		t.Fatalf("server saw %d bodies, want 2", got)
+	}
+}
